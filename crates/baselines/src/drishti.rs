@@ -1,0 +1,494 @@
+//! Drishti: expert-trigger-based Darshan log analysis.
+//!
+//! Faithful to the published tool's character: a fixed battery of triggers
+//! (30 here, as the paper states), each a hard-coded threshold over Darshan
+//! counters with a static message and recommendation. Nine distinct issue
+//! types are covered; *server load imbalance* and *low-level library*
+//! misuse are outside its vocabulary, and several thresholds mis-fire by
+//! design (the paper's critique):
+//!
+//! - misalignment is reported per direction purely by operation volume —
+//!   no per-direction size check — so a one-sided misalignment flags both
+//!   busy directions;
+//! - the 10 % small-request threshold fires even when the absolute impact
+//!   is negligible;
+//! - messages are fixed strings with the trigger's numbers interpolated,
+//!   never application-specific reasoning.
+
+use darshan::counters::Module;
+use darshan::derive::{lustre_summary, TraceSummary};
+use darshan::DarshanTrace;
+use simllm::Diagnosis;
+use tracebench::thresholds as th;
+use tracebench::IssueLabel;
+
+/// One trigger hit: the rendered message plus the issue it maps to (if the
+/// trigger corresponds to a TraceBench label; informational triggers don't).
+#[derive(Debug, Clone)]
+pub struct TriggerHit {
+    /// Trigger identifier, e.g. `D07`.
+    pub id: &'static str,
+    /// Rendered message.
+    pub message: String,
+    /// Mapped issue label, when the trigger is diagnostic.
+    pub issue: Option<IssueLabel>,
+}
+
+/// The Drishti analyser.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Drishti;
+
+impl Drishti {
+    /// Run all 30 triggers over a trace.
+    pub fn triggers(&self, trace: &DarshanTrace) -> Vec<TriggerHit> {
+        let s = TraceSummary::of(trace);
+        let mut hits = Vec::new();
+        let nprocs = s.nprocs;
+
+        let posix = s.posix.clone().unwrap_or_default();
+        let mpiio = s.mpiio.clone();
+        let reads = posix.reads;
+        let writes = posix.writes;
+
+        let mut hit = |id: &'static str, issue: Option<IssueLabel>, message: String| {
+            hits.push(TriggerHit { id, message, issue });
+        };
+
+        // D01/D02 — small requests (> 10 % below 1 MB).
+        if reads > 0 && posix.small_read_fraction() > th::SMALL_FRACTION {
+            hit(
+                "D01",
+                Some(IssueLabel::SmallRead),
+                format!(
+                    "Application issues a high number of small read requests (i.e., \
+                     Small Read I/O Requests): {:.0}% of {} reads are smaller than 1 MB. \
+                     Recommendation: consider buffering read operations into larger, \
+                     more contiguous requests.",
+                    posix.small_read_fraction() * 100.0,
+                    reads
+                ),
+            );
+        }
+        if writes > 0 && posix.small_write_fraction() > th::SMALL_FRACTION {
+            hit(
+                "D02",
+                Some(IssueLabel::SmallWrite),
+                format!(
+                    "Application issues a high number of small write requests (i.e., \
+                     Small Write I/O Requests): {:.0}% of {} writes are smaller than 1 MB. \
+                     Recommendation: consider buffering write operations into larger, \
+                     more contiguous requests.",
+                    posix.small_write_fraction() * 100.0,
+                    writes
+                ),
+            );
+        }
+        // D03/D04 — misaligned requests. Direction chosen only by activity
+        // (the quirk: no per-direction size evidence).
+        if posix.misaligned_fraction() > th::MISALIGNED_FRACTION {
+            if reads >= th::MIN_DIR_OPS {
+                hit(
+                    "D03",
+                    Some(IssueLabel::MisalignedRead),
+                    format!(
+                        "Application has a high number of misaligned requests affecting \
+                         reads (Misaligned Read Requests): {:.0}% of accesses are not \
+                         aligned with the file system block boundary. Recommendation: \
+                         align requests to the stripe boundary.",
+                        posix.misaligned_fraction() * 100.0
+                    ),
+                );
+            }
+            if writes >= th::MIN_DIR_OPS {
+                hit(
+                    "D04",
+                    Some(IssueLabel::MisalignedWrite),
+                    format!(
+                        "Application has a high number of misaligned requests affecting \
+                         writes (Misaligned Write Requests): {:.0}% of accesses are not \
+                         aligned with the file system block boundary. Recommendation: \
+                         align requests to the stripe boundary.",
+                        posix.misaligned_fraction() * 100.0
+                    ),
+                );
+            }
+        }
+        // D05/D06 — random access patterns.
+        if reads >= th::MIN_DIR_OPS && posix.seq_read_fraction() < th::SEQ_FRACTION_RANDOM {
+            hit(
+                "D05",
+                Some(IssueLabel::RandomRead),
+                format!(
+                    "Application mostly uses non-sequential access patterns on reads \
+                     (Random Access Patterns on Read): only {:.0}% sequential. \
+                     Recommendation: consider reordering operations by offset.",
+                    posix.seq_read_fraction() * 100.0
+                ),
+            );
+        }
+        if writes >= th::MIN_DIR_OPS && posix.seq_write_fraction() < th::SEQ_FRACTION_RANDOM {
+            hit(
+                "D06",
+                Some(IssueLabel::RandomWrite),
+                format!(
+                    "Application mostly uses non-sequential access patterns on writes \
+                     (Random Access Patterns on Write): only {:.0}% sequential. \
+                     Recommendation: consider reordering operations by offset.",
+                    posix.seq_write_fraction() * 100.0
+                ),
+            );
+        }
+        // D07 — shared file access.
+        if nprocs > 1 && trace.shared_file_count(Module::Posix) > 0 {
+            hit(
+                "D07",
+                Some(IssueLabel::SharedFileAccess),
+                format!(
+                    "Application uses shared files (Shared File Access): {} shared \
+                     file(s) accessed by {} ranks. Recommendation: make sure the access \
+                     pattern avoids lock contention.",
+                    trace.shared_file_count(Module::Posix),
+                    nprocs
+                ),
+            );
+        }
+        // D08 — high metadata time (absolute-seconds quirk alongside the
+        // fractional rule).
+        let meta_frac = posix.meta_time_fraction(s.run_time, nprocs);
+        if meta_frac > th::META_TIME_FRACTION || posix.meta_time > 120.0 {
+            hit(
+                "D08",
+                Some(IssueLabel::HighMetadataLoad),
+                format!(
+                    "Application spends a significant amount of time in metadata \
+                     operations (High Metadata Load): {:.1}s across ranks ({:.0}% of \
+                     runtime). Recommendation: consolidate files and avoid stat storms.",
+                    posix.meta_time,
+                    meta_frac * 100.0
+                ),
+            );
+        }
+        // D09 — too many opens (informational).
+        if posix.opens > 50 * posix.files.max(1) as i64 {
+            hit(
+                "D09",
+                None,
+                format!(
+                    "Application issues many open operations ({} opens over {} files).",
+                    posix.opens, posix.files
+                ),
+            );
+        }
+        // D10 — too many stats (informational).
+        if posix.stats > 100 * posix.files.max(1) as i64 {
+            hit("D10", None, format!("Application issues many stat operations ({}).", posix.stats));
+        }
+        // D11 — redundant / repetitive reads (per-record reuse).
+        let reuse = trace
+            .records_for(Module::Posix)
+            .filter_map(|r| {
+                let bytes = r.ic("POSIX_BYTES_READ") as f64;
+                let range = (r.ic("POSIX_MAX_BYTE_READ") + 1) as f64;
+                (bytes > 0.0 && range > 0.0).then_some(bytes / range)
+            })
+            .fold(0.0f64, f64::max);
+        if reuse > th::READ_REUSE_FACTOR {
+            hit(
+                "D11",
+                Some(IssueLabel::RepetitiveRead),
+                format!(
+                    "Application re-reads the same data (Repetitive Data Access on \
+                     Read): {reuse:.1}x the touched byte range. Recommendation: cache or \
+                     stage the data in faster storage."
+                ),
+            );
+        }
+        // D12 — rank data imbalance.
+        let rank_cv = per_rank_cv(trace);
+        if rank_cv > th::RANK_CV || posix.rank_byte_imbalance() > th::RANK_RATIO {
+            hit(
+                "D12",
+                Some(IssueLabel::RankLoadImbalance),
+                format!(
+                    "Application has data imbalance between ranks (Rank Load Imbalance): \
+                     per-rank byte CV {:.2}, fastest/slowest ratio {:.1}. Recommendation: \
+                     distribute I/O responsibility evenly across ranks.",
+                    rank_cv,
+                    posix.rank_byte_imbalance()
+                ),
+            );
+        }
+        // D13 — rank time imbalance (informational).
+        if posix.variance_rank_time > 10.0 {
+            hit(
+                "D13",
+                None,
+                format!(
+                    "Per-rank I/O time varies strongly (variance {:.1} s²).",
+                    posix.variance_rank_time
+                ),
+            );
+        }
+        // D14/D15 — no collective MPI-IO.
+        if let Some(m) = &mpiio {
+            let r_total = m.indep_reads + m.coll_reads;
+            if r_total >= th::MIN_MPIIO_OPS && m.collective_read_fraction() < th::COLLECTIVE_FRACTION
+            {
+                hit(
+                    "D14",
+                    Some(IssueLabel::NoCollectiveRead),
+                    format!(
+                        "Application uses MPI-IO but does not use collective reads \
+                         (No Collective I/O on Read): {} independent vs {} collective. \
+                         Recommendation: use collective operations (e.g. \
+                         MPI_File_read_all).",
+                        m.indep_reads, m.coll_reads
+                    ),
+                );
+            }
+            let w_total = m.indep_writes + m.coll_writes;
+            if w_total >= th::MIN_MPIIO_OPS
+                && m.collective_write_fraction() < th::COLLECTIVE_FRACTION
+            {
+                hit(
+                    "D15",
+                    Some(IssueLabel::NoCollectiveWrite),
+                    format!(
+                        "Application uses MPI-IO but does not use collective writes \
+                         (No Collective I/O on Write): {} independent vs {} collective. \
+                         Recommendation: use collective operations (e.g. \
+                         MPI_File_write_all).",
+                        m.indep_writes, m.coll_writes
+                    ),
+                );
+            }
+        }
+        // D16 — multi-process without MPI-IO.
+        if s.multi_process_without_mpi() && posix.total_ops() + posix.opens > 0 {
+            hit(
+                "D16",
+                Some(IssueLabel::MultiProcessWithoutMpi),
+                format!(
+                    "Application runs {} processes but performs I/O without MPI-IO \
+                     (Multi-Process Without MPI). Recommendation: use MPI-IO to \
+                     coordinate I/O across processes.",
+                    nprocs
+                ),
+            );
+        }
+        // D17 — read/write switches (informational).
+        if posix.rw_switches > posix.total_ops() / 10 && posix.rw_switches > 0 {
+            hit(
+                "D17",
+                None,
+                format!(
+                    "Application alternates frequently between reads and writes \
+                     ({} switches).",
+                    posix.rw_switches
+                ),
+            );
+        }
+        // D18 — excessive seeks (informational).
+        if posix.seeks > posix.total_ops() / 2 && posix.seeks > 100 {
+            hit("D18", None, format!("Application issues many seeks ({}).", posix.seeks));
+        }
+        // D19 — read-heavy / write-heavy note (informational).
+        if posix.bytes_read > 10 * posix.bytes_written.max(1) {
+            hit("D19", None, "Workload is strongly read-dominant.".to_string());
+        }
+        // D20 — write-dominant note (informational).
+        if posix.bytes_written > 10 * posix.bytes_read.max(1) {
+            hit("D20", None, "Workload is strongly write-dominant.".to_string());
+        }
+        // D21 — largest request still small (informational).
+        if posix.max_read_time_size > 0 && posix.max_read_time_size < (1 << 20) && reads > 0 {
+            hit(
+                "D21",
+                None,
+                format!(
+                    "Largest observed read request is only {} bytes.",
+                    posix.max_read_time_size
+                ),
+            );
+        }
+        // D22 — many files (informational).
+        if posix.files > 500 {
+            hit("D22", None, format!("Application touches many files ({}).", posix.files));
+        }
+        // D23 — fsync-heavy (informational).
+        if posix.syncs > 100 {
+            hit("D23", None, format!("Application issues many sync operations ({}).", posix.syncs));
+        }
+        // D24 — stdio streams observed (informational only: Drishti's
+        // vocabulary does not include the low-level-library issue).
+        if let Some(st) = &s.stdio {
+            if st.bytes_read + st.bytes_written > (10 << 20) {
+                hit(
+                    "D24",
+                    None,
+                    format!(
+                        "Sizeable STDIO traffic observed ({} bytes).",
+                        st.bytes_read + st.bytes_written
+                    ),
+                );
+            }
+        }
+        // D25 — stripe note (informational; no server-imbalance diagnosis).
+        if let Some(l) = lustre_summary(trace) {
+            if l.mean_stripe_width() < 2.0 {
+                hit(
+                    "D25",
+                    None,
+                    format!(
+                        "Files use a Lustre stripe count of {:.0}.",
+                        l.mean_stripe_width()
+                    ),
+                );
+            }
+            // D26 — stripe size note (informational).
+            if let Some(sz) = l.stripe_sizes.first() {
+                hit("D26", None, format!("Lustre stripe size is {sz} bytes."));
+            }
+        }
+        // D27 — memory alignment (informational).
+        if posix.mem_not_aligned > posix.total_ops() / 5 && posix.total_ops() > 0 {
+            hit(
+                "D27",
+                None,
+                format!("{} accesses are not aligned in memory.", posix.mem_not_aligned),
+            );
+        }
+        // D28 — long runtime with little I/O (informational).
+        if s.run_time > 300.0 && s.total_bytes() < (1 << 20) {
+            hit("D28", None, "Long-running job with negligible I/O volume.".to_string());
+        }
+        // D29 — no read activity (informational).
+        if reads == 0 && writes > 0 {
+            hit("D29", None, "Write-only workload (no reads recorded).".to_string());
+        }
+        // D30 — no write activity (informational).
+        if writes == 0 && reads > 0 {
+            hit("D30", None, "Read-only workload (no writes recorded).".to_string());
+        }
+
+        hits
+    }
+
+    /// Produce a full diagnosis report.
+    pub fn diagnose(&self, trace: &DarshanTrace) -> Diagnosis {
+        let hits = self.triggers(trace);
+        let mut text = String::from("Drishti analysis report\n=======================\n\n");
+        let mut issues = Vec::new();
+        for h in &hits {
+            // Quote the interpolated counters as an inline evidence clause.
+            let msg = if h.message.contains("): ") && h.message.contains(". Recommendation:") {
+                h.message
+                    .replacen("): ", "): (data: ", 1)
+                    .replacen(". Recommendation:", "). Recommendation:", 1)
+            } else {
+                h.message.clone()
+            };
+            text.push_str(&format!("- [{}] {msg}\n\n", h.id));
+            if let Some(issue) = h.issue {
+                if !issues.contains(&issue) {
+                    issues.push(issue);
+                }
+            }
+        }
+        if hits.is_empty() {
+            text.push_str("No triggers fired: no issues detected.\n");
+        }
+        Diagnosis { tool: "drishti".to_string(), text, issues, references: Vec::new() }
+    }
+}
+
+fn per_rank_cv(trace: &DarshanTrace) -> f64 {
+    let mut by_rank: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+    for r in trace.records_for(Module::Posix) {
+        if r.rank >= 0 {
+            *by_rank.entry(r.rank).or_insert(0) +=
+                r.ic("POSIX_BYTES_READ") + r.ic("POSIX_BYTES_WRITTEN");
+        }
+    }
+    if by_rank.len() < 2 {
+        return 0.0;
+    }
+    let vals: Vec<f64> = by_rank.values().map(|&v| v as f64).collect();
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracebench::TraceBench;
+
+    #[test]
+    fn drishti_finds_small_io() {
+        let tb = TraceBench::generate();
+        let d = Drishti.diagnose(&tb.get("sb01_small_io").unwrap().trace);
+        assert!(d.issues.contains(&IssueLabel::SmallRead));
+        assert!(d.issues.contains(&IssueLabel::SmallWrite));
+        assert!(d.text.contains("[D01]"));
+    }
+
+    #[test]
+    fn drishti_cannot_see_server_imbalance() {
+        let tb = TraceBench::generate();
+        let d = Drishti.diagnose(&tb.get("sb10_server_hotspot").unwrap().trace);
+        assert!(!d.issues.contains(&IssueLabel::ServerLoadImbalance));
+        // It does leave an informational stripe note, but no diagnosis.
+        assert!(d.text.contains("stripe count"));
+    }
+
+    #[test]
+    fn drishti_cannot_see_low_level_library() {
+        let tb = TraceBench::generate();
+        let d = Drishti.diagnose(&tb.get("sb07_stdio_heavy").unwrap().trace);
+        assert!(!d.issues.contains(&IssueLabel::LowLevelLibraryRead));
+        assert!(!d.issues.contains(&IssueLabel::LowLevelLibraryWrite));
+    }
+
+    #[test]
+    fn misalignment_quirk_flags_both_busy_directions() {
+        // ra_e2e_fixed plants MisalignedWrite only; its reads are large,
+        // aligned and above the op gate, so Drishti's volume-only heuristic
+        // also flags reads — a false positive by construction.
+        let tb = TraceBench::generate();
+        let d = Drishti.diagnose(&tb.get("ra_e2e_fixed").unwrap().trace);
+        assert!(d.issues.contains(&IssueLabel::MisalignedWrite));
+        assert!(d.issues.contains(&IssueLabel::MisalignedRead), "quirk should misfire");
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let tb = TraceBench::generate();
+        let t = &tb.get("ra_amrex").unwrap().trace;
+        assert_eq!(Drishti.diagnose(t).text, Drishti.diagnose(t).text);
+    }
+
+    #[test]
+    fn recall_reasonable_but_bounded_across_suite() {
+        let tb = TraceBench::generate();
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for e in &tb.entries {
+            let d = Drishti.diagnose(&e.trace);
+            let found = d.issue_set();
+            for l in e.spec.labels {
+                total += 1;
+                if found.contains(l) {
+                    hit += 1;
+                }
+            }
+        }
+        let recall = hit as f64 / total as f64;
+        // Covers everything except Srv (24) and LL (2) labels, so recall
+        // should sit in the 0.7–0.9 band.
+        assert!(recall > 0.65 && recall < 0.92, "recall {recall}");
+    }
+}

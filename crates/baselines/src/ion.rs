@@ -1,0 +1,115 @@
+//! ION: direct LLM prompting over the raw trace.
+//!
+//! ION (HotStorage'24) is the proof-of-concept predecessor of IOAgent: it
+//! engineers a single prompt containing the parsed Darshan log and asks the
+//! backbone model for a diagnosis. No retrieval, no pre-processing beyond
+//! `darshan-parser`, no merging — so the diagnosis quality tracks the
+//! backbone model's context limits, arithmetic reliability, misconceptions,
+//! and hallucinations directly (paper §II-B, §III).
+
+use darshan::DarshanTrace;
+use simllm::{CompletionRequest, Diagnosis, LanguageModel};
+
+/// The ION baseline bound to a backbone model.
+pub struct Ion<'m> {
+    model: &'m dyn LanguageModel,
+}
+
+impl<'m> Ion<'m> {
+    /// Bind ION to a backbone model (the paper uses gpt-4o).
+    pub fn new(model: &'m dyn LanguageModel) -> Self {
+        Ion { model }
+    }
+
+    /// Build ION's engineered prompt for a trace.
+    pub fn prompt(trace: &DarshanTrace) -> String {
+        let raw = darshan::write::write_text(trace);
+        format!(
+            "### TASK: diagnose\n\
+             You are given the complete darshan-parser output of an HPC application run. \
+             Check the I/O details thoroughly: operation counts, request sizes, access \
+             patterns, alignment, metadata activity, interfaces used, and striping. \
+             Identify every I/O performance issue and justify each with data from the \
+             trace.\n\n\
+             ## TRACE\n{raw}"
+        )
+    }
+
+    /// Produce the diagnosis for one trace.
+    pub fn diagnose(&self, trace: &DarshanTrace) -> Diagnosis {
+        let req = CompletionRequest::new(
+            "You are an expert in HPC I/O performance analysis.",
+            Self::prompt(trace),
+        );
+        let completion = self.model.complete(&req);
+        let mut d = Diagnosis::from_text(format!("ion-{}", self.model.name()), completion.text);
+        d.tool = "ion".to_string();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simllm::SimLlm;
+    use tracebench::{IssueLabel, TraceBench};
+
+    #[test]
+    fn ion_diagnoses_simple_trace_reasonably() {
+        let tb = TraceBench::generate();
+        let model = SimLlm::new("gpt-4o");
+        let ion = Ion::new(&model);
+        let d = ion.diagnose(&tb.get("sb01_small_io").unwrap().trace);
+        // Small I/O is the easiest rule; on a small trace ION should find it.
+        assert!(
+            d.issues.contains(&IssueLabel::SmallWrite)
+                || d.issues.contains(&IssueLabel::SmallRead),
+            "{}",
+            d.text
+        );
+    }
+
+    #[test]
+    fn ion_degrades_on_huge_traces() {
+        let tb = TraceBench::generate();
+        let model = SimLlm::new("gpt-4o");
+        let ion = Ion::new(&model);
+        // mdtest-hard: ~40k raw lines — way beyond the effective window.
+        let entry = tb.get("io500_mdtest_hard_1").unwrap();
+        let d = ion.diagnose(&entry.trace);
+        let gt: std::collections::BTreeSet<_> = entry.spec.labels.iter().copied().collect();
+        let found = d.issue_set();
+        let recall = found.intersection(&gt).count() as f64 / gt.len() as f64;
+        assert!(recall < 1.0, "truncation should cost ION something");
+    }
+
+    #[test]
+    fn ion_misses_more_than_reference_across_suite() {
+        let tb = TraceBench::generate();
+        let model = SimLlm::new("gpt-4o");
+        let ion = Ion::new(&model);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for e in &tb.entries {
+            let d = ion.diagnose(&e.trace);
+            let found = d.issue_set();
+            for l in e.spec.labels {
+                total += 1;
+                if found.contains(l) {
+                    hit += 1;
+                }
+            }
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.25 && recall < 0.75, "ION recall {recall}");
+    }
+
+    #[test]
+    fn ion_output_deterministic() {
+        let tb = TraceBench::generate();
+        let model = SimLlm::new("llama-3.1-70b");
+        let ion = Ion::new(&model);
+        let t = &tb.get("ra_amrex").unwrap().trace;
+        assert_eq!(ion.diagnose(t).text, ion.diagnose(t).text);
+    }
+}

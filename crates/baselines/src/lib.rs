@@ -1,0 +1,16 @@
+//! Baseline diagnosis tools the paper compares IOAgent against.
+//!
+//! - [`drishti`]: a reimplementation of Drishti's trigger-based analysis —
+//!   30 heuristic triggers over Darshan counters with hard-coded thresholds
+//!   and fixed message/recommendation text, covering nine distinct issue
+//!   types (notably *not* server load imbalance or low-level-library
+//!   misuse, and with the threshold quirks the paper discusses).
+//! - [`ion`]: the ION strategy — stuff the whole `darshan-parser` output
+//!   into one engineered prompt and let the backbone LLM produce the
+//!   diagnosis directly, inheriting all of the model's failure modes.
+
+pub mod drishti;
+pub mod ion;
+
+pub use drishti::Drishti;
+pub use ion::Ion;

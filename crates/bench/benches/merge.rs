@@ -1,0 +1,42 @@
+//! Merge-strategy benchmarks (the Fig. 6 time-overhead axis): the paper
+//! notes the tree merge "introduces both additional time and monetary
+//! overhead" versus a single flat merge — this quantifies it, alongside
+//! the retention the overhead buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioagent_core::merge::merge_blocks;
+use ioagent_core::{MergeStrategy, SummaryBlock};
+use simllm::SimLlm;
+use std::hint::black_box;
+
+fn blocks(n: usize) -> Vec<SummaryBlock> {
+    (0..n)
+        .map(|i| {
+            SummaryBlock::new(
+                format!("S{i}"),
+                vec![format!(
+                    "- POINT[k{i}] Issue: finding {i} with supporting data ;; REFS: [Doc {i}, V 2021]"
+                )],
+            )
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let model = SimLlm::new("gpt-4o");
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(20);
+    for n in [4usize, 8, 13, 18] {
+        let input = blocks(n);
+        group.bench_with_input(BenchmarkId::new("tree", n), &input, |b, input| {
+            b.iter(|| black_box(merge_blocks(&model, input.clone(), MergeStrategy::Tree)))
+        });
+        group.bench_with_input(BenchmarkId::new("flat", n), &input, |b, input| {
+            b.iter(|| black_box(merge_blocks(&model, input.clone(), MergeStrategy::Flat)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

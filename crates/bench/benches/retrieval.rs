@@ -1,0 +1,33 @@
+//! RAG substrate benchmarks: knowledge-index construction, top-15 search,
+//! the self-reflection filter, and the embedding primitive itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ioagent_core::rag::Retriever;
+use ioembed::Embedder;
+use simllm::SimLlm;
+use std::hint::black_box;
+
+const QUERY: &str = "the value of 1.0 in the 1K to 10K bin indicates that 100% of the write \
+                     operations fall within the 1 KB to 10 KB range; many frequent small \
+                     write requests from 16 processes";
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retrieval");
+    group.sample_size(20);
+
+    group.bench_function("build_index_66_docs", |b| b.iter(|| black_box(Retriever::build())));
+
+    let retriever = Retriever::build();
+    let mini = SimLlm::new("gpt-4o-mini");
+    group.bench_function("retrieve_top15_with_reflection", |b| {
+        b.iter(|| black_box(retriever.retrieve(QUERY, &mini)))
+    });
+
+    let embedder = Embedder::default();
+    group.bench_function("embed_query", |b| b.iter(|| black_box(embedder.embed(QUERY))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Dump one TraceBench trace as `darshan-parser` text (for piping into the
+//! `ioagent` CLI or external tools).
+//!
+//! Run with: `cargo run --release --bin dump_trace -p ioagent-bench -- <trace_id>`
+
+use tracebench::TraceBench;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "ra_amrex".to_string());
+    let suite = TraceBench::generate();
+    match suite.get(&id) {
+        Some(entry) => print!("{}", darshan::write::write_text(&entry.trace)),
+        None => {
+            eprintln!("unknown trace id {id:?}");
+            for e in &suite.entries {
+                eprintln!("  {}", e.spec.id);
+            }
+            std::process::exit(1);
+        }
+    }
+}

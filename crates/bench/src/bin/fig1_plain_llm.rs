@@ -1,0 +1,59 @@
+//! Regenerates **Figure 1**: plain-LLM diagnosis of the AMReX trace by
+//! directly querying gpt-4 and gpt-4o with the parsed Darshan log.
+//!
+//! The paper's observations this binary reproduces:
+//! - gpt-4 produces little of diagnostic value;
+//! - gpt-4o is much better but (a) misses the POSIX-instead-of-MPI-IO issue
+//!   because the MPI-IO rows sit in the middle/tail of the trace, and
+//!   (b) repeats the "1 MB stripe is optimal" misconception because nothing
+//!   grounds it;
+//! - o1-preview cannot ingest the full trace at all (context too small).
+//!
+//! Run with: `cargo run --release --bin fig1_plain_llm -p ioagent-bench`
+
+use baselines::Ion;
+use simllm::{LanguageModel, SimLlm};
+use tracebench::{IssueLabel, TraceBench};
+
+fn main() {
+    let suite = TraceBench::generate();
+    let amrex = suite.get("ra_amrex").expect("AMReX trace");
+    println!(
+        "AMReX run: {:.0} s, {} processes, {} files (paper §III)\n",
+        amrex.trace.header.run_time,
+        amrex.trace.header.nprocs,
+        amrex.trace.files().len()
+    );
+    println!("ground truth: {:?}\n", amrex.labels());
+
+    for model_name in ["gpt-4", "gpt-4o", "o1-preview"] {
+        let model = SimLlm::new(model_name);
+        let ion = Ion::new(&model);
+        let prompt = Ion::prompt(&amrex.trace);
+        let completion =
+            model.complete(&simllm::CompletionRequest::new("You are an I/O expert.", prompt));
+        println!("================ {} ================", model_name);
+        println!(
+            "input tokens: {}  attended: {:.0}%  truncated: {}",
+            completion.input_tokens,
+            completion.retention * 100.0,
+            completion.truncated
+        );
+        let d = ion.diagnose(&amrex.trace);
+        println!("{}", d.text);
+        let found = d.issue_set();
+        let missed: Vec<&str> = amrex
+            .labels()
+            .into_iter()
+            .filter(|l| !found.contains(l))
+            .map(|l| l.display_name())
+            .collect();
+        println!("missed ground-truth issues: {missed:?}");
+        let misconception = d.text.contains("optimal for minimizing");
+        println!("repeats stripe-size misconception: {misconception}");
+        if found.contains(&IssueLabel::MultiProcessWithoutMpi) {
+            println!("NOTE: claims multi-process-without-MPI (wrong: MPI-IO rows were lost)");
+        }
+        println!();
+    }
+}

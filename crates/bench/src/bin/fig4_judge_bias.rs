@@ -1,0 +1,89 @@
+//! Regenerates the evidence behind **Figure 4**: the three prompt
+//! augmentations (anonymisation, rank-order rotation, content rotation)
+//! eliminate positional and name bias in LLM-based ranking.
+//!
+//! Identical candidate reports are ranked with each augmentation
+//! configuration; a fair judge should produce a flat mean-rank-per-position
+//! profile. The spread (max − min mean rank) quantifies residual bias.
+//!
+//! Run with: `cargo run --release --bin fig4_judge_bias -p ioagent-bench`
+
+use judge::bias::{position_bias_spread, position_rank_matrix, tool_rank_means};
+use judge::{Augmentations, ToolRun};
+use simllm::{Diagnosis, SimLlm};
+use tracebench::TraceBench;
+
+fn identical_runs(suite: &TraceBench, names: &[&str]) -> Vec<ToolRun> {
+    names
+        .iter()
+        .map(|name| ToolRun {
+            tool: name.to_string(),
+            diagnoses: suite
+                .entries
+                .iter()
+                .map(|e| {
+                    let mut text = String::from("Diagnosis report\n");
+                    for l in e.spec.labels {
+                        text.push_str(&format!(
+                            "Issue: {}\n  observed in the trace (data: counters)\n  \
+                             Recommendation: address it.\n",
+                            l.display_name()
+                        ));
+                    }
+                    Diagnosis::from_text(name.to_string(), text)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn main() {
+    let suite = TraceBench::generate();
+    // Content is identical across "tools": only bias can separate them.
+    let names = ["Drishti", "ION", "IOAgent", "OtherTool"];
+    let runs = identical_runs(&suite, &names);
+    let model = SimLlm::new("gpt-4o");
+
+    let configs: [(&str, Augmentations); 4] = [
+        ("no augmentation", Augmentations::NONE),
+        (
+            "A (anonymise)",
+            Augmentations { anonymize: true, rotate_rank_order: false, rotate_content: false },
+        ),
+        (
+            "A+B (+ rank-order rotation)",
+            Augmentations { anonymize: true, rotate_rank_order: true, rotate_content: false },
+        ),
+        ("A+B+C (full, paper config)", Augmentations::FULL),
+    ];
+
+    println!("Fig. 4 — judge bias vs prompt augmentations (identical candidates)\n");
+    println!("(a) mean assigned rank per PROMPT POSITION (the model's intrinsic bias):");
+    println!(
+        "{:<30} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "configuration", "pos 1", "pos 2", "pos 3", "pos 4", "spread"
+    );
+    for (label, aug) in configs {
+        let profile = position_rank_matrix(&model, &suite, &runs, aug);
+        let spread = position_bias_spread(&profile);
+        println!(
+            "{:<30} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2}",
+            label, profile[0], profile[1], profile[2], profile[3], spread
+        );
+    }
+    println!("\n(b) mean assigned rank per TOOL (what leaks into the scores; fair = 2.50 each):");
+    println!(
+        "{:<30} {:>9} {:>7} {:>9} {:>10} {:>8}",
+        "configuration", names[0], names[1], names[2], names[3], "spread"
+    );
+    for (label, aug) in configs {
+        let means = tool_rank_means(&model, &suite, &runs, aug);
+        let spread = position_bias_spread(&means);
+        println!(
+            "{:<30} {:>9.2} {:>7.2} {:>9.2} {:>10.2} {:>8.2}",
+            label, means[0], means[1], means[2], means[3], spread
+        );
+    }
+    println!("\nThe model stays position-biased in (a); the augmentations cancel what");
+    println!("reaches the per-tool scores in (b): spread collapses under A+B+C.");
+}

@@ -1,0 +1,64 @@
+//! Model-agnosticism sweep: run IOAgent with every built-in backbone
+//! profile and compare against each backbone's direct-prompt (ION) use.
+//!
+//! The paper's claim: "IOAgent is not tied to specific LLMs, performing
+//! similarly well with both proprietary and open-source LLMs" — i.e. the
+//! pipeline compresses the quality gap between backbones, while direct
+//! prompting tracks the backbone closely.
+//!
+//! Run with: `cargo run --release --bin model_sweep -p ioagent-bench`
+
+use baselines::Ion;
+use ioagent_bench::recall_precision;
+use ioagent_core::IoAgent;
+use simllm::{Diagnosis, SimLlm, PROFILES};
+use tracebench::TraceBench;
+
+fn main() {
+    let suite = TraceBench::generate();
+    println!(
+        "backbone sweep over all {} traces — IOAgent vs direct prompting (ION)\n",
+        suite.len()
+    );
+    println!(
+        "{:<16} {:>10} {:>16} {:>12} {:>16}",
+        "backbone", "capability", "ioagent recall", "ion recall", "pipeline uplift"
+    );
+
+    let mut agent_recalls: Vec<f64> = Vec::new();
+    let mut ion_recalls: Vec<f64> = Vec::new();
+    for profile in PROFILES {
+        let model = SimLlm::new(profile.name);
+        let agent = IoAgent::new(&model);
+        let agent_diag: Vec<Diagnosis> =
+            suite.entries.iter().map(|e| agent.diagnose(&e.trace)).collect();
+        let (agent_recall, _) = recall_precision(&suite, &agent_diag);
+
+        let ion_model = SimLlm::new(profile.name);
+        let ion = Ion::new(&ion_model);
+        let ion_diag: Vec<Diagnosis> =
+            suite.entries.iter().map(|e| ion.diagnose(&e.trace)).collect();
+        let (ion_recall, _) = recall_precision(&suite, &ion_diag);
+
+        println!(
+            "{:<16} {:>10.2} {:>16.3} {:>12.3} {:>15.1}%",
+            profile.name,
+            profile.capability,
+            agent_recall,
+            ion_recall,
+            (agent_recall - ion_recall) / ion_recall.max(1e-9) * 100.0
+        );
+        agent_recalls.push(agent_recall);
+        ion_recalls.push(ion_recall);
+    }
+
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    println!(
+        "\nrecall spread across backbones: IOAgent {:.3} vs direct prompting {:.3}",
+        spread(&agent_recalls),
+        spread(&ion_recalls)
+    );
+    println!("a smaller spread = less dependence on the specific backbone model.");
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Table I**: coverage of summary categories across Darshan
+//! modules, straight from the pre-processor's extraction registry.
+//!
+//! Run with: `cargo run --bin table1_coverage -p ioagent-bench`
+
+use darshan::counters::Module;
+use preprocessor::{coverage, SummaryCategory};
+
+fn main() {
+    println!("Table I — Coverage of Summary Categories Across Darshan Modules\n");
+    print!("{:<8}", "Module");
+    for c in SummaryCategory::ALL {
+        print!(" {:>18}", c.display());
+    }
+    println!();
+    for m in Module::ALL {
+        print!("{:<8}", m.as_str());
+        let covered = coverage(m);
+        for c in SummaryCategory::ALL {
+            print!(" {:>18}", if covered.contains(&c) { "x" } else { "-" });
+        }
+        println!();
+    }
+    let total: usize = Module::ALL.iter().map(|&m| coverage(m).len()).sum();
+    println!("\n{total} (module, category) extraction functions registered.");
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Table II**: the TraceBench issue-label taxonomy with
+//! descriptions.
+//!
+//! Run with: `cargo run --bin table2_labels -p ioagent-bench`
+
+use tracebench::IssueLabel;
+
+fn main() {
+    println!("Table II — I/O Issues and Descriptions\n");
+    for label in IssueLabel::ALL {
+        println!("{:<38} {}", label.display_name(), label.description());
+    }
+    println!("\n{} labels.", IssueLabel::ALL.len());
+}

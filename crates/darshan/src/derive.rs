@@ -1,0 +1,555 @@
+//! Derived per-module aggregates.
+//!
+//! Every diagnosis tool in this workspace (IOAgent's pre-processor,
+//! Drishti's triggers, ION's prompt builder, and the TraceBench
+//! self-checks) reasons over the same derived quantities: operation totals,
+//! access-size histograms, alignment and sequentiality fractions, timing
+//! splits, and rank/server balance. Centralising them here keeps the tools'
+//! *interpretation* different (which is the point of the paper) while the
+//! *arithmetic* stays consistent and tested once.
+
+use crate::counters::{Module, SIZE_BINS};
+use crate::record::Record;
+use crate::trace::DarshanTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate view over all records of one module in a trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModuleAgg {
+    /// Number of distinct files the module touched.
+    pub files: usize,
+    /// Number of shared (rank −1) records.
+    pub shared_files: usize,
+    /// Open operations (POSIX_OPENS / MPIIO_*_OPENS / STDIO_OPENS).
+    pub opens: i64,
+    /// Read operations.
+    pub reads: i64,
+    /// Write operations.
+    pub writes: i64,
+    /// Seek operations (POSIX/STDIO only).
+    pub seeks: i64,
+    /// stat()-family operations (POSIX only).
+    pub stats: i64,
+    /// fsync/fdatasync operations (POSIX only), MPIIO_SYNCS for MPI-IO.
+    pub syncs: i64,
+    /// Bytes read.
+    pub bytes_read: i64,
+    /// Bytes written.
+    pub bytes_written: i64,
+    /// Largest offset read (max over files of MAX_BYTE_READ).
+    pub max_byte_read: i64,
+    /// Largest offset written.
+    pub max_byte_written: i64,
+    /// Size of the slowest read operation (`*_MAX_READ_TIME_SIZE`); in
+    /// practice the size of a typical worst-case read request, used to judge
+    /// per-direction alignment.
+    pub max_read_time_size: i64,
+    /// Size of the slowest write operation.
+    pub max_write_time_size: i64,
+    /// Read access-size histogram over [`SIZE_BINS`].
+    pub read_hist: [i64; 10],
+    /// Write access-size histogram over [`SIZE_BINS`].
+    pub write_hist: [i64; 10],
+    /// Sequential (offset strictly increasing) reads / writes.
+    pub seq_reads: i64,
+    /// Sequential writes.
+    pub seq_writes: i64,
+    /// Consecutive (offset exactly following) reads.
+    pub consec_reads: i64,
+    /// Consecutive writes.
+    pub consec_writes: i64,
+    /// Read↔write switches.
+    pub rw_switches: i64,
+    /// Accesses not aligned with the file-system block/stripe boundary.
+    pub file_not_aligned: i64,
+    /// Accesses not aligned in memory.
+    pub mem_not_aligned: i64,
+    /// File alignment value reported by Darshan (bytes; 0 if absent).
+    pub file_alignment: i64,
+    /// Aggregate time spent in reads (seconds, summed over ranks).
+    pub read_time: f64,
+    /// Aggregate time spent in writes.
+    pub write_time: f64,
+    /// Aggregate time spent in metadata operations.
+    pub meta_time: f64,
+    /// Max across shared files of the variance of per-rank bytes.
+    pub variance_rank_bytes: f64,
+    /// Max across shared files of the variance of per-rank time.
+    pub variance_rank_time: f64,
+    /// Bytes moved by the fastest rank (shared files).
+    pub fastest_rank_bytes: i64,
+    /// Bytes moved by the slowest rank (shared files).
+    pub slowest_rank_bytes: i64,
+    /// MPI-IO independent opens.
+    pub indep_opens: i64,
+    /// MPI-IO collective opens.
+    pub coll_opens: i64,
+    /// MPI-IO independent reads.
+    pub indep_reads: i64,
+    /// MPI-IO independent writes.
+    pub indep_writes: i64,
+    /// MPI-IO collective reads.
+    pub coll_reads: i64,
+    /// MPI-IO collective writes.
+    pub coll_writes: i64,
+}
+
+impl ModuleAgg {
+    /// reads + writes.
+    pub fn total_ops(&self) -> i64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of read operations strictly below 1 MB (histogram bins
+    /// `0_100 .. 100K_1M`). Returns 0 when there are no reads.
+    pub fn small_read_fraction(&self) -> f64 {
+        fraction(self.read_hist[..5].iter().sum::<i64>(), self.reads)
+    }
+
+    /// Fraction of write operations strictly below 1 MB.
+    pub fn small_write_fraction(&self) -> f64 {
+        fraction(self.write_hist[..5].iter().sum::<i64>(), self.writes)
+    }
+
+    /// Fraction of all operations not aligned with the file system.
+    pub fn misaligned_fraction(&self) -> f64 {
+        fraction(self.file_not_aligned, self.total_ops())
+    }
+
+    /// Fraction of reads that were sequential.
+    pub fn seq_read_fraction(&self) -> f64 {
+        fraction(self.seq_reads, self.reads)
+    }
+
+    /// Fraction of writes that were sequential.
+    pub fn seq_write_fraction(&self) -> f64 {
+        fraction(self.seq_writes, self.writes)
+    }
+
+    /// Metadata time as a fraction of total job runtime × ranks.
+    ///
+    /// Darshan's `F_META_TIME` is summed over ranks, so the natural
+    /// denominator is `run_time * nprocs`.
+    pub fn meta_time_fraction(&self, run_time: f64, nprocs: u64) -> f64 {
+        if run_time <= 0.0 || nprocs == 0 {
+            return 0.0;
+        }
+        (self.meta_time / (run_time * nprocs as f64)).clamp(0.0, 1.0)
+    }
+
+    /// Ratio slowest/fastest rank bytes for shared files (1.0 = balanced).
+    /// Returns 1.0 when either side is unknown.
+    pub fn rank_byte_imbalance(&self) -> f64 {
+        if self.fastest_rank_bytes <= 0 || self.slowest_rank_bytes <= 0 {
+            return 1.0;
+        }
+        self.fastest_rank_bytes as f64 / self.slowest_rank_bytes as f64
+    }
+
+    /// Bytes re-read factor: how many times over the touched byte range the
+    /// module read. > 1.0 indicates repeated reads of the same data.
+    pub fn read_reuse_factor(&self) -> f64 {
+        if self.max_byte_read <= 0 {
+            return if self.bytes_read > 0 { f64::INFINITY } else { 0.0 };
+        }
+        self.bytes_read as f64 / (self.max_byte_read as f64 + 1.0)
+    }
+
+    /// Fraction of MPI-IO reads that were collective.
+    pub fn collective_read_fraction(&self) -> f64 {
+        fraction(self.coll_reads, self.coll_reads + self.indep_reads)
+    }
+
+    /// Fraction of MPI-IO writes that were collective.
+    pub fn collective_write_fraction(&self) -> f64 {
+        fraction(self.coll_writes, self.coll_writes + self.indep_writes)
+    }
+
+    /// Human-readable histogram rendering used by prompt builders, e.g.
+    /// `{"0-100": 0.75, "100-1K": 0.25}` keyed by bin label with fractions.
+    pub fn hist_fractions(&self, write: bool) -> BTreeMap<&'static str, f64> {
+        let (hist, total) =
+            if write { (&self.write_hist, self.writes) } else { (&self.read_hist, self.reads) };
+        let mut out = BTreeMap::new();
+        if total <= 0 {
+            return out;
+        }
+        for (i, &count) in hist.iter().enumerate() {
+            if count > 0 {
+                out.insert(SIZE_BINS[i], count as f64 / total as f64);
+            }
+        }
+        out
+    }
+}
+
+fn fraction(num: i64, den: i64) -> f64 {
+    if den <= 0 {
+        0.0
+    } else {
+        (num as f64 / den as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Aggregate a module's records.
+pub fn aggregate(trace: &DarshanTrace, module: Module) -> Option<ModuleAgg> {
+    let records: Vec<&Record> = trace.records_for(module).collect();
+    if records.is_empty() {
+        return None;
+    }
+    let p = module.prefix();
+    let mut agg = ModuleAgg {
+        files: trace.files_for(module).len(),
+        shared_files: records.iter().filter(|r| r.is_shared()).count(),
+        ..ModuleAgg::default()
+    };
+    for r in &records {
+        match module {
+            Module::Posix => {
+                agg.opens += r.ic("POSIX_OPENS");
+                agg.reads += r.ic("POSIX_READS");
+                agg.writes += r.ic("POSIX_WRITES");
+                agg.seeks += r.ic("POSIX_SEEKS");
+                agg.stats += r.ic("POSIX_STATS");
+                agg.syncs += r.ic("POSIX_FSYNCS") + r.ic("POSIX_FDSYNCS");
+            }
+            Module::Mpiio => {
+                agg.indep_opens += r.ic("MPIIO_INDEP_OPENS");
+                agg.coll_opens += r.ic("MPIIO_COLL_OPENS");
+                agg.indep_reads += r.ic("MPIIO_INDEP_READS");
+                agg.indep_writes += r.ic("MPIIO_INDEP_WRITES");
+                agg.coll_reads += r.ic("MPIIO_COLL_READS");
+                agg.coll_writes += r.ic("MPIIO_COLL_WRITES");
+                agg.opens += r.ic("MPIIO_INDEP_OPENS") + r.ic("MPIIO_COLL_OPENS");
+                agg.reads += r.ic("MPIIO_INDEP_READS")
+                    + r.ic("MPIIO_COLL_READS")
+                    + r.ic("MPIIO_SPLIT_READS")
+                    + r.ic("MPIIO_NB_READS");
+                agg.writes += r.ic("MPIIO_INDEP_WRITES")
+                    + r.ic("MPIIO_COLL_WRITES")
+                    + r.ic("MPIIO_SPLIT_WRITES")
+                    + r.ic("MPIIO_NB_WRITES");
+                agg.syncs += r.ic("MPIIO_SYNCS");
+            }
+            Module::Stdio => {
+                agg.opens += r.ic("STDIO_OPENS") + r.ic("STDIO_FDOPENS");
+                agg.reads += r.ic("STDIO_READS");
+                agg.writes += r.ic("STDIO_WRITES");
+                agg.seeks += r.ic("STDIO_SEEKS");
+            }
+            Module::Lustre => {}
+        }
+        agg.bytes_read += r.ic(&format!("{p}_BYTES_READ"));
+        agg.bytes_written += r.ic(&format!("{p}_BYTES_WRITTEN"));
+        agg.max_byte_read = agg.max_byte_read.max(r.ic(&format!("{p}_MAX_BYTE_READ")));
+        agg.max_byte_written = agg.max_byte_written.max(r.ic(&format!("{p}_MAX_BYTE_WRITTEN")));
+        agg.max_read_time_size = agg.max_read_time_size.max(r.ic(&format!("{p}_MAX_READ_TIME_SIZE")));
+        agg.max_write_time_size =
+            agg.max_write_time_size.max(r.ic(&format!("{p}_MAX_WRITE_TIME_SIZE")));
+        agg.seq_reads += r.ic(&format!("{p}_SEQ_READS"));
+        agg.seq_writes += r.ic(&format!("{p}_SEQ_WRITES"));
+        agg.consec_reads += r.ic(&format!("{p}_CONSEC_READS"));
+        agg.consec_writes += r.ic(&format!("{p}_CONSEC_WRITES"));
+        agg.rw_switches += r.ic(&format!("{p}_RW_SWITCHES"));
+        agg.file_not_aligned += r.ic(&format!("{p}_FILE_NOT_ALIGNED"));
+        agg.mem_not_aligned += r.ic(&format!("{p}_MEM_NOT_ALIGNED"));
+        agg.file_alignment = agg.file_alignment.max(r.ic(&format!("{p}_FILE_ALIGNMENT")));
+        agg.read_time += r.fc(&format!("{p}_F_READ_TIME"));
+        agg.write_time += r.fc(&format!("{p}_F_WRITE_TIME"));
+        agg.meta_time += r.fc(&format!("{p}_F_META_TIME"));
+        agg.variance_rank_bytes =
+            agg.variance_rank_bytes.max(r.fc(&format!("{p}_F_VARIANCE_RANK_BYTES")));
+        agg.variance_rank_time =
+            agg.variance_rank_time.max(r.fc(&format!("{p}_F_VARIANCE_RANK_TIME")));
+        agg.fastest_rank_bytes += r.ic(&format!("{p}_FASTEST_RANK_BYTES"));
+        agg.slowest_rank_bytes += r.ic(&format!("{p}_SLOWEST_RANK_BYTES"));
+        let hist_read_prefix = match module {
+            Module::Mpiio => "MPIIO_SIZE_READ_AGG_".to_string(),
+            _ => format!("{p}_SIZE_READ_"),
+        };
+        let hist_write_prefix = match module {
+            Module::Mpiio => "MPIIO_SIZE_WRITE_AGG_".to_string(),
+            _ => format!("{p}_SIZE_WRITE_"),
+        };
+        for (i, bin) in SIZE_BINS.iter().enumerate() {
+            agg.read_hist[i] += r.ic(&format!("{hist_read_prefix}{bin}"));
+            agg.write_hist[i] += r.ic(&format!("{hist_write_prefix}{bin}"));
+        }
+    }
+    Some(agg)
+}
+
+/// Summary of Lustre striping across files in a trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LustreSummary {
+    /// Number of files with Lustre records.
+    pub files: usize,
+    /// Total number of OSTs in the file system (max of LUSTRE_OSTS).
+    pub total_osts: i64,
+    /// Total number of MDTs.
+    pub total_mdts: i64,
+    /// Stripe width (count) per file.
+    pub stripe_widths: Vec<i64>,
+    /// Stripe size (bytes) per file.
+    pub stripe_sizes: Vec<i64>,
+    /// Distinct OST ids actually used by the job.
+    pub distinct_osts_used: usize,
+    /// How many files use each OST id.
+    pub ost_usage: BTreeMap<i64, usize>,
+}
+
+impl LustreSummary {
+    /// Mean stripe width across files (0 when no files).
+    pub fn mean_stripe_width(&self) -> f64 {
+        if self.stripe_widths.is_empty() {
+            0.0
+        } else {
+            self.stripe_widths.iter().sum::<i64>() as f64 / self.stripe_widths.len() as f64
+        }
+    }
+
+    /// Fraction of the file system's OSTs the job touched (0..1).
+    pub fn ost_utilisation(&self) -> f64 {
+        if self.total_osts <= 0 {
+            0.0
+        } else {
+            (self.distinct_osts_used as f64 / self.total_osts as f64).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Coefficient of variation of per-OST file counts; high values mean a
+    /// few OSTs service most of the traffic.
+    pub fn ost_usage_cv(&self) -> f64 {
+        if self.ost_usage.is_empty() {
+            return 0.0;
+        }
+        let counts: Vec<f64> = self.ost_usage.values().map(|&c| c as f64).collect();
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Aggregate the LUSTRE module records.
+pub fn lustre_summary(trace: &DarshanTrace) -> Option<LustreSummary> {
+    let records: Vec<&Record> = trace.records_for(Module::Lustre).collect();
+    if records.is_empty() {
+        return None;
+    }
+    let mut s = LustreSummary { files: records.len(), ..LustreSummary::default() };
+    for r in &records {
+        s.total_osts = s.total_osts.max(r.ic("LUSTRE_OSTS"));
+        s.total_mdts = s.total_mdts.max(r.ic("LUSTRE_MDTS"));
+        s.stripe_widths.push(r.ic("LUSTRE_STRIPE_WIDTH"));
+        s.stripe_sizes.push(r.ic("LUSTRE_STRIPE_SIZE"));
+        for (name, value) in &r.icounters {
+            if name.starts_with("LUSTRE_OST_ID_") {
+                *s.ost_usage.entry(*value).or_insert(0) += 1;
+            }
+        }
+    }
+    s.distinct_osts_used = s.ost_usage.len();
+    Some(s)
+}
+
+/// Whole-trace summary combining the per-module aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of MPI processes.
+    pub nprocs: u64,
+    /// Job runtime in seconds.
+    pub run_time: f64,
+    /// POSIX aggregate, if the module is present.
+    pub posix: Option<ModuleAgg>,
+    /// MPI-IO aggregate.
+    pub mpiio: Option<ModuleAgg>,
+    /// STDIO aggregate.
+    pub stdio: Option<ModuleAgg>,
+    /// Lustre striping summary.
+    pub lustre: Option<LustreSummary>,
+}
+
+impl TraceSummary {
+    /// Build the summary for a trace.
+    pub fn of(trace: &DarshanTrace) -> Self {
+        TraceSummary {
+            nprocs: trace.header.nprocs,
+            run_time: trace.header.run_time,
+            posix: aggregate(trace, Module::Posix),
+            mpiio: aggregate(trace, Module::Mpiio),
+            stdio: aggregate(trace, Module::Stdio),
+            lustre: lustre_summary(trace),
+        }
+    }
+
+    /// Total bytes through POSIX + STDIO (MPI-IO excluded: double counting).
+    pub fn total_bytes(&self) -> i64 {
+        let p = self.posix.as_ref().map(|a| a.bytes_read + a.bytes_written).unwrap_or(0);
+        let s = self.stdio.as_ref().map(|a| a.bytes_read + a.bytes_written).unwrap_or(0);
+        p + s
+    }
+
+    /// Fraction of bytes moved through STDIO rather than POSIX/MPI-IO.
+    pub fn stdio_byte_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total <= 0 {
+            return 0.0;
+        }
+        let s = self.stdio.as_ref().map(|a| a.bytes_read + a.bytes_written).unwrap_or(0);
+        (s as f64 / total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of STDIO read bytes out of all read bytes.
+    pub fn stdio_read_fraction(&self) -> f64 {
+        let p = self.posix.as_ref().map(|a| a.bytes_read).unwrap_or(0);
+        let s = self.stdio.as_ref().map(|a| a.bytes_read).unwrap_or(0);
+        if p + s <= 0 {
+            return 0.0;
+        }
+        s as f64 / (p + s) as f64
+    }
+
+    /// Fraction of STDIO write bytes out of all write bytes.
+    pub fn stdio_write_fraction(&self) -> f64 {
+        let p = self.posix.as_ref().map(|a| a.bytes_written).unwrap_or(0);
+        let s = self.stdio.as_ref().map(|a| a.bytes_written).unwrap_or(0);
+        if p + s <= 0 {
+            return 0.0;
+        }
+        s as f64 / (p + s) as f64
+    }
+
+    /// Whether the job performs multi-process I/O without any MPI-IO usage.
+    pub fn multi_process_without_mpi(&self) -> bool {
+        self.nprocs > 1 && self.mpiio.is_none() && self.posix.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::JobHeader;
+
+    fn trace() -> DarshanTrace {
+        let mut t = DarshanTrace::new(JobHeader::new("./app", 8, 100.0));
+        let mut p = Record::new(Module::Posix, -1, 1, "/scratch/a");
+        p.set_ic("POSIX_READS", 100);
+        p.set_ic("POSIX_WRITES", 200);
+        p.set_ic("POSIX_SIZE_READ_0_100", 80);
+        p.set_ic("POSIX_SIZE_READ_1M_4M", 20);
+        p.set_ic("POSIX_SIZE_WRITE_1M_4M", 200);
+        p.set_ic("POSIX_SEQ_READS", 90);
+        p.set_ic("POSIX_SEQ_WRITES", 190);
+        p.set_ic("POSIX_FILE_NOT_ALIGNED", 30);
+        p.set_ic("POSIX_BYTES_READ", 1000);
+        p.set_ic("POSIX_BYTES_WRITTEN", 2000);
+        p.set_ic("POSIX_MAX_BYTE_READ", 499);
+        p.set_fc("POSIX_F_META_TIME", 80.0);
+        p.set_ic("POSIX_FASTEST_RANK_BYTES", 400);
+        p.set_ic("POSIX_SLOWEST_RANK_BYTES", 100);
+        t.push(p);
+        let mut m = Record::new(Module::Mpiio, -1, 1, "/scratch/a");
+        m.set_ic("MPIIO_INDEP_READS", 50);
+        m.set_ic("MPIIO_COLL_READS", 0);
+        m.set_ic("MPIIO_INDEP_WRITES", 10);
+        m.set_ic("MPIIO_COLL_WRITES", 90);
+        t.push(m);
+        let mut l = Record::new(Module::Lustre, -1, 1, "/scratch/a");
+        l.set_ic("LUSTRE_OSTS", 64);
+        l.set_ic("LUSTRE_STRIPE_WIDTH", 1);
+        l.set_ic("LUSTRE_STRIPE_SIZE", 1 << 20);
+        l.set_ic("LUSTRE_OST_ID_0", 13);
+        t.push(l);
+        t
+    }
+
+    #[test]
+    fn posix_fractions() {
+        let agg = aggregate(&trace(), Module::Posix).unwrap();
+        assert!((agg.small_read_fraction() - 0.8).abs() < 1e-9);
+        assert!((agg.small_write_fraction() - 0.0).abs() < 1e-9);
+        assert!((agg.misaligned_fraction() - 0.1).abs() < 1e-9);
+        assert!((agg.seq_read_fraction() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meta_time_fraction_uses_rank_scaled_denominator() {
+        let agg = aggregate(&trace(), Module::Posix).unwrap();
+        // 80 seconds of metadata time over 100 s × 8 ranks = 10 %.
+        assert!((agg.meta_time_fraction(100.0, 8) - 0.1).abs() < 1e-9);
+        assert_eq!(agg.meta_time_fraction(0.0, 8), 0.0);
+    }
+
+    #[test]
+    fn rank_imbalance_ratio() {
+        let agg = aggregate(&trace(), Module::Posix).unwrap();
+        assert!((agg.rank_byte_imbalance() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_reuse_detects_rereads() {
+        let agg = aggregate(&trace(), Module::Posix).unwrap();
+        // 1000 bytes read over a 500-byte range => factor 2.
+        assert!((agg.read_reuse_factor() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpiio_collective_fractions() {
+        let agg = aggregate(&trace(), Module::Mpiio).unwrap();
+        assert_eq!(agg.collective_read_fraction(), 0.0);
+        assert!((agg.collective_write_fraction() - 0.9).abs() < 1e-9);
+        assert_eq!(agg.reads, 50);
+        assert_eq!(agg.writes, 100);
+    }
+
+    #[test]
+    fn lustre_summary_basics() {
+        let s = lustre_summary(&trace()).unwrap();
+        assert_eq!(s.total_osts, 64);
+        assert_eq!(s.mean_stripe_width(), 1.0);
+        assert_eq!(s.distinct_osts_used, 1);
+        assert!(s.ost_utilisation() < 0.05);
+    }
+
+    #[test]
+    fn trace_summary_composition() {
+        let s = TraceSummary::of(&trace());
+        assert!(s.posix.is_some());
+        assert!(s.mpiio.is_some());
+        assert!(s.stdio.is_none());
+        assert_eq!(s.total_bytes(), 3000);
+        assert!(!s.multi_process_without_mpi());
+    }
+
+    #[test]
+    fn multi_process_without_mpi_flags_posix_only_jobs() {
+        let mut t = trace();
+        t.records.retain(|r| r.module != Module::Mpiio);
+        assert!(TraceSummary::of(&t).multi_process_without_mpi());
+        t.header.nprocs = 1;
+        assert!(!TraceSummary::of(&t).multi_process_without_mpi());
+    }
+
+    #[test]
+    fn missing_module_aggregates_to_none() {
+        assert!(aggregate(&trace(), Module::Stdio).is_none());
+    }
+
+    #[test]
+    fn hist_fractions_skips_empty_bins() {
+        let agg = aggregate(&trace(), Module::Posix).unwrap();
+        let h = agg.hist_fractions(false);
+        assert_eq!(h.len(), 2);
+        assert!((h["0_100"] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stdio_fraction_zero_without_stdio() {
+        let s = TraceSummary::of(&trace());
+        assert_eq!(s.stdio_byte_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,404 @@
+//! Darshan eXtended Tracing (DXT) support.
+//!
+//! The paper analyses aggregate Darshan counters and leaves DXT — Darshan's
+//! per-operation tracing mode, recording each read/write with offset,
+//! length, and timestamps — as future work (§II-A). This module implements
+//! that extension: the event model, a `darshan-dxt-parser`-style text
+//! format (round-trippable, like the counter format), and the per-file
+//! statistics that fine-grained analysis unlocks (exact stride detection,
+//! burstiness, rank timelines).
+
+use crate::counters::Module;
+use crate::error::DarshanError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Operation direction of one DXT event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DxtOp {
+    /// A read.
+    Read,
+    /// A write.
+    Write,
+}
+
+impl DxtOp {
+    fn as_str(&self) -> &'static str {
+        match self {
+            DxtOp::Read => "read",
+            DxtOp::Write => "write",
+        }
+    }
+}
+
+/// One traced I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DxtEvent {
+    /// Interface the operation went through.
+    pub module: Module,
+    /// Issuing MPI rank.
+    pub rank: i64,
+    /// Direction.
+    pub op: DxtOp,
+    /// Ordinal of this operation within (rank, file).
+    pub segment: u64,
+    /// File offset in bytes.
+    pub offset: u64,
+    /// Transfer length in bytes.
+    pub length: u64,
+    /// Start time, seconds since job start.
+    pub start: f64,
+    /// End time, seconds since job start.
+    pub end: f64,
+}
+
+/// DXT events for one file.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DxtFileTrace {
+    /// Darshan record id of the file.
+    pub record_id: u64,
+    /// File path.
+    pub file: String,
+    /// Events in issue order.
+    pub events: Vec<DxtEvent>,
+}
+
+/// A full DXT trace (per-file event streams).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DxtTrace {
+    /// Per-file traces keyed by record id.
+    pub files: BTreeMap<u64, DxtFileTrace>,
+}
+
+impl DxtTrace {
+    /// Total event count.
+    pub fn len(&self) -> usize {
+        self.files.values().map(|f| f.events.len()).sum()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append an event for a file (creating the per-file stream lazily).
+    pub fn push(&mut self, record_id: u64, file: &str, event: DxtEvent) {
+        let entry = self.files.entry(record_id).or_insert_with(|| DxtFileTrace {
+            record_id,
+            file: file.to_string(),
+            ..DxtFileTrace::default()
+        });
+        entry.events.push(event);
+    }
+}
+
+/// Serialize a DXT trace in `darshan-dxt-parser`-style text.
+pub fn write_dxt_text(trace: &DxtTrace) -> String {
+    let mut out = String::new();
+    writeln!(out, "# ***************************************************").unwrap();
+    writeln!(out, "# DXT trace (module, rank, op, segment, offset, length, start, end)").unwrap();
+    for file in trace.files.values() {
+        writeln!(out, "# DXT, file_id: {}, file_name: {}", file.record_id, file.file).unwrap();
+        for e in &file.events {
+            writeln!(
+                out,
+                "X_{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{:.6}",
+                e.module.as_str(),
+                e.rank,
+                e.op.as_str(),
+                e.segment,
+                e.offset,
+                e.length,
+                e.start,
+                e.end
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Parse `darshan-dxt-parser`-style text back into a [`DxtTrace`].
+pub fn parse_dxt_text(input: &str) -> Result<DxtTrace, DarshanError> {
+    let mut trace = DxtTrace::default();
+    let mut current: Option<(u64, String)> = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# DXT, file_id:") {
+            let mut parts = rest.splitn(2, ", file_name:");
+            let id_part = parts.next().unwrap_or("").trim();
+            let name_part = parts.next().unwrap_or("").trim();
+            let record_id = id_part.parse().map_err(|_| DarshanError::BadNumber {
+                line: lineno,
+                field: "file_id",
+                value: id_part.into(),
+            })?;
+            current = Some((record_id, name_part.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 8 {
+            return Err(DarshanError::MalformedRow { line: lineno, content: line.into() });
+        }
+        let module: Module = cols[0]
+            .strip_prefix("X_")
+            .unwrap_or(cols[0])
+            .parse()
+            .map_err(|_| DarshanError::UnknownModule { line: lineno, module: cols[0].into() })?;
+        let bad = |field: &'static str, value: &str| DarshanError::BadNumber {
+            line: lineno,
+            field,
+            value: value.into(),
+        };
+        let rank = cols[1].parse().map_err(|_| bad("rank", cols[1]))?;
+        let op = match cols[2] {
+            "read" => DxtOp::Read,
+            "write" => DxtOp::Write,
+            other => return Err(bad("op", other)),
+        };
+        let segment = cols[3].parse().map_err(|_| bad("segment", cols[3]))?;
+        let offset = cols[4].parse().map_err(|_| bad("offset", cols[4]))?;
+        let length = cols[5].parse().map_err(|_| bad("length", cols[5]))?;
+        let start = cols[6].parse().map_err(|_| bad("start", cols[6]))?;
+        let end = cols[7].parse().map_err(|_| bad("end", cols[7]))?;
+        let (record_id, file) = current
+            .clone()
+            .ok_or(DarshanError::MissingHeader("DXT file_id header before events"))?;
+        trace.push(
+            record_id,
+            &file,
+            DxtEvent { module, rank, op, segment, offset, length, start, end },
+        );
+    }
+    Ok(trace)
+}
+
+/// Per-file statistics derived from DXT events — the fine-grained view
+/// aggregate counters cannot provide.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DxtFileStats {
+    /// Number of events.
+    pub events: usize,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Fraction of consecutive accesses (offset == previous end) per rank.
+    pub consecutive_fraction: f64,
+    /// Dominant positive stride between same-rank accesses (bytes), if any.
+    pub dominant_stride: Option<i64>,
+    /// Mean operation duration in seconds.
+    pub mean_duration: f64,
+    /// Peak instantaneous concurrency (ranks with an operation in flight).
+    pub peak_concurrency: usize,
+    /// Time of the busiest 10 % window start (burst detection), seconds.
+    pub burst_start: f64,
+}
+
+/// Compute per-file statistics from a DXT stream.
+pub fn file_stats(file: &DxtFileTrace) -> DxtFileStats {
+    let n = file.events.len();
+    if n == 0 {
+        return DxtFileStats::default();
+    }
+    let bytes: u64 = file.events.iter().map(|e| e.length).sum();
+    let mean_duration =
+        file.events.iter().map(|e| (e.end - e.start).max(0.0)).sum::<f64>() / n as f64;
+
+    // Per-rank offset sequences for sequentiality and stride analysis.
+    let mut per_rank: BTreeMap<i64, Vec<&DxtEvent>> = BTreeMap::new();
+    for e in &file.events {
+        per_rank.entry(e.rank).or_default().push(e);
+    }
+    let mut consecutive = 0usize;
+    let mut pairs = 0usize;
+    let mut strides: BTreeMap<i64, usize> = BTreeMap::new();
+    for events in per_rank.values() {
+        for w in events.windows(2) {
+            pairs += 1;
+            let prev_end = w[0].offset + w[0].length;
+            if w[1].offset == prev_end {
+                consecutive += 1;
+            }
+            let stride = w[1].offset as i64 - w[0].offset as i64;
+            if stride != 0 {
+                *strides.entry(stride).or_insert(0) += 1;
+            }
+        }
+    }
+    let consecutive_fraction =
+        if pairs == 0 { 1.0 } else { consecutive as f64 / pairs as f64 };
+    let dominant_stride = strides
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .filter(|(_, &c)| pairs > 0 && c * 2 >= pairs)
+        .map(|(&s, _)| s);
+
+    // Concurrency and burst detection over the event timeline.
+    let mut edges: Vec<(f64, i32)> = Vec::with_capacity(2 * n);
+    for e in &file.events {
+        edges.push((e.start, 1));
+        edges.push((e.end, -1));
+    }
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut live = 0i32;
+    let mut peak = 0i32;
+    for (_, d) in &edges {
+        live += d;
+        peak = peak.max(live);
+    }
+
+    let t_min = file.events.iter().map(|e| e.start).fold(f64::MAX, f64::min);
+    let t_max = file.events.iter().map(|e| e.end).fold(f64::MIN, f64::max);
+    let span = (t_max - t_min).max(1e-9);
+    let window = span * 0.1;
+    let mut burst_start = t_min;
+    let mut best = 0usize;
+    let starts: Vec<f64> = file.events.iter().map(|e| e.start).collect();
+    for e in &file.events {
+        let w_start = e.start;
+        let count = starts.iter().filter(|&&s| s >= w_start && s < w_start + window).count();
+        if count > best {
+            best = count;
+            burst_start = w_start;
+        }
+    }
+
+    DxtFileStats {
+        events: n,
+        bytes,
+        consecutive_fraction,
+        dominant_stride,
+        mean_duration,
+        peak_concurrency: peak.max(0) as usize,
+        burst_start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(rank: i64, op: DxtOp, offset: u64, length: u64, start: f64) -> DxtEvent {
+        DxtEvent {
+            module: Module::Posix,
+            rank,
+            op,
+            segment: 0,
+            offset,
+            length,
+            start,
+            end: start + 0.001,
+        }
+    }
+
+    fn sequential_trace() -> DxtTrace {
+        let mut t = DxtTrace::default();
+        for i in 0..10u64 {
+            t.push(7, "/scratch/seq", event(0, DxtOp::Write, i * 4096, 4096, i as f64 * 0.01));
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let t = sequential_trace();
+        let text = write_dxt_text(&t);
+        let back = parse_dxt_text(&text).unwrap();
+        assert_eq!(back.len(), t.len());
+        let (a, b) = (&t.files[&7], &back.files[&7]);
+        assert_eq!(a.file, b.file);
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!((x.module, x.rank, x.op, x.segment, x.offset, x.length),
+                       (y.module, y.rank, y.op, y.segment, y.offset, y.length));
+            // Timestamps are serialised at microsecond precision.
+            assert!((x.start - y.start).abs() < 1e-6);
+            assert!((x.end - y.end).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn consecutive_fraction_detects_streaming() {
+        let t = sequential_trace();
+        let stats = file_stats(&t.files[&7]);
+        assert_eq!(stats.events, 10);
+        assert_eq!(stats.bytes, 40960);
+        assert!((stats.consecutive_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(stats.dominant_stride, Some(4096));
+    }
+
+    #[test]
+    fn strided_pattern_detected() {
+        let mut t = DxtTrace::default();
+        // 1 MB stride with 4 KB transfers: classic interleaved shared file.
+        for i in 0..20u64 {
+            t.push(9, "/scratch/strided", event(1, DxtOp::Write, i * 1048576, 4096, i as f64));
+        }
+        let stats = file_stats(&t.files[&9]);
+        assert_eq!(stats.dominant_stride, Some(1048576));
+        assert_eq!(stats.consecutive_fraction, 0.0);
+    }
+
+    #[test]
+    fn random_pattern_has_no_dominant_stride() {
+        let mut t = DxtTrace::default();
+        let offsets = [0u64, 900_000, 30_000, 4_000_000, 120_000, 2_500_000, 60_000];
+        for (i, &o) in offsets.iter().enumerate() {
+            t.push(3, "/scratch/rand", event(0, DxtOp::Read, o, 8192, i as f64 * 0.1));
+        }
+        let stats = file_stats(&t.files[&3]);
+        assert_eq!(stats.dominant_stride, None);
+        assert!(stats.consecutive_fraction < 0.2);
+    }
+
+    #[test]
+    fn concurrency_counts_overlapping_ranks() {
+        let mut t = DxtTrace::default();
+        for rank in 0..4 {
+            t.push(
+                1,
+                "/scratch/conc",
+                DxtEvent {
+                    module: Module::Posix,
+                    rank,
+                    op: DxtOp::Write,
+                    segment: 0,
+                    offset: rank as u64 * 1000,
+                    length: 1000,
+                    start: 0.0,
+                    end: 1.0,
+                },
+            );
+        }
+        let stats = file_stats(&t.files[&1]);
+        assert_eq!(stats.peak_concurrency, 4);
+    }
+
+    #[test]
+    fn parse_rejects_events_before_header() {
+        let bad = "X_POSIX\t0\twrite\t0\t0\t4096\t0.0\t0.1\n";
+        assert!(matches!(parse_dxt_text(bad), Err(DarshanError::MissingHeader(_))));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rows() {
+        let bad = "# DXT, file_id: 1, file_name: /x\nX_POSIX\t0\twrite\t0\n";
+        assert!(matches!(parse_dxt_text(bad), Err(DarshanError::MalformedRow { .. })));
+        let bad_op = "# DXT, file_id: 1, file_name: /x\nX_POSIX\t0\tfrobnicate\t0\t0\t1\t0.0\t0.1\n";
+        assert!(matches!(parse_dxt_text(bad_op), Err(DarshanError::BadNumber { .. })));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = DxtTrace::default();
+        assert!(t.is_empty());
+        let back = parse_dxt_text(&write_dxt_text(&t)).unwrap();
+        assert!(back.is_empty());
+    }
+}

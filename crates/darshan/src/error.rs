@@ -1,0 +1,50 @@
+//! Error type for Darshan text parsing.
+
+use std::fmt;
+
+/// Errors produced while parsing `darshan-parser` text output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DarshanError {
+    /// A data row did not have the expected column count.
+    MalformedRow { line: usize, content: String },
+    /// A data row named an unknown module.
+    UnknownModule { line: usize, module: String },
+    /// A numeric field failed to parse.
+    BadNumber { line: usize, field: &'static str, value: String },
+    /// The header was missing a mandatory field.
+    MissingHeader(&'static str),
+}
+
+impl fmt::Display for DarshanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DarshanError::MalformedRow { line, content } => {
+                write!(f, "line {line}: malformed data row: {content:?}")
+            }
+            DarshanError::UnknownModule { line, module } => {
+                write!(f, "line {line}: unknown module {module:?}")
+            }
+            DarshanError::BadNumber { line, field, value } => {
+                write!(f, "line {line}: cannot parse {field} from {value:?}")
+            }
+            DarshanError::MissingHeader(field) => {
+                write!(f, "header is missing mandatory field {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DarshanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DarshanError::BadNumber { line: 3, field: "rank", value: "x".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"));
+        assert!(msg.contains("rank"));
+    }
+}

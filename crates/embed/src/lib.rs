@@ -1,0 +1,157 @@
+//! Deterministic lexical text embeddings.
+//!
+//! Stands in for the paper's `text-embedding-3-large`: a feature-hashing
+//! embedding over word tokens and character trigrams, TF-weighted and
+//! L2-normalised, under which lexically/semantically related HPC-I/O text
+//! lands close in cosine space. Fully deterministic — no model weights, no
+//! network — which keeps the whole RAG pipeline reproducible.
+
+pub mod tokenize;
+pub mod vector;
+
+pub use tokenize::tokenize;
+pub use vector::{cosine, l2_normalize, norm};
+
+use serde::{Deserialize, Serialize};
+
+/// Default embedding dimensionality.
+pub const DEFAULT_DIM: usize = 256;
+
+/// A deterministic text embedder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Embedder {
+    /// Embedding dimensionality.
+    pub dim: usize,
+}
+
+impl Default for Embedder {
+    fn default() -> Self {
+        Embedder { dim: DEFAULT_DIM }
+    }
+}
+
+/// FNV-1a 64-bit hash (stable across runs and platforms).
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl Embedder {
+    /// Create an embedder with a custom dimensionality (≥ 8).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 8, "embedding dimension too small");
+        Embedder { dim }
+    }
+
+    /// Embed a text into an L2-normalised vector.
+    ///
+    /// Each token contributes to two hashed slots with ±1 signs (feature
+    /// hashing), as do its character trigrams (at 0.4 weight); counts are
+    /// squashed with `ln(1+tf)`.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0f32; self.dim];
+        let tokens = tokenize(text);
+        // Term frequencies first, so weighting is ln(1+tf), not per-instance.
+        let mut tf: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        for t in &tokens {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        for (tok, count) in tf {
+            let w = (1.0 + count as f32).ln();
+            self.bump(&mut v, tok.as_bytes(), 0, w);
+            self.bump(&mut v, tok.as_bytes(), 1, w);
+            let bytes = tok.as_bytes();
+            if bytes.len() >= 3 {
+                for tri in bytes.windows(3) {
+                    self.bump(&mut v, tri, 2, w * 0.4);
+                }
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    fn bump(&self, v: &mut [f32], bytes: &[u8], seed: u64, weight: f32) {
+        let h = fnv1a(bytes, seed);
+        let slot = (h % self.dim as u64) as usize;
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        v[slot] += sign * weight;
+    }
+
+    /// Cosine similarity between two texts' embeddings.
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        cosine(&self.embed(a), &self.embed(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = Embedder::default();
+        assert_eq!(
+            e.embed("small write requests hurt Lustre"),
+            e.embed("small write requests hurt Lustre")
+        );
+    }
+
+    #[test]
+    fn embedding_is_normalised() {
+        let e = Embedder::default();
+        let v = e.embed("collective MPI-IO aggregates small requests into large ones");
+        assert!((norm(&v) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = Embedder::default();
+        let v = e.embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn related_text_scores_higher_than_unrelated() {
+        let e = Embedder::default();
+        let query = "most write operations are smaller than 1 MB causing poor bandwidth";
+        let related =
+            "small write requests below 1 MB degrade I/O bandwidth on parallel file systems";
+        let unrelated = "the quantum chromodynamics lattice uses gauge field tensors";
+        assert!(e.similarity(query, related) > e.similarity(query, unrelated) + 0.1);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let e = Embedder::default();
+        let a = "stripe count of one serialises file access onto a single OST";
+        let b = "increasing the Lustre stripe count spreads load across servers";
+        let s1 = e.similarity(a, b);
+        let s2 = e.similarity(b, a);
+        assert!((s1 - s2).abs() < 1e-6);
+        assert!((-1.0..=1.0).contains(&s1));
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let e = Embedder::default();
+        let t = "metadata operations dominate runtime";
+        assert!((e.similarity(t, t) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn custom_dim_respected() {
+        let e = Embedder::new(64);
+        assert_eq!(e.embed("hello world").len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension too small")]
+    fn tiny_dim_panics() {
+        Embedder::new(4);
+    }
+}

@@ -1,0 +1,57 @@
+//! Word tokenisation shared by the embedder, chunker, and LLM simulator.
+
+/// Lowercase word tokens: maximal runs of ASCII alphanumerics; everything
+/// else is a separator. Numbers are kept (sizes like `47008` matter in this
+/// domain).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() {
+            cur.push(c.to_ascii_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Approximate token count of a text (whitespace/punctuation-delimited
+/// words); the unit in which simulated context windows are measured.
+pub fn token_count(text: &str) -> usize {
+    tokenize(text).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        assert_eq!(tokenize("Small, WRITES (8KB)!"), vec!["small", "writes", "8kb"]);
+    }
+
+    #[test]
+    fn keeps_numbers() {
+        assert_eq!(tokenize("stripe=1 size=1048576"), vec!["stripe", "1", "size", "1048576"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn token_count_matches() {
+        assert_eq!(token_count("a b c"), 3);
+    }
+
+    #[test]
+    fn unicode_is_separator() {
+        assert_eq!(tokenize("café"), vec!["caf"]);
+    }
+}

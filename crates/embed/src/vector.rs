@@ -1,0 +1,68 @@
+//! Small dense-vector helpers.
+
+/// Euclidean norm.
+pub fn norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Normalise in place to unit length (no-op for the zero vector).
+pub fn l2_normalize(v: &mut [f32]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Cosine similarity; 0.0 when either vector is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0f32; 4];
+        l2_normalize(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let v = [1.0f32, 2.0, 3.0];
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        assert!((cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cosine_dim_mismatch_panics() {
+        cosine(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Continued user interaction (paper §VI-E, Fig. 5).
+//!
+//! After a diagnosis, the user can keep asking questions; the agent answers
+//! from the diagnosis context and its referenced sources, producing
+//! application-specific guidance (including concrete commands such as
+//! `lfs setstripe -S 4M`).
+
+use darshan::counters::Module;
+use darshan::DarshanTrace;
+use simllm::{CompletionRequest, Diagnosis, LanguageModel};
+
+/// One conversational turn.
+#[derive(Debug, Clone)]
+pub struct Turn {
+    /// The user's question.
+    pub question: String,
+    /// The agent's answer.
+    pub answer: String,
+}
+
+/// An interactive post-diagnosis session.
+pub struct AgentSession<'m> {
+    model: &'m dyn LanguageModel,
+    /// The seeding diagnosis.
+    pub diagnosis: Diagnosis,
+    /// Conversation history.
+    pub turns: Vec<Turn>,
+    context_evidence: String,
+}
+
+impl<'m> AgentSession<'m> {
+    /// Start a session from a completed diagnosis of `trace`.
+    pub fn new(model: &'m dyn LanguageModel, diagnosis: Diagnosis, trace: &DarshanTrace) -> Self {
+        // Application facts the chat may need for tailored advice.
+        let agg = darshan::derive::aggregate(trace, Module::Posix).unwrap_or_default();
+        let dominant = agg.max_write_time_size.max(agg.max_read_time_size).max(1);
+        let mut context_evidence = String::new();
+        context_evidence.push_str(&format!("EVIDENCE nprocs={}\n", trace.header.nprocs));
+        context_evidence.push_str(&format!("EVIDENCE dominant_transfer={dominant}\n"));
+        if let Some(l) = darshan::derive::lustre_summary(trace) {
+            context_evidence.push_str(&format!(
+                "EVIDENCE lustre.stripe_width_mean={}\n",
+                l.mean_stripe_width()
+            ));
+            context_evidence.push_str(&format!(
+                "EVIDENCE lustre.stripe_size={}\n",
+                l.stripe_sizes.first().copied().unwrap_or(0)
+            ));
+        }
+        AgentSession { model, diagnosis, turns: Vec::new(), context_evidence }
+    }
+
+    /// Ask a follow-up question; the answer uses the diagnosis, its
+    /// references, and prior turns as context.
+    pub fn ask(&mut self, question: &str) -> String {
+        let mut context = String::new();
+        context.push_str(&self.diagnosis.text);
+        context.push_str(&self.context_evidence);
+        for t in &self.turns {
+            context.push_str(&format!("Previously asked: {}\n", t.question));
+        }
+        let prompt = format!("### TASK: chat\n## CONTEXT\n{context}\n## QUESTION\n{question}\n");
+        let req = CompletionRequest::new(
+            "You help domain scientists act on their I/O diagnosis.",
+            prompt,
+        )
+        .with_salt(self.turns.len() as u64);
+        let answer = self.model.complete(&req).text;
+        self.turns.push(Turn { question: question.to_string(), answer: answer.clone() });
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::agent::IoAgent;
+    use simllm::SimLlm;
+    use tracebench::TraceBench;
+
+    #[test]
+    fn stripe_followup_yields_concrete_command() {
+        // The Fig. 5 scenario: an IO500 run with large transfers on default
+        // 1-wide striping; the user asks how to fix the stripe settings.
+        let tb = TraceBench::generate();
+        let entry = tb.get("io500_rnd_posix_shared").unwrap();
+        let model = SimLlm::new("gpt-4o");
+        let agent = IoAgent::new(&model);
+        let mut session = agent.start_session(&entry.trace);
+        let answer = session.ask("How can I fix the suboptimal stripe settings?");
+        assert!(answer.contains("lfs setstripe -S 4M"), "{answer}");
+        assert_eq!(session.turns.len(), 1);
+    }
+
+    #[test]
+    fn collective_followup_mentions_hints() {
+        let tb = TraceBench::generate();
+        let entry = tb.get("sb09_independent_io").unwrap();
+        let model = SimLlm::new("gpt-4o");
+        let agent = IoAgent::new(&model);
+        let mut session = agent.start_session(&entry.trace);
+        let answer = session.ask("Should I switch to collective MPI-IO?");
+        assert!(answer.contains("MPI_File_write_all"), "{answer}");
+    }
+
+    #[test]
+    fn session_accumulates_turns() {
+        let tb = TraceBench::generate();
+        let entry = tb.get("sb01_small_io").unwrap();
+        let model = SimLlm::new("llama-3.1-70b");
+        let agent = IoAgent::new(&model);
+        let mut session = agent.start_session(&entry.trace);
+        session.ask("How do I aggregate small writes?");
+        session.ask("And what about alignment?");
+        assert_eq!(session.turns.len(), 2);
+        assert_ne!(session.turns[0].answer, session.turns[1].answer);
+    }
+}

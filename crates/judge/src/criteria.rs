@@ -1,0 +1,80 @@
+//! Evaluation criteria (paper §VI-A).
+
+use serde::Serialize;
+use std::fmt;
+
+/// The three rating criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Criterion {
+    /// How accurately ground-truth labels are diagnosed.
+    Accuracy,
+    /// How useful the information is for understanding and fixing issues.
+    Utility,
+    /// How readable and understandable the report is for any user.
+    Interpretability,
+}
+
+impl Criterion {
+    /// All criteria in paper order.
+    pub const ALL: [Criterion; 3] =
+        [Criterion::Accuracy, Criterion::Utility, Criterion::Interpretability];
+
+    /// Lower-case key used in ranking prompts.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Criterion::Accuracy => "accuracy",
+            Criterion::Utility => "utility",
+            Criterion::Interpretability => "interpretability",
+        }
+    }
+
+    /// Description shown to the judge (paper wording).
+    pub fn description(&self) -> &'static str {
+        match self {
+            Criterion::Accuracy => {
+                "evaluate how accurately the ground truth labels are diagnosed by each tool"
+            }
+            Criterion::Utility => {
+                "evaluate how useful the information provided in each diagnosis is for \
+                 understanding the overall I/O behavior, identifying performance issues, \
+                 and determining how to address each noted issue"
+            }
+            Criterion::Interpretability => {
+                "evaluate how readable and understandable the provided information is for \
+                 users at any level of familiarity with HPC I/O"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Criterion::Accuracy => "Accuracy",
+            Criterion::Utility => "Utility",
+            Criterion::Interpretability => "Interpretability",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_lowercase_and_unique() {
+        let mut keys: Vec<_> = Criterion::ALL.iter().map(|c| c.key()).collect();
+        keys.sort_unstable();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+        for k in keys {
+            assert_eq!(k, k.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Criterion::Accuracy.to_string(), "Accuracy");
+    }
+}

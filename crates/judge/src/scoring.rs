@@ -1,0 +1,137 @@
+//! Score aggregation and normalisation (paper Eqs. 1–2, Table IV layout).
+
+use crate::criteria::Criterion;
+use std::collections::BTreeMap;
+use tracebench::Source;
+
+/// Key for one aggregated cell: (tool index, criterion, source).
+pub type ScoreKey = (usize, Criterion, Source);
+
+/// Accumulated evaluation scores.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Tool names in evaluation order.
+    pub tools: Vec<String>,
+    n_tools: usize,
+    /// Sum of `(n − rank)` per cell.
+    sums: BTreeMap<ScoreKey, f64>,
+    /// Sample counts per cell.
+    counts: BTreeMap<ScoreKey, usize>,
+}
+
+impl Evaluation {
+    /// Create an empty evaluation for `n_tools` tools.
+    pub fn new(tools: Vec<String>, n_tools: usize) -> Self {
+        Evaluation { tools, n_tools, sums: BTreeMap::new(), counts: BTreeMap::new() }
+    }
+
+    /// Record one per-trace score `S = n − rank`.
+    pub fn add_sample(&mut self, tool: usize, criterion: Criterion, source: Source, score: f64) {
+        *self.sums.entry((tool, criterion, source)).or_insert(0.0) += score;
+        *self.counts.entry((tool, criterion, source)).or_insert(0) += 1;
+    }
+
+    /// Normalised score `NS = Σ S / ((n−1)·|D|)` for a tool and criterion;
+    /// `source = None` aggregates over all sources (the paper's "Overall").
+    pub fn normalized(&self, tool: usize, criterion: Criterion, source: Option<Source>) -> f64 {
+        let sources: Vec<Source> = match source {
+            Some(s) => vec![s],
+            None => Source::ALL.to_vec(),
+        };
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for s in sources {
+            sum += self.sums.get(&(tool, criterion, s)).copied().unwrap_or(0.0);
+            count += self.counts.get(&(tool, criterion, s)).copied().unwrap_or(0);
+        }
+        if count == 0 {
+            return 0.0;
+        }
+        sum / ((self.n_tools as f64 - 1.0) * count as f64)
+    }
+
+    /// Average normalised score across the three criteria.
+    pub fn average(&self, tool: usize, source: Option<Source>) -> f64 {
+        Criterion::ALL.iter().map(|&c| self.normalized(tool, c, source)).sum::<f64>() / 3.0
+    }
+
+    /// Render the full Table IV reproduction.
+    pub fn render_table4(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<17} {:<22} {:>12} {:>8} {:>18} {:>9}\n",
+            "Metric", "Diagnosis Tool", "Simple-Bench", "IO500", "Real-Applications", "Overall"
+        ));
+        let mut block = |label: &str, f: &dyn Fn(usize, Option<Source>) -> f64| {
+            for (ti, tool) in self.tools.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:<17} {:<22} {:>12.3} {:>8.3} {:>18.3} {:>9.3}\n",
+                    if ti == 0 { label } else { "" },
+                    tool,
+                    f(ti, Some(Source::SimpleBench)),
+                    f(ti, Some(Source::Io500)),
+                    f(ti, Some(Source::RealApps)),
+                    f(ti, None),
+                ));
+            }
+        };
+        for criterion in Criterion::ALL {
+            let name = criterion.to_string();
+            block(&name, &|ti, s| self.normalized(ti, criterion, s));
+        }
+        block("Average", &|ti, s| self.average(ti, s));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_matches_paper_formula() {
+        // One source with two traces, 4 tools; tool 0 always rank 1 → S = 3
+        // per trace → NS = (3+3)/((4−1)·2) = 1.0.
+        let mut e = Evaluation::new(vec!["a".into(), "b".into(), "c".into(), "d".into()], 4);
+        for _ in 0..2 {
+            e.add_sample(0, Criterion::Accuracy, Source::SimpleBench, 3.0);
+            e.add_sample(1, Criterion::Accuracy, Source::SimpleBench, 2.0);
+            e.add_sample(2, Criterion::Accuracy, Source::SimpleBench, 1.0);
+            e.add_sample(3, Criterion::Accuracy, Source::SimpleBench, 0.0);
+        }
+        assert!((e.normalized(0, Criterion::Accuracy, Some(Source::SimpleBench)) - 1.0).abs() < 1e-12);
+        assert!((e.normalized(3, Criterion::Accuracy, Some(Source::SimpleBench)) - 0.0).abs() < 1e-12);
+        assert!(
+            (e.normalized(1, Criterion::Accuracy, Some(Source::SimpleBench)) - 2.0 / 3.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn overall_pools_sources() {
+        let mut e = Evaluation::new(vec!["a".into(), "b".into()], 2);
+        e.add_sample(0, Criterion::Utility, Source::SimpleBench, 1.0);
+        e.add_sample(0, Criterion::Utility, Source::Io500, 0.0);
+        // NS over both = (1+0)/((2−1)·2) = 0.5.
+        assert!((e.normalized(0, Criterion::Utility, None) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cell_scores_zero() {
+        let e = Evaluation::new(vec!["a".into()], 4);
+        assert_eq!(e.normalized(0, Criterion::Accuracy, None), 0.0);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut e = Evaluation::new(vec!["drishti".into(), "ion".into()], 2);
+        e.add_sample(0, Criterion::Accuracy, Source::SimpleBench, 1.0);
+        let t = e.render_table4();
+        assert!(t.contains("Accuracy"));
+        assert!(t.contains("Interpretability"));
+        assert!(t.contains("Average"));
+        assert!(t.contains("drishti"));
+        // 4 blocks × 2 tools + header.
+        assert_eq!(t.lines().count(), 1 + 4 * 2);
+    }
+}

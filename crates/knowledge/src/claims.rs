@@ -1,0 +1,68 @@
+//! Claim keys: machine-readable statements of expert knowledge.
+//!
+//! Each knowledge document asserts one or more claims. Downstream, a
+//! retrieved document's claims (a) *ground* diagnosis rules — lowering the
+//! effective difficulty of applying the corresponding expertise — and
+//! (b) *correct* popular misconceptions the simulated LLM would otherwise
+//! repeat (e.g. "a 1 MB stripe with stripe count 1 is optimal on Lustre").
+
+/// Stripe count 1 serialises a file onto a single OST; widen striping.
+pub const STRIPE_WIDTH_PARALLELISM: &str = "stripe_width_parallelism";
+/// Stripe size should match the dominant transfer size.
+pub const STRIPE_SIZE_TUNING: &str = "stripe_size_tuning";
+/// Collective MPI-IO aggregates small independent requests.
+pub const COLLECTIVE_IO_BENEFIT: &str = "collective_io_benefit";
+/// Many sub-MB requests waste bandwidth; aggregate or buffer them.
+pub const SMALL_IO_AGGREGATION: &str = "small_io_aggregation";
+/// Requests crossing stripe/block boundaries pay read-modify-write costs.
+pub const ALIGNMENT_MATTERS: &str = "alignment_matters";
+/// Metadata operations are a scarce, centralised resource.
+pub const METADATA_SCALABILITY: &str = "metadata_scalability";
+/// Random access defeats prefetching and server-side streaming.
+pub const RANDOM_VS_SEQUENTIAL: &str = "random_vs_sequential";
+/// Shared-file access contends on locks and extents.
+pub const SHARED_FILE_CONTENTION: &str = "shared_file_contention";
+/// Repeatedly reading the same data should be cached or staged.
+pub const REPETITIVE_READ_CACHING: &str = "repetitive_read_caching";
+/// Rank-level I/O imbalance serialises the job on stragglers.
+pub const RANK_BALANCE: &str = "rank_balance";
+/// MPI-IO outperforms uncoordinated POSIX at scale.
+pub const MPI_VS_POSIX: &str = "mpi_vs_posix";
+/// STDIO streams are for configuration, not bulk parallel data.
+pub const STDIO_BUFFERING: &str = "stdio_buffering";
+/// Methodology: continuous characterisation with Darshan.
+pub const DARSHAN_METHODOLOGY: &str = "darshan_methodology";
+/// General platform-level I/O characterisation knowledge.
+pub const IO_CHARACTERIZATION: &str = "io_characterization";
+
+/// All claim keys.
+pub const ALL: &[&str] = &[
+    STRIPE_WIDTH_PARALLELISM,
+    STRIPE_SIZE_TUNING,
+    COLLECTIVE_IO_BENEFIT,
+    SMALL_IO_AGGREGATION,
+    ALIGNMENT_MATTERS,
+    METADATA_SCALABILITY,
+    RANDOM_VS_SEQUENTIAL,
+    SHARED_FILE_CONTENTION,
+    REPETITIVE_READ_CACHING,
+    RANK_BALANCE,
+    MPI_VS_POSIX,
+    STDIO_BUFFERING,
+    DARSHAN_METHODOLOGY,
+    IO_CHARACTERIZATION,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_unique() {
+        let mut v = ALL.to_vec();
+        v.sort_unstable();
+        let n = v.len();
+        v.dedup();
+        assert_eq!(v.len(), n);
+    }
+}

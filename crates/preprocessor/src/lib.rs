@@ -1,0 +1,22 @@
+//! IOAgent's module-based pre-processor (paper §IV-A).
+//!
+//! Two responsibilities, mirroring the paper:
+//!
+//! 1. **Module split**: the Darshan log is separated into per-module CSV
+//!    files so that no module's counters can be lost to context truncation
+//!    ([`split`]).
+//! 2. **Summary extraction**: per-module extraction functions reduce each
+//!    module to a set of *categorised JSON summary fragments* (Table I's
+//!    module × category matrix), each small enough to sit comfortably in
+//!    any model's context window ([`summary`]).
+//!
+//! Each fragment also carries canonical evidence pairs (the
+//! `simllm::evidence::keys` vocabulary, reproduced here as plain strings)
+//! plus the broader application context the paper attaches to every
+//! fragment: runtime, process count, module presence, and volume.
+
+pub mod split;
+pub mod summary;
+
+pub use split::{module_csv, split_modules};
+pub use summary::{coverage, extract_fragments, SummaryCategory, SummaryFragment};

@@ -1,0 +1,485 @@
+//! The simulated model's latent HPC-I/O knowledge.
+//!
+//! A real LLM carries (imperfect) domain expertise from pre-training. Here
+//! that expertise is an explicit rule base: one diagnosis rule per issue in
+//! the TraceBench taxonomy, each with a *difficulty* — how much capability a
+//! model needs to reliably apply it — plus the *misconceptions* the paper
+//! observed models repeating (e.g. "a 1 MB stripe with stripe count 1 is
+//! optimal on Lustre", Fig. 1). Retrieved knowledge (RAG references) lowers
+//! a rule's effective difficulty and suppresses the corresponding
+//! misconception — the mechanism by which IOAgent's Domain Knowledge
+//! Integrator earns its accuracy.
+
+use crate::evidence::{keys as K, Evidence};
+use tracebench::thresholds as th;
+use tracebench::IssueLabel;
+
+/// One expert diagnosis rule.
+pub struct DiagRule {
+    /// The issue this rule detects.
+    pub issue: IssueLabel,
+    /// Capability needed to apply the rule reliably (0..1).
+    pub difficulty: f64,
+    /// Knowledge claim that grounds this rule (see the `knowledge` crate's
+    /// `claims` module for the vocabulary).
+    pub claim: &'static str,
+    /// Evaluate the rule; `Some(data_sentence)` when it fires.
+    pub check: fn(&Evidence) -> Option<String>,
+    /// Explanation prose.
+    pub explanation: &'static str,
+    /// Actionable recommendation.
+    pub recommendation: &'static str,
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// The full rule base (one rule per TraceBench label).
+pub fn rules() -> &'static [DiagRule] {
+    RULES
+}
+
+static RULES: &[DiagRule] = &[
+    DiagRule {
+        issue: IssueLabel::SmallRead,
+        difficulty: 0.20,
+        claim: "small_io_aggregation",
+        check: |ev| {
+            let reads = ev.get(K::POSIX_READS)?;
+            let f = ev.get(K::POSIX_SMALL_READ_FRACTION)?;
+            (reads >= th::MIN_DIR_OPS as f64 && f > th::SMALL_FRACTION)
+                .then(|| format!("(data: {} of the {:.0} reads are below 1 MB)", pct(f), reads))
+        },
+        explanation: "frequent small read requests waste parallel file system bandwidth \
+                      because per-request costs dominate data movement",
+        recommendation: "aggregate reads into multi-megabyte requests, or use a buffered \
+                         high-level library (HDF5/PnetCDF) or collective MPI-IO",
+    },
+    DiagRule {
+        issue: IssueLabel::SmallWrite,
+        difficulty: 0.20,
+        claim: "small_io_aggregation",
+        check: |ev| {
+            let writes = ev.get(K::POSIX_WRITES)?;
+            let f = ev.get(K::POSIX_SMALL_WRITE_FRACTION)?;
+            (writes >= th::MIN_DIR_OPS as f64 && f > th::SMALL_FRACTION)
+                .then(|| format!("(data: {} of the {:.0} writes are below 1 MB)", pct(f), writes))
+        },
+        explanation: "frequent small write requests incur per-request overhead and lock \
+                      traffic far exceeding their payload",
+        recommendation: "buffer and aggregate writes before issuing them, or enable \
+                         collective buffering so aggregators emit large requests",
+    },
+    DiagRule {
+        issue: IssueLabel::MisalignedRead,
+        difficulty: 0.45,
+        claim: "alignment_matters",
+        check: |ev| {
+            let reads = ev.get(K::POSIX_READS)?;
+            let f = ev.get(K::POSIX_MISALIGNED_FRACTION)?;
+            let mismatch = ev.flag(K::POSIX_READ_ALIGN_MISMATCH);
+            (reads >= th::MIN_DIR_OPS as f64 && f > th::MISALIGNED_FRACTION && mismatch).then(
+                || {
+                    format!(
+                        "(data: {} of operations are not aligned with the file system boundary)",
+                        pct(f)
+                    )
+                },
+            )
+        },
+        explanation: "read requests cross stripe/block boundaries, touching more servers \
+                      than necessary",
+        recommendation: "align record sizes and offsets to the stripe size, or set the \
+                         stripe size to divide the record size evenly",
+    },
+    DiagRule {
+        issue: IssueLabel::MisalignedWrite,
+        difficulty: 0.45,
+        claim: "alignment_matters",
+        check: |ev| {
+            let writes = ev.get(K::POSIX_WRITES)?;
+            let f = ev.get(K::POSIX_MISALIGNED_FRACTION)?;
+            let mismatch = ev.flag(K::POSIX_WRITE_ALIGN_MISMATCH);
+            (writes >= th::MIN_DIR_OPS as f64 && f > th::MISALIGNED_FRACTION && mismatch).then(
+                || {
+                    format!(
+                        "(data: {} of operations are not aligned; unaligned writes trigger \
+                         read-modify-write cycles)",
+                        pct(f)
+                    )
+                },
+            )
+        },
+        explanation: "write requests are not aligned with the file system's stripe \
+                      boundaries, causing read-modify-write amplification and extent lock \
+                      conflicts",
+        recommendation: "pad records to stripe multiples and align each rank's partition \
+                         to the stripe boundary",
+    },
+    DiagRule {
+        issue: IssueLabel::RandomRead,
+        difficulty: 0.35,
+        claim: "random_vs_sequential",
+        check: |ev| {
+            let reads = ev.get(K::POSIX_READS)?;
+            let f = ev.get(K::POSIX_SEQ_READ_FRACTION)?;
+            (reads >= th::MIN_DIR_OPS as f64 && f < th::SEQ_FRACTION_RANDOM)
+                .then(|| format!("(data: only {} of reads are sequential)", pct(f)))
+        },
+        explanation: "reads follow a random access pattern, defeating server-side \
+                      prefetching",
+        recommendation: "sort or batch read requests by offset, or stage the dataset into \
+                         a node-local cache",
+    },
+    DiagRule {
+        issue: IssueLabel::RandomWrite,
+        difficulty: 0.35,
+        claim: "random_vs_sequential",
+        check: |ev| {
+            let writes = ev.get(K::POSIX_WRITES)?;
+            let f = ev.get(K::POSIX_SEQ_WRITE_FRACTION)?;
+            (writes >= th::MIN_DIR_OPS as f64 && f < th::SEQ_FRACTION_RANDOM)
+                .then(|| format!("(data: only {} of writes are sequential)", pct(f)))
+        },
+        explanation: "writes land at scattered offsets, producing incoherent server queues",
+        recommendation: "buffer writes and flush them in offset order, or use collective \
+                         I/O which reorders across ranks",
+    },
+    DiagRule {
+        issue: IssueLabel::SharedFileAccess,
+        difficulty: 0.30,
+        claim: "shared_file_contention",
+        check: |ev| {
+            let nprocs = ev.get(K::NPROCS)?;
+            (nprocs > 1.0 && ev.flag(K::POSIX_SHARED_DATA)).then(|| {
+                format!("(data: {nprocs:.0} ranks access the same file concurrently)")
+            })
+        },
+        explanation: "multiple ranks access the same file; without coordination this \
+                      contends on extent locks",
+        recommendation: "align rank partitions to stripe boundaries and use collective \
+                         MPI-IO so only aggregators touch the file",
+    },
+    DiagRule {
+        issue: IssueLabel::HighMetadataLoad,
+        difficulty: 0.40,
+        claim: "metadata_scalability",
+        check: |ev| {
+            let f = ev.get(K::POSIX_META_FRACTION)?;
+            (f > th::META_TIME_FRACTION).then(|| {
+                format!("(data: {} of runtime is spent in metadata operations)", pct(f))
+            })
+        },
+        explanation: "the job spends a significant share of its runtime in metadata \
+                      operations (opens, stats, creates), which are served by a small \
+                      number of metadata servers",
+        recommendation: "batch metadata operations, reduce the file count, or cache \
+                         attributes instead of stat-ing in loops",
+    },
+    DiagRule {
+        issue: IssueLabel::RepetitiveRead,
+        difficulty: 0.55,
+        claim: "repetitive_read_caching",
+        check: |ev| {
+            let r = ev.get(K::POSIX_READ_REUSE)?;
+            (r > th::READ_REUSE_FACTOR).then(|| {
+                format!("(data: the job read {r:.1}x more bytes than the byte range it touched)")
+            })
+        },
+        explanation: "the application repeatedly reads the same data from the file system",
+        recommendation: "stage the hot data into node-local memory or a burst buffer once \
+                         and reuse it",
+    },
+    DiagRule {
+        issue: IssueLabel::ServerLoadImbalance,
+        difficulty: 0.60,
+        claim: "stripe_width_parallelism",
+        check: |ev| {
+            let w = ev.get(K::LUSTRE_STRIPE_WIDTH)?;
+            let bytes = ev.get_or(K::TOTAL_BYTES, f64::MAX);
+            (w <= th::STRIPE_WIDTH_LOW && bytes >= th::SERVER_MIN_BYTES as f64).then(|| {
+                let used = ev.get_or(K::LUSTRE_OSTS_USED, 1.0);
+                let avail = ev.get_or(K::LUSTRE_OST_COUNT, 0.0);
+                format!(
+                    "(data: stripe count {w:.0}; the job used {used:.0} of {avail:.0} \
+                     available OSTs)"
+                )
+            })
+        },
+        explanation: "with a stripe count of 1 every byte of each file lands on a single \
+                      object storage target, serialising server load and leaving the rest \
+                      of the storage system idle",
+        recommendation: "widen striping (e.g. `lfs setstripe -c 8` or higher) so traffic \
+                         spreads across OSTs; match stripe size to the transfer size",
+    },
+    DiagRule {
+        issue: IssueLabel::RankLoadImbalance,
+        difficulty: 0.50,
+        claim: "rank_balance",
+        check: |ev| {
+            let cv = ev.get_or(K::POSIX_RANK_CV, 0.0);
+            let ratio = ev.get_or(K::POSIX_RANK_RATIO, 1.0);
+            if cv > th::RANK_CV {
+                Some(format!(
+                    "(data: per-rank byte volume varies with coefficient of variation {cv:.2})"
+                ))
+            } else if ratio > th::RANK_RATIO {
+                Some(format!(
+                    "(data: the fastest rank moved {ratio:.1}x the bytes of the slowest)"
+                ))
+            } else {
+                None
+            }
+        },
+        explanation: "some MPI ranks issue disproportionate I/O traffic; collective phases \
+                      wait on the stragglers",
+        recommendation: "rebalance the domain decomposition's I/O responsibility, or \
+                         replace rank-0-funnelled I/O with parallel writes",
+    },
+    DiagRule {
+        issue: IssueLabel::MultiProcessWithoutMpi,
+        difficulty: 0.55,
+        claim: "mpi_vs_posix",
+        check: |ev| {
+            let nprocs = ev.get(K::NPROCS)?;
+            let posix = ev.get(K::POSIX_PRESENT)?;
+            let mpiio = ev.get(K::MPIIO_PRESENT)?;
+            (nprocs > 1.0 && posix > 0.5 && mpiio < 0.5).then(|| {
+                format!(
+                    "(data: {nprocs:.0} processes perform POSIX I/O with no MPI-IO activity \
+                     in the trace)"
+                )
+            })
+        },
+        explanation: "the job runs multiple processes but performs all I/O through \
+                      uncoordinated POSIX calls, forgoing collective aggregation entirely",
+        recommendation: "route the bulk I/O path through MPI-IO (or a library built on it) \
+                         to unlock collective optimisations",
+    },
+    DiagRule {
+        issue: IssueLabel::NoCollectiveRead,
+        difficulty: 0.50,
+        claim: "collective_io_benefit",
+        check: |ev| {
+            let indep = ev.get(K::MPIIO_INDEP_READS)?;
+            let coll = ev.get_or(K::MPIIO_COLL_READS, 0.0);
+            let total = indep + coll;
+            (total >= th::MIN_MPIIO_OPS as f64 && coll / total < th::COLLECTIVE_FRACTION).then(
+                || {
+                    format!(
+                        "(data: {indep:.0} independent MPI-IO reads vs {coll:.0} collective)"
+                    )
+                },
+            )
+        },
+        explanation: "MPI-IO reads are issued independently; collective reads would \
+                      aggregate them into large, aligned transfers",
+        recommendation: "switch to MPI_File_read_all / enable romio_cb_read",
+    },
+    DiagRule {
+        issue: IssueLabel::NoCollectiveWrite,
+        difficulty: 0.50,
+        claim: "collective_io_benefit",
+        check: |ev| {
+            let indep = ev.get(K::MPIIO_INDEP_WRITES)?;
+            let coll = ev.get_or(K::MPIIO_COLL_WRITES, 0.0);
+            let total = indep + coll;
+            (total >= th::MIN_MPIIO_OPS as f64 && coll / total < th::COLLECTIVE_FRACTION).then(
+                || {
+                    format!(
+                        "(data: {indep:.0} independent MPI-IO writes vs {coll:.0} collective)"
+                    )
+                },
+            )
+        },
+        explanation: "MPI-IO writes never go collective, so no aggregation or reordering \
+                      happens on the busiest path",
+        recommendation: "switch to MPI_File_write_all / enable romio_cb_write",
+    },
+    DiagRule {
+        issue: IssueLabel::LowLevelLibraryRead,
+        difficulty: 0.45,
+        claim: "stdio_buffering",
+        check: |ev| {
+            let bytes = ev.get(K::STDIO_BYTES_READ)?;
+            let f = ev.get(K::STDIO_READ_FRACTION)?;
+            (bytes >= th::STDIO_MIN_BYTES as f64 && f > th::STDIO_FRACTION).then(|| {
+                format!("(data: {} of read bytes flow through STDIO streams)", pct(f))
+            })
+        },
+        explanation: "a significant share of read volume goes through buffered STDIO \
+                      streams, which use small libc buffers and ignore parallelism",
+        recommendation: "port bulk read paths to POSIX/MPI-IO, or at least enlarge stream \
+                         buffers with setvbuf",
+    },
+    DiagRule {
+        issue: IssueLabel::LowLevelLibraryWrite,
+        difficulty: 0.45,
+        claim: "stdio_buffering",
+        check: |ev| {
+            let bytes = ev.get(K::STDIO_BYTES_WRITTEN)?;
+            let f = ev.get(K::STDIO_WRITE_FRACTION)?;
+            (bytes >= th::STDIO_MIN_BYTES as f64 && f > th::STDIO_FRACTION).then(|| {
+                format!("(data: {} of written bytes flow through STDIO streams)", pct(f))
+            })
+        },
+        explanation: "bulk data is written through STDIO streams, serialising into small \
+                      buffered writes",
+        recommendation: "move bulk output to MPI-IO or a high-level I/O library",
+    },
+];
+
+/// A popular-but-wrong claim the model may assert when ungrounded.
+pub struct Misconception {
+    /// Stable key.
+    pub key: &'static str,
+    /// The (correct) finding this misconception suppresses when it wins.
+    pub suppresses: IssueLabel,
+    /// The knowledge claim whose retrieval corrects it.
+    pub corrected_by: &'static str,
+    /// Whether the trigger situation is present.
+    pub trigger: fn(&Evidence) -> bool,
+    /// The wrong assertion, phrased as models phrase it.
+    pub text: &'static str,
+}
+
+/// The misconception table.
+pub fn misconceptions() -> &'static [Misconception] {
+    MISCONCEPTIONS
+}
+
+static MISCONCEPTIONS: &[Misconception] = &[
+    Misconception {
+        key: "stripe_1_optimal",
+        suppresses: IssueLabel::ServerLoadImbalance,
+        corrected_by: "stripe_width_parallelism",
+        trigger: |ev| ev.get_or(K::LUSTRE_STRIPE_WIDTH, 99.0) <= th::STRIPE_WIDTH_LOW,
+        text: "The file alignment was set at 1MB (1048576 bytes), which matches the common \
+               Lustre stripe size. This is optimal for minimizing the number of I/O \
+               requests on Lustre, so the striping configuration looks well tuned.",
+    },
+    Misconception {
+        key: "posix_faster_at_scale",
+        suppresses: IssueLabel::MultiProcessWithoutMpi,
+        corrected_by: "mpi_vs_posix",
+        trigger: |ev| {
+            ev.get_or(K::NPROCS, 1.0) > 1.0
+                && ev.get_or(K::POSIX_PRESENT, 0.0) > 0.5
+                && ev.get_or(K::MPIIO_PRESENT, 1.0) < 0.5
+        },
+        text: "Using the POSIX interface directly avoids MPI-IO layering overhead and is \
+               generally the faster choice at this process count.",
+    },
+    Misconception {
+        key: "independent_mpiio_fine",
+        suppresses: IssueLabel::NoCollectiveWrite,
+        corrected_by: "collective_io_benefit",
+        trigger: |ev| {
+            ev.get_or(K::MPIIO_INDEP_WRITES, 0.0) >= th::MIN_MPIIO_OPS as f64
+                && ev.get_or(K::MPIIO_COLL_WRITES, 0.0) < 1.0
+        },
+        text: "Independent MPI-IO writes avoid the synchronisation cost of collective \
+               calls; since each rank writes its own region, collective buffering would \
+               not help here.",
+    },
+    Misconception {
+        key: "sub_mb_writes_efficient",
+        suppresses: IssueLabel::SmallWrite,
+        corrected_by: "small_io_aggregation",
+        trigger: |ev| ev.get_or(K::POSIX_SMALL_WRITE_FRACTION, 0.0) > th::SMALL_FRACTION,
+        text: "A significant number of writes occurred in the 100K-1M range, which is an \
+               efficient I/O size; the client-side cache will coalesce them before they \
+               reach the servers.",
+    },
+    Misconception {
+        key: "random_fine_on_flash",
+        suppresses: IssueLabel::RandomRead,
+        corrected_by: "random_vs_sequential",
+        trigger: |ev| ev.get_or(K::POSIX_SEQ_READ_FRACTION, 1.0) < th::SEQ_FRACTION_RANDOM,
+        text: "Modern storage tiers are flash-based, so the random read order should not \
+               meaningfully affect performance.",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pairs: &[(&str, f64)]) -> Evidence {
+        let mut e = Evidence::default();
+        for (k, v) in pairs {
+            e.values.insert(k.to_string(), *v);
+        }
+        e
+    }
+
+    #[test]
+    fn one_rule_per_label_except_none_missing() {
+        // Every TraceBench label is covered by exactly one rule.
+        let mut labels: Vec<IssueLabel> = rules().iter().map(|r| r.issue).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), IssueLabel::ALL.len());
+    }
+
+    #[test]
+    fn small_write_rule_fires_on_planted_evidence() {
+        let e = ev(&[(K::POSIX_WRITES, 25600.0), (K::POSIX_SMALL_WRITE_FRACTION, 0.95)]);
+        let rule = rules().iter().find(|r| r.issue == IssueLabel::SmallWrite).unwrap();
+        assert!((rule.check)(&e).is_some());
+        let quiet = ev(&[(K::POSIX_WRITES, 25600.0), (K::POSIX_SMALL_WRITE_FRACTION, 0.02)]);
+        assert!((rule.check)(&quiet).is_none());
+    }
+
+    #[test]
+    fn rules_skip_on_missing_evidence() {
+        let empty = Evidence::default();
+        for r in rules() {
+            assert!((r.check)(&empty).is_none(), "{:?} fired on no evidence", r.issue);
+        }
+    }
+
+    #[test]
+    fn mp_without_mpi_needs_module_absence() {
+        let rule = rules().iter().find(|r| r.issue == IssueLabel::MultiProcessWithoutMpi).unwrap();
+        let fires = ev(&[
+            (K::NPROCS, 16.0),
+            (K::POSIX_PRESENT, 1.0),
+            (K::MPIIO_PRESENT, 0.0),
+        ]);
+        assert!((rule.check)(&fires).is_some());
+        let quiet = ev(&[(K::NPROCS, 16.0), (K::POSIX_PRESENT, 1.0), (K::MPIIO_PRESENT, 1.0)]);
+        assert!((rule.check)(&quiet).is_none());
+    }
+
+    #[test]
+    fn stripe_misconception_triggers_on_narrow_stripes() {
+        let m = misconceptions().iter().find(|m| m.key == "stripe_1_optimal").unwrap();
+        assert!((m.trigger)(&ev(&[(K::LUSTRE_STRIPE_WIDTH, 1.0)])));
+        assert!(!(m.trigger)(&ev(&[(K::LUSTRE_STRIPE_WIDTH, 8.0)])));
+        assert_eq!(m.suppresses, IssueLabel::ServerLoadImbalance);
+    }
+
+    #[test]
+    fn difficulties_in_range() {
+        for r in rules() {
+            assert!((0.0..=1.0).contains(&r.difficulty), "{:?}", r.issue);
+        }
+    }
+
+    #[test]
+    fn misconception_texts_do_not_contain_issue_display_names() {
+        // Misconceptions must not be parsed back as issue mentions.
+        for m in misconceptions() {
+            for l in IssueLabel::ALL {
+                assert!(
+                    !m.text.to_lowercase().contains(&l.display_name().to_lowercase()),
+                    "{} leaks {}",
+                    m.key,
+                    l.display_name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! `simllm` — a deterministic behavioural simulator of large language
+//! models, calibrated to the failure modes the IOAgent paper engineers
+//! around.
+//!
+//! The paper's contribution is not an LLM: it is an orchestration layer
+//! (pre-processing, retrieval grounding, pairwise merging, bias-cancelled
+//! judging) that turns an *unreliable* language model into a trustworthy
+//! diagnostician. Reproducing that contribution offline therefore requires
+//! a model substrate whose unreliability is realistic and controllable:
+//!
+//! - **finite attention** with *lost-in-the-middle* truncation
+//!   ([`context`]), so stuffing a whole Darshan trace into a prompt
+//!   mechanically destroys mid-file information (the ION failure mode);
+//! - **capability-gated expertise** ([`iokb`]): harder inferences (server
+//!   imbalance, missing collectives) need stronger models, unless retrieval
+//!   grounding lowers the bar (the RAG benefit);
+//! - **misconceptions** that surface exactly when ungrounded (the paper's
+//!   "1 MB stripe is optimal" example, Fig. 1);
+//! - **hallucination** of plausible but unsupported findings;
+//! - **merge-fidelity collapse** as more documents are merged at once
+//!   (the reason tree-based pairwise merging exists, Fig. 6);
+//! - **positional and name bias** in ranking (the reason the judge
+//!   anonymises and rotates, Fig. 4).
+//!
+//! Everything is deterministic per (model, prompt, salt), so the entire
+//! evaluation pipeline is reproducible bit-for-bit.
+
+pub mod context;
+pub mod evidence;
+pub mod iokb;
+pub mod profile;
+pub mod quality;
+pub mod report;
+pub mod rng;
+pub mod tasks;
+
+pub use profile::{profile, profile_or_panic, ModelProfile, PROFILES};
+pub use report::{extract_issues, Diagnosis};
+
+use parking_lot::Mutex;
+
+/// A completion request.
+#[derive(Debug, Clone, Default)]
+pub struct CompletionRequest {
+    /// System prompt (instructions; attended first).
+    pub system: String,
+    /// User prompt (task + sections).
+    pub user: String,
+    /// Decorrelation salt (e.g. retry number, permutation index).
+    pub salt: u64,
+}
+
+impl CompletionRequest {
+    /// Convenience constructor.
+    pub fn new(system: impl Into<String>, user: impl Into<String>) -> Self {
+        CompletionRequest { system: system.into(), user: user.into(), salt: 0 }
+    }
+
+    /// With a specific salt.
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+}
+
+/// A completion result with usage accounting.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The model's output text.
+    pub text: String,
+    /// Input tokens (before attention).
+    pub input_tokens: usize,
+    /// Output tokens.
+    pub output_tokens: usize,
+    /// Whether input was truncated / degraded by attention.
+    pub truncated: bool,
+    /// Fraction of input lines the model attended to.
+    pub retention: f64,
+    /// Accumulated cost of this call in USD.
+    pub cost_usd: f64,
+}
+
+/// Anything that can complete prompts (the simulator, or a stub in tests).
+pub trait LanguageModel: Send + Sync {
+    /// Model name.
+    fn name(&self) -> &str;
+    /// Behavioural profile.
+    fn profile(&self) -> &ModelProfile;
+    /// Complete a request.
+    fn complete(&self, request: &CompletionRequest) -> Completion;
+}
+
+/// Cumulative usage across a model instance's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Usage {
+    /// Number of completions served.
+    pub calls: usize,
+    /// Total input tokens.
+    pub input_tokens: usize,
+    /// Total output tokens.
+    pub output_tokens: usize,
+    /// Total cost in USD.
+    pub cost_usd: f64,
+}
+
+/// The simulated LLM.
+pub struct SimLlm {
+    profile: &'static ModelProfile,
+    usage: Mutex<Usage>,
+}
+
+impl SimLlm {
+    /// Instantiate by profile name (panics on unknown names).
+    pub fn new(model: &str) -> Self {
+        SimLlm { profile: profile_or_panic(model), usage: Mutex::new(Usage::default()) }
+    }
+
+    /// Snapshot of cumulative usage.
+    pub fn usage(&self) -> Usage {
+        *self.usage.lock()
+    }
+}
+
+impl LanguageModel for SimLlm {
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn profile(&self) -> &ModelProfile {
+        self.profile
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Completion {
+        let full = format!("{}\n{}", request.system, request.user);
+        let mut rng = rng::rng_for(self.profile.name, &full, request.salt);
+        let attended = context::attend(self.profile, &full, &mut rng);
+
+        let task = tasks::parse_task(&attended.lines).unwrap_or_else(|| "diagnose".to_string());
+        let load =
+            (attended.input_tokens as f64 / self.profile.context_tokens as f64).clamp(0.0, 1.0);
+        let text = match task.as_str() {
+            "diagnose" => tasks::diagnose(self.profile, &attended.lines, load, &mut rng),
+            "transform" => tasks::transform(self.profile, &attended.lines),
+            "merge" => tasks::merge(self.profile, &attended.lines, &mut rng),
+            "filter" => tasks::filter(self.profile, &attended.lines, &mut rng),
+            "rank" => tasks::rank(self.profile, &attended.lines, &mut rng),
+            "chat" => tasks::chat(self.profile, &attended.lines, &mut rng),
+            _ => format!("I could not identify the task '{task}' in the prompt."),
+        };
+
+        let output_tokens = context::count_tokens(&text);
+        let cost_usd =
+            (attended.input_tokens + output_tokens) as f64 / 1.0e6 * self.profile.cost_per_mtok;
+        {
+            let mut u = self.usage.lock();
+            u.calls += 1;
+            u.input_tokens += attended.input_tokens;
+            u.output_tokens += output_tokens;
+            u.cost_usd += cost_usd;
+        }
+        Completion {
+            text,
+            input_tokens: attended.input_tokens,
+            output_tokens,
+            truncated: attended.truncated,
+            retention: attended.retention,
+            cost_usd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_is_deterministic() {
+        let m = SimLlm::new("gpt-4o");
+        let req = CompletionRequest::new(
+            "You are an HPC I/O expert.",
+            "### TASK: diagnose\nEVIDENCE nprocs=8\nEVIDENCE posix.writes=1000\nEVIDENCE posix.small_write_fraction=0.9",
+        );
+        let a = m.complete(&req);
+        let b = m.complete(&req);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.input_tokens, b.input_tokens);
+    }
+
+    #[test]
+    fn salt_changes_stochastic_outcomes() {
+        let m = SimLlm::new("llama-3-70b");
+        let user = "### TASK: diagnose\nEVIDENCE nprocs=8\nEVIDENCE posix.writes=1000\nEVIDENCE posix.small_write_fraction=0.9\nEVIDENCE lustre.stripe_width_mean=1\nEVIDENCE total_bytes=2000000000\nEVIDENCE lustre.present=1";
+        let texts: std::collections::BTreeSet<String> = (0..12)
+            .map(|s| m.complete(&CompletionRequest::new("sys", user).with_salt(s)).text)
+            .collect();
+        assert!(texts.len() > 1, "salts produced identical outputs");
+    }
+
+    #[test]
+    fn usage_accumulates() {
+        let m = SimLlm::new("gpt-4o-mini");
+        let req =
+            CompletionRequest::new("s", "### TASK: filter\n## FRAGMENT\na b c\n## SOURCE\na b c");
+        m.complete(&req);
+        m.complete(&req);
+        let u = m.usage();
+        assert_eq!(u.calls, 2);
+        assert!(u.input_tokens > 0);
+        assert!(u.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn unknown_task_degrades_gracefully() {
+        let m = SimLlm::new("gpt-4");
+        let c = m.complete(&CompletionRequest::new("", "### TASK: haiku\nwrite one"));
+        assert!(c.text.contains("could not identify"));
+    }
+
+    #[test]
+    fn huge_prompt_reports_truncation() {
+        let m = SimLlm::new("gpt-4");
+        let mut user = String::from("### TASK: diagnose\n");
+        for i in 0..20_000 {
+            user.push_str(&format!("POSIX\t0\t{i}\tPOSIX_READS\t1\t/f\t/\text4\n"));
+        }
+        let c = m.complete(&CompletionRequest::new("", &user));
+        assert!(c.truncated);
+        assert!(c.retention < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model profile")]
+    fn unknown_model_panics() {
+        SimLlm::new("gpt-17");
+    }
+}

@@ -1,0 +1,189 @@
+//! Model capability profiles.
+//!
+//! Each profile calibrates the simulator's failure modes to the published
+//! behaviour of one backbone model: effective context budget (the window
+//! within which the model reliably *uses* information — well below the
+//! advertised context length), task capability, multi-document merge
+//! fidelity, hallucination and misconception propensities, ranking position
+//! bias, and verbosity. The paper's observations (Fig. 1, Fig. 6, Table IV)
+//! anchor the relative ordering of these numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Calibrated behavioural parameters of one simulated model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model identifier (as used in the paper, e.g. `gpt-4o`).
+    pub name: &'static str,
+    /// Vendor string, for display.
+    pub vendor: &'static str,
+    /// Whether the model is open-source.
+    pub open_source: bool,
+    /// Effective attention budget in tokens: beyond this, middle content is
+    /// progressively lost ("lost in the middle").
+    pub context_tokens: usize,
+    /// General task capability in [0, 1]; gates which expert rules the
+    /// model manages to apply.
+    pub capability: f64,
+    /// Probability of retaining a given key point when merging *two*
+    /// documents; degrades with the number of documents merged at once.
+    pub merge_fidelity: f64,
+    /// Per-response probability of fabricating an unsupported finding.
+    pub hallucination_rate: f64,
+    /// Probability of repeating a popular-but-wrong claim when the relevant
+    /// trigger is present and no grounding reference contradicts it.
+    pub misconception_rate: f64,
+    /// Strength of positional bias when ranking candidates (0 = unbiased).
+    pub position_bias: f64,
+    /// Verbosity multiplier: how much prose the model wraps around each
+    /// point (1.0 = terse; 2.0 = very chatty).
+    pub verbosity: f64,
+    /// Cost per million tokens (USD, blended in/out) for cost accounting.
+    pub cost_per_mtok: f64,
+}
+
+/// The built-in profiles.
+pub const PROFILES: &[ModelProfile] = &[
+    ModelProfile {
+        name: "gpt-4",
+        vendor: "OpenAI",
+        open_source: false,
+        context_tokens: 6_000,
+        capability: 0.55,
+        merge_fidelity: 0.97,
+        hallucination_rate: 0.25,
+        misconception_rate: 0.50,
+        position_bias: 0.35,
+        verbosity: 1.2,
+        cost_per_mtok: 45.0,
+    },
+    ModelProfile {
+        name: "gpt-4o",
+        vendor: "OpenAI",
+        open_source: false,
+        context_tokens: 16_000,
+        capability: 0.85,
+        merge_fidelity: 0.99,
+        hallucination_rate: 0.12,
+        misconception_rate: 0.40,
+        position_bias: 0.25,
+        verbosity: 1.8,
+        cost_per_mtok: 12.5,
+    },
+    ModelProfile {
+        name: "gpt-4o-mini",
+        vendor: "OpenAI",
+        open_source: false,
+        context_tokens: 12_000,
+        capability: 0.65,
+        merge_fidelity: 0.96,
+        hallucination_rate: 0.18,
+        misconception_rate: 0.45,
+        position_bias: 0.30,
+        verbosity: 1.1,
+        cost_per_mtok: 0.4,
+    },
+    ModelProfile {
+        name: "o1-preview",
+        vendor: "OpenAI",
+        open_source: false,
+        context_tokens: 4_000,
+        capability: 0.88,
+        merge_fidelity: 0.98,
+        hallucination_rate: 0.08,
+        misconception_rate: 0.30,
+        position_bias: 0.20,
+        verbosity: 1.5,
+        cost_per_mtok: 60.0,
+    },
+    ModelProfile {
+        name: "llama-3-70b",
+        vendor: "Meta",
+        open_source: true,
+        context_tokens: 6_000,
+        capability: 0.50,
+        merge_fidelity: 0.93,
+        hallucination_rate: 0.30,
+        misconception_rate: 0.55,
+        position_bias: 0.45,
+        verbosity: 1.0,
+        cost_per_mtok: 0.9,
+    },
+    ModelProfile {
+        name: "llama-3.1-70b",
+        vendor: "Meta",
+        open_source: true,
+        context_tokens: 10_000,
+        capability: 0.70,
+        merge_fidelity: 0.94,
+        hallucination_rate: 0.20,
+        misconception_rate: 0.45,
+        position_bias: 0.35,
+        verbosity: 0.9,
+        cost_per_mtok: 0.9,
+    },
+];
+
+/// Look a profile up by name.
+pub fn profile(name: &str) -> Option<&'static ModelProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// Look a profile up by name, panicking on unknown models.
+pub fn profile_or_panic(name: &str) -> &'static ModelProfile {
+    profile(name).unwrap_or_else(|| panic!("unknown model profile: {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_profiles_with_unique_names() {
+        assert_eq!(PROFILES.len(), 6);
+        let mut names: Vec<_> = PROFILES.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        for p in PROFILES {
+            for v in [
+                p.capability,
+                p.merge_fidelity,
+                p.hallucination_rate,
+                p.misconception_rate,
+                p.position_bias,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{}", p.name);
+            }
+            assert!(p.context_tokens >= 1_000);
+        }
+    }
+
+    #[test]
+    fn frontier_beats_open_source_on_capability() {
+        let gpt4o = profile("gpt-4o").unwrap();
+        let llama31 = profile("llama-3.1-70b").unwrap();
+        let llama3 = profile("llama-3-70b").unwrap();
+        assert!(gpt4o.capability > llama31.capability);
+        assert!(llama31.capability > llama3.capability);
+        assert!(gpt4o.merge_fidelity > llama3.merge_fidelity);
+    }
+
+    #[test]
+    fn o1_has_smallest_context() {
+        let o1 = profile("o1-preview").unwrap();
+        for p in PROFILES {
+            assert!(o1.context_tokens <= p.context_tokens);
+        }
+    }
+
+    #[test]
+    fn unknown_profile_is_none() {
+        assert!(profile("gpt-5").is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Textual quality features of a diagnosis report.
+//!
+//! Used by the rank task (LLM-as-judge) to score Utility and
+//! Interpretability, mirroring how a capable model skims for structure,
+//! specificity, recommendations, and citations.
+
+use tracebench::IssueLabel;
+
+/// Extracted surface features of a report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QualityFeatures {
+    /// Word count.
+    pub words: usize,
+    /// Number of distinct TraceBench issues mentioned by display name.
+    pub issues_mentioned: usize,
+    /// Lines offering recommendations / fixes.
+    pub recommendations: usize,
+    /// Bracketed citations.
+    pub citations: usize,
+    /// Numeric tokens (sizes, counts, percentages) — specificity.
+    pub numbers: usize,
+    /// Structural elements (headers, bullets).
+    pub structure_marks: usize,
+    /// Code snippets / commands.
+    pub code_snippets: usize,
+    /// Inline evidence sentences (`(data: ...)`) tying claims to the trace.
+    pub data_sentences: usize,
+}
+
+/// Extract features from a report text.
+pub fn features(text: &str) -> QualityFeatures {
+    let lower = text.to_lowercase();
+    let mut f = QualityFeatures { words: text.split_whitespace().count(), ..Default::default() };
+    for label in IssueLabel::ALL {
+        if lower.contains(&label.display_name().to_lowercase()) {
+            f.issues_mentioned += 1;
+        }
+    }
+    for line in text.lines() {
+        let t = line.trim_start();
+        if t.starts_with('-') || t.starts_with('*') || t.starts_with('#') || t.starts_with("Issue:")
+        {
+            f.structure_marks += 1;
+        }
+        let tl = t.to_lowercase();
+        if tl.contains("recommendation") || tl.contains("suggest") || tl.contains("consider ") {
+            f.recommendations += 1;
+        }
+        if t.contains("lfs setstripe") || t.contains("MPI_File_") || t.contains("romio_") {
+            f.code_snippets += 1;
+        }
+    }
+    f.citations = text.matches("* [").count()
+        + text.matches("Reference: [").count()
+        + text.matches("REF [").count();
+    f.numbers = text
+        .split_whitespace()
+        .filter(|w| w.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false))
+        .count();
+    f.data_sentences = text.matches("(data:").count();
+    f
+}
+
+/// Words spent per named finding; padding simple findings with prose makes
+/// reports harder to act on ("too many details in basic cases").
+fn conciseness(f: &QualityFeatures) -> f64 {
+    let wpi = f.words as f64 / f.issues_mentioned.max(1) as f64;
+    if wpi <= 70.0 {
+        1.0
+    } else {
+        (1.0 - (wpi - 70.0) / 150.0).max(0.2)
+    }
+}
+
+/// Utility score in [0, 1]: how actionable and informative the report is.
+pub fn utility_score(f: &QualityFeatures) -> f64 {
+    let recs = (f.recommendations as f64 / 6.0).min(1.0);
+    let cites = (f.citations as f64 / 6.0).min(1.0);
+    let nums = (f.numbers as f64 / 25.0).min(1.0);
+    let issues = (f.issues_mentioned as f64 / 6.0).min(1.0);
+    let code = (f.code_snippets as f64 / 2.0).min(1.0);
+    0.28 * recs + 0.12 * cites + 0.18 * nums + 0.22 * issues + 0.10 * code
+        + 0.10 * conciseness(f)
+}
+
+/// Interpretability score in [0, 1].
+///
+/// Components mirror what a judge LLM rewards when reading for a domain
+/// scientist: visual structure, a length sweet spot (~40–700 words; walls
+/// of text overwhelm), *inline evidence* tying each claim to the
+/// application's own numbers (`(data: ...)` sentences — the
+/// personalisation the paper contrasts with Drishti's fixed messages), and
+/// breadth of clearly named findings.
+pub fn interpretability_score(f: &QualityFeatures) -> f64 {
+    let structure = ((f.structure_marks as f64) / 8.0).min(1.0);
+    let w = f.words as f64;
+    let length = if w < 40.0 {
+        w / 40.0 * 0.5
+    } else if w <= 700.0 {
+        1.0
+    } else {
+        (1.0 - (w - 700.0) / 1400.0).max(0.2)
+    };
+    let evidence = if f.issues_mentioned == 0 {
+        0.0
+    } else {
+        (f.data_sentences as f64 / f.issues_mentioned as f64).min(1.0)
+    };
+    let breadth = (f.issues_mentioned as f64 / 6.0).min(1.0);
+    let specificity = (f.numbers as f64 / 20.0).min(1.0);
+    // Cited sources increase trust and help readers follow up (the
+    // transparency argument of the paper's RAG design).
+    let refs = (f.citations as f64 / 4.0).min(1.0);
+    0.18 * structure
+        + 0.22 * length
+        + 0.15 * evidence
+        + 0.15 * breadth
+        + 0.08 * specificity
+        + 0.12 * conciseness(f)
+        + 0.10 * refs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Diagnosis
+Issue: Small Write I/O Requests
+  95% of the 25600 writes are below 1 MB.
+  Recommendation: aggregate writes into 4 MB buffers.
+  Reference: [The Cost of Small Requests, SC 2020]
+Issue: Server Load Imbalance
+  stripe count 1; consider `lfs setstripe -c 8`.
+";
+
+    #[test]
+    fn features_counted() {
+        let f = features(SAMPLE);
+        assert_eq!(f.issues_mentioned, 2);
+        assert!(f.recommendations >= 2);
+        assert_eq!(f.citations, 1);
+        assert!(f.numbers >= 4);
+        assert!(f.structure_marks >= 3);
+        assert_eq!(f.code_snippets, 1);
+    }
+
+    #[test]
+    fn utility_increases_with_recommendations() {
+        let low = features("Nothing to see.");
+        let high = features(SAMPLE);
+        assert!(utility_score(&high) > utility_score(&low));
+    }
+
+    #[test]
+    fn interpretability_penalises_walls_of_text() {
+        let terse = features(SAMPLE);
+        let bloated_text = format!("# D\n{}", "filler word soup sentence goes on and on ".repeat(80));
+        let bloated = features(&bloated_text);
+        assert!(interpretability_score(&terse) > interpretability_score(&bloated));
+    }
+
+    #[test]
+    fn scores_bounded() {
+        for text in ["", SAMPLE, "word"] {
+            let f = features(text);
+            assert!((0.0..=1.0).contains(&utility_score(&f)));
+            assert!((0.0..=1.0).contains(&interpretability_score(&f)));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Diagnosis report type shared by every tool in the evaluation.
+
+use serde::Serialize;
+use std::collections::BTreeSet;
+use tracebench::IssueLabel;
+
+/// A complete diagnosis produced by one tool for one trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnosis {
+    /// Producing tool (`drishti`, `ion`, `ioagent-gpt-4o`, ...).
+    pub tool: String,
+    /// The full human-readable report.
+    pub text: String,
+    /// Issues the tool explicitly identified.
+    pub issues: Vec<IssueLabel>,
+    /// Citations backing the report (empty for tools without references).
+    pub references: Vec<String>,
+}
+
+impl Diagnosis {
+    /// Construct, deriving `issues` from the text when not supplied.
+    pub fn from_text(tool: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let issues = extract_issues(&text).into_iter().collect();
+        Diagnosis { tool: tool.into(), text, issues, references: Vec::new() }
+    }
+
+    /// Issue set as a `BTreeSet` for comparisons.
+    pub fn issue_set(&self) -> BTreeSet<IssueLabel> {
+        self.issues.iter().copied().collect()
+    }
+}
+
+/// Scan a report for issue mentions by Table II display name
+/// (case-insensitive). This is the shared convention all tools' reports
+/// follow, so accuracy judging is uniform.
+pub fn extract_issues(text: &str) -> BTreeSet<IssueLabel> {
+    let lower = text.to_lowercase();
+    IssueLabel::ALL
+        .into_iter()
+        .filter(|l| lower.contains(&l.display_name().to_lowercase()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_finds_display_names() {
+        let text = "We found Small Write I/O Requests and also misaligned write requests.";
+        let issues = extract_issues(text);
+        assert!(issues.contains(&IssueLabel::SmallWrite));
+        assert!(issues.contains(&IssueLabel::MisalignedWrite));
+        assert_eq!(issues.len(), 2);
+    }
+
+    #[test]
+    fn extraction_distinguishes_directions() {
+        let issues = extract_issues("Random Access Patterns on Read only");
+        assert!(issues.contains(&IssueLabel::RandomRead));
+        assert!(!issues.contains(&IssueLabel::RandomWrite));
+    }
+
+    #[test]
+    fn from_text_derives_issues() {
+        let d = Diagnosis::from_text("test", "Issue: High Metadata Load detected");
+        assert_eq!(d.issues, vec![IssueLabel::HighMetadataLoad]);
+        assert_eq!(d.issue_set().len(), 1);
+    }
+
+    #[test]
+    fn empty_text_no_issues() {
+        assert!(extract_issues("all clear").is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! DXT event-stream synthesis (the extended-tracing extension).
+//!
+//! For any TraceBench spec, generate a per-operation DXT trace *consistent
+//! with the aggregate counters* the main generator plants: the same
+//! transfer sizes, sequentiality, sharing, and rank skew, but expressed as
+//! individual timed operations. Event counts are capped (DXT is a sampled,
+//! high-overhead mode in practice) while preserving the pattern.
+
+use crate::gen::stable_hash;
+use crate::labels::IssueLabel;
+use crate::spec::TraceSpec;
+use darshan::counters::Module;
+use darshan::dxt::{DxtEvent, DxtOp, DxtTrace};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Cap on generated events per (file, direction) — mirrors DXT's own
+/// bounded buffers.
+pub const MAX_EVENTS_PER_STREAM: usize = 2_000;
+
+/// Synthesize the DXT event stream for a spec.
+pub fn synthesize_dxt(spec: &TraceSpec) -> DxtTrace {
+    let mut rng = ChaCha8Rng::seed_from_u64(stable_hash(spec.id) ^ 0xd7);
+    let mut trace = DxtTrace::default();
+    let has = |l: IssueLabel| spec.has(l);
+
+    let read_size = transfer_size(has(IssueLabel::SmallRead), has(IssueLabel::MisalignedRead));
+    let write_size = transfer_size(has(IssueLabel::SmallWrite), has(IssueLabel::MisalignedWrite));
+    let shared = has(IssueLabel::SharedFileAccess);
+    let n_files = if shared { 1 } else { spec.file_count.clamp(1, 8) };
+
+    for file_idx in 0..n_files {
+        let path = if shared {
+            format!("/scratch/{}/shared.dat", spec.id)
+        } else {
+            format!("/scratch/{}/data.{:04}", spec.id, file_idx)
+        };
+        let record_id = stable_hash(&path);
+        let ranks: Vec<i64> = if shared {
+            (0..spec.nprocs as i64).collect()
+        } else {
+            vec![(file_idx as u64 % spec.nprocs) as i64]
+        };
+        for (dir_idx, (op, size, total_mb, random)) in [
+            (DxtOp::Read, read_size, spec.read_mb, has(IssueLabel::RandomRead)),
+            (DxtOp::Write, write_size, spec.write_mb, has(IssueLabel::RandomWrite)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if total_mb == 0 {
+                continue;
+            }
+            let total_ops = ((total_mb * 1024 * 1024) / size as u64) as usize;
+            let per_stream =
+                (total_ops / n_files / ranks.len().max(1)).clamp(1, MAX_EVENTS_PER_STREAM);
+            for &rank in &ranks {
+                // Each rank owns a contiguous region (shared file) or the
+                // whole file (file per process).
+                let region = per_stream as u64 * size as u64;
+                let base = if shared { rank as u64 * region } else { 0 };
+                let mut t =
+                    0.2 * spec.run_time * (dir_idx as f64) + rank as f64 * 1e-4;
+                let duration = (size as f64) / 1.0e9;
+                for seg in 0..per_stream {
+                    let offset = if random {
+                        base + rng.gen_range(0..per_stream as u64) * size as u64
+                    } else {
+                        base + seg as u64 * size as u64
+                    };
+                    trace.push(
+                        record_id,
+                        &path,
+                        DxtEvent {
+                            module: Module::Posix,
+                            rank,
+                            op,
+                            segment: seg as u64,
+                            offset,
+                            length: size as u64,
+                            start: t,
+                            end: t + duration,
+                        },
+                    );
+                    t += duration * 1.5;
+                }
+            }
+        }
+    }
+    trace
+}
+
+fn transfer_size(small: bool, misaligned: bool) -> i64 {
+    match (small, misaligned) {
+        (true, true) => 47_008,
+        (true, false) => 8_192,
+        (false, true) => 4 * 1024 * 1024 + 1,
+        (false, false) => 4 * 1024 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::all_specs;
+    use darshan::dxt::{file_stats, parse_dxt_text, write_dxt_text};
+
+    fn spec(id: &str) -> TraceSpec {
+        all_specs().into_iter().find(|s| s.id == id).unwrap()
+    }
+
+    #[test]
+    fn sequential_spec_produces_streaming_pattern() {
+        let dxt = synthesize_dxt(&spec("sb09_independent_io"));
+        assert!(!dxt.is_empty());
+        let stats = file_stats(dxt.files.values().next().unwrap());
+        assert!(stats.consecutive_fraction > 0.9, "{stats:?}");
+    }
+
+    #[test]
+    fn random_spec_produces_scattered_pattern() {
+        let dxt = synthesize_dxt(&spec("io500_rnd_posix_shared"));
+        let stats = file_stats(dxt.files.values().next().unwrap());
+        assert!(stats.consecutive_fraction < 0.3, "{stats:?}");
+    }
+
+    #[test]
+    fn shared_spec_interleaves_all_ranks_in_one_file() {
+        let dxt = synthesize_dxt(&spec("ra_hacc_io"));
+        assert_eq!(dxt.files.len(), 1);
+        let file = dxt.files.values().next().unwrap();
+        let ranks: std::collections::BTreeSet<i64> =
+            file.events.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks.len(), 32);
+        let stats = file_stats(file);
+        assert!(stats.peak_concurrency > 1);
+    }
+
+    #[test]
+    fn event_sizes_match_counter_plan() {
+        // Small+misaligned spec: every event is the 47008-byte signature.
+        let dxt = synthesize_dxt(&spec("io500_hard_posix_1"));
+        for f in dxt.files.values() {
+            for e in &f.events {
+                assert_eq!(e.length, 47_008);
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_capped() {
+        for s in all_specs().into_iter().step_by(4) {
+            let dxt = synthesize_dxt(&s);
+            for f in dxt.files.values() {
+                // per (rank, direction) cap holds.
+                let mut per: std::collections::BTreeMap<(i64, darshan::dxt::DxtOp), usize> =
+                    std::collections::BTreeMap::new();
+                for e in &f.events {
+                    *per.entry((e.rank, e.op)).or_insert(0) += 1;
+                }
+                for (&k, &c) in &per {
+                    assert!(c <= MAX_EVENTS_PER_STREAM, "{} {k:?}: {c}", s.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dxt_round_trips_text_format() {
+        let dxt = synthesize_dxt(&spec("sb01_small_io"));
+        let text = write_dxt_text(&dxt);
+        let back = parse_dxt_text(&text).unwrap();
+        assert_eq!(back.len(), dxt.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = spec("ra_vpic_io");
+        assert_eq!(
+            write_dxt_text(&synthesize_dxt(&s)),
+            write_dxt_text(&synthesize_dxt(&s))
+        );
+    }
+}

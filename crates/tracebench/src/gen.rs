@@ -1,0 +1,537 @@
+//! Synthesis of Darshan traces from TraceBench specs.
+//!
+//! Each labelled issue is *planted by construction* with a comfortable
+//! margin beyond the shared detection thresholds, and unlabelled behaviour
+//! is kept well below them, so the reference detector in [`crate::check`]
+//! recovers exactly the spec's label set. Generation is deterministic: all
+//! jitter comes from a ChaCha RNG seeded from the spec id.
+
+use crate::labels::IssueLabel;
+use crate::spec::{IoApi, TraceSpec};
+use crate::thresholds as th;
+use darshan::counters::{size_bin_index, Module, SIZE_BINS};
+use darshan::{DarshanTrace, JobHeader, Mount, Record};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic 64-bit FNV-1a hash used for seeding and record ids.
+pub fn stable_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Per-direction synthesis plan derived from the label set.
+#[derive(Debug, Clone, Copy)]
+struct DirPlan {
+    /// Total operations in this direction across the job.
+    ops: i64,
+    /// Transfer size in bytes.
+    size: i64,
+    /// Fraction of sequential operations.
+    seq_frac: f64,
+    /// Fraction of operations not aligned to the file system.
+    mis_frac: f64,
+}
+
+impl DirPlan {
+    fn new(total_mb: u64, small: bool, misaligned: bool, random: bool) -> Self {
+        let size: i64 = match (small, misaligned) {
+            (true, true) => 47_008,
+            (true, false) => 8_192,
+            (false, true) => 4 * 1024 * 1024 + 1,
+            (false, false) => 4 * 1024 * 1024,
+        };
+        let bytes = (total_mb as i64) * 1024 * 1024;
+        let ops = bytes / size;
+        DirPlan {
+            ops,
+            size,
+            seq_frac: if random { 0.15 } else { 0.96 },
+            mis_frac: if misaligned { 0.92 } else { 0.02 },
+        }
+    }
+
+    fn empty() -> Self {
+        DirPlan { ops: 0, size: 0, seq_frac: 0.0, mis_frac: 0.0 }
+    }
+}
+
+/// Synthesize the Darshan trace for a spec.
+pub fn synthesize(spec: &TraceSpec) -> DarshanTrace {
+    let mut rng = ChaCha8Rng::seed_from_u64(stable_hash(spec.id));
+    let has = |l: IssueLabel| spec.has(l);
+
+    let read = if spec.read_mb > 0 {
+        DirPlan::new(
+            spec.read_mb,
+            has(IssueLabel::SmallRead),
+            has(IssueLabel::MisalignedRead),
+            has(IssueLabel::RandomRead),
+        )
+    } else {
+        DirPlan::empty()
+    };
+    let write = if spec.write_mb > 0 {
+        DirPlan::new(
+            spec.write_mb,
+            has(IssueLabel::SmallWrite),
+            has(IssueLabel::MisalignedWrite),
+            has(IssueLabel::RandomWrite),
+        )
+    } else {
+        DirPlan::empty()
+    };
+
+    let mut header = JobHeader::new(format!("./{}", spec.id), spec.nprocs, spec.run_time);
+    header.jobid = stable_hash(spec.id) % 1_000_000;
+    header.uid = 2000 + (stable_hash(spec.id) % 500);
+    header.mounts = vec![
+        Mount { point: "/scratch".into(), fs: "lustre".into() },
+        Mount { point: "/home".into(), fs: "nfs".into() },
+    ];
+    let mut trace = DarshanTrace::new(header);
+
+    let stdio_heavy = matches!(spec.api, IoApi::StdioHeavy);
+    let shared = has(IssueLabel::SharedFileAccess);
+    let hml = has(IssueLabel::HighMetadataLoad);
+    let repetitive = has(IssueLabel::RepetitiveRead);
+    let rank_skew = has(IssueLabel::RankLoadImbalance);
+    let srv = has(IssueLabel::ServerLoadImbalance);
+    let stripe_width: i64 = if srv { 1 } else { 8 };
+
+    // -------- data-file layout --------------------------------------------
+    // Shared traces put all data in one rank −1 record; otherwise data files
+    // are assigned round-robin to ranks, with a 10× weight on rank 0 when
+    // rank imbalance is planted.
+    struct FileSlot {
+        rank: i64,
+        weight: f64,
+        path: String,
+    }
+    let mut slots: Vec<FileSlot> = Vec::new();
+    // Metadata-only side files (created/stated but carrying no data); used
+    // by shared-file traces whose spec still names many files (mdtest).
+    let mut meta_only: Vec<(i64, String)> = Vec::new();
+    if stdio_heavy {
+        // Bulk data goes through STDIO records instead; no POSIX data files.
+    } else if shared {
+        slots.push(FileSlot {
+            rank: -1,
+            weight: 1.0,
+            path: format!("/scratch/{}/shared.dat", spec.id),
+        });
+        for i in 1..spec.file_count {
+            let rank = (i as u64 % spec.nprocs) as i64;
+            meta_only.push((rank, format!("/scratch/{}/meta.{:05}", spec.id, i)));
+        }
+    } else {
+        let n = spec.file_count.max(1);
+        for i in 0..n {
+            let rank = (i as u64 % spec.nprocs) as i64;
+            let weight = if rank_skew && rank == 0 { 10.0 } else { 1.0 };
+            slots.push(FileSlot {
+                rank,
+                weight,
+                path: format!("/scratch/{}/data.{:04}", spec.id, i),
+            });
+        }
+    }
+    let total_weight: f64 = slots.iter().map(|s| s.weight).sum::<f64>().max(1.0);
+    // ±3 % deterministic jitter on the totals so same-group IO500 traces
+    // differ, then exact largest-remainder apportionment across files so
+    // low-volume traces do not round every share to zero.
+    let jitter = 1.0 + rng.gen_range(-0.03..0.03_f64);
+    let r_total = (read.ops as f64 * jitter).round() as i64;
+    let w_total = (write.ops as f64 * jitter).round() as i64;
+    let apportion = |total: i64| -> Vec<i64> {
+        let mut out = Vec::with_capacity(slots.len());
+        let mut cum_w = 0.0;
+        let mut allotted = 0i64;
+        for s in &slots {
+            cum_w += s.weight;
+            let upto = (total as f64 * cum_w / total_weight).round() as i64;
+            out.push((upto - allotted).max(0));
+            allotted = upto;
+        }
+        out
+    };
+    let r_ops_per_slot = apportion(r_total);
+    let w_ops_per_slot = apportion(w_total);
+
+    // Metadata budget: HML jobs burn ~40 % of runtime×ranks in metadata,
+    // healthy jobs ~2 %.
+    let meta_total = if hml { 0.40 } else { 0.02 } * spec.run_time * spec.nprocs as f64;
+    let (opens_per_file, stats_per_file) = if hml { (40i64, 120i64) } else { (1i64, 1i64) };
+
+    let mpiio = match spec.api {
+        IoApi::PosixOnly | IoApi::StdioHeavy => None,
+        IoApi::MpiioIndependent => Some((false, false)), // (read coll?, write coll?)
+        IoApi::MpiioCollective => Some((true, true)),
+        IoApi::MpiioIndepReadCollWrite => Some((false, true)),
+    };
+
+    for (idx, slot) in slots.iter().enumerate() {
+        let share = slot.weight / total_weight;
+        let r_ops = r_ops_per_slot[idx];
+        let w_ops = w_ops_per_slot[idx];
+        let r_bytes = r_ops * read.size;
+        let w_bytes = w_ops * write.size;
+        let record_id = stable_hash(&slot.path);
+
+        let mut rec = Record::new(Module::Posix, slot.rank, record_id, slot.path.clone())
+            .with_mount("/scratch", "lustre");
+        rec.set_ic("POSIX_OPENS", opens_per_file);
+        rec.set_ic("POSIX_STATS", stats_per_file);
+        rec.set_ic("POSIX_READS", r_ops);
+        rec.set_ic("POSIX_WRITES", w_ops);
+        rec.set_ic("POSIX_SEEKS", ((r_ops + w_ops) as f64 * 0.1) as i64);
+        rec.set_ic("POSIX_BYTES_READ", r_bytes);
+        rec.set_ic("POSIX_BYTES_WRITTEN", w_bytes);
+        // Byte range touched: repetitive readers sweep 1/5 of the volume
+        // five times; everyone else touches each byte once.
+        let read_range = if repetitive { (r_bytes / 5).max(1) } else { r_bytes };
+        rec.set_ic("POSIX_MAX_BYTE_READ", (read_range - 1).max(0));
+        rec.set_ic("POSIX_MAX_BYTE_WRITTEN", (w_bytes - 1).max(0));
+        if r_ops > 0 {
+            rec.set_ic("POSIX_MAX_READ_TIME_SIZE", read.size);
+            rec.set_ic("POSIX_SEQ_READS", (r_ops as f64 * read.seq_frac) as i64);
+            rec.set_ic("POSIX_CONSEC_READS", (r_ops as f64 * read.seq_frac * 0.8) as i64);
+            rec.set_ic(
+                &format!("POSIX_SIZE_READ_{}", SIZE_BINS[size_bin_index(read.size as u64)]),
+                r_ops,
+            );
+        }
+        if w_ops > 0 {
+            rec.set_ic("POSIX_MAX_WRITE_TIME_SIZE", write.size);
+            rec.set_ic("POSIX_SEQ_WRITES", (w_ops as f64 * write.seq_frac) as i64);
+            rec.set_ic("POSIX_CONSEC_WRITES", (w_ops as f64 * write.seq_frac * 0.8) as i64);
+            rec.set_ic(
+                &format!("POSIX_SIZE_WRITE_{}", SIZE_BINS[size_bin_index(write.size as u64)]),
+                w_ops,
+            );
+        }
+        rec.set_ic(
+            "POSIX_FILE_NOT_ALIGNED",
+            (r_ops as f64 * read.mis_frac + w_ops as f64 * write.mis_frac) as i64,
+        );
+        rec.set_ic("POSIX_FILE_ALIGNMENT", th::LUSTRE_ALIGNMENT);
+        rec.set_ic("POSIX_MEM_NOT_ALIGNED", ((r_ops + w_ops) as f64 * 0.05) as i64);
+        rec.set_ic("POSIX_MEM_ALIGNMENT", 8);
+        rec.set_ic("POSIX_RW_SWITCHES", (r_ops.min(w_ops) as f64 * 0.1) as i64);
+        // Dominant access size: whichever direction carries more operations.
+        let (a_size, a_count) = if r_ops >= w_ops { (read.size, r_ops) } else { (write.size, w_ops) };
+        if a_count > 0 {
+            rec.set_ic("POSIX_ACCESS1_ACCESS", a_size);
+            rec.set_ic("POSIX_ACCESS1_COUNT", a_count);
+        }
+        // Timing: bandwidth degraded by planted issues for realism.
+        let bw = effective_bandwidth(spec);
+        rec.set_fc("POSIX_F_READ_TIME", r_bytes as f64 / bw);
+        rec.set_fc("POSIX_F_WRITE_TIME", w_bytes as f64 / bw);
+        rec.set_fc("POSIX_F_META_TIME", meta_total * share);
+        if slot.rank < 0 {
+            // Shared record: per-rank balance counters.
+            let avg = (r_bytes + w_bytes) as f64 / spec.nprocs as f64;
+            let (fastest, slowest) = if rank_skew {
+                (avg * 5.0, avg * 0.4)
+            } else {
+                (avg * 1.1, avg * 0.9)
+            };
+            rec.set_ic("POSIX_FASTEST_RANK", 0);
+            rec.set_ic("POSIX_FASTEST_RANK_BYTES", fastest as i64);
+            rec.set_ic("POSIX_SLOWEST_RANK", (spec.nprocs - 1) as i64);
+            rec.set_ic("POSIX_SLOWEST_RANK_BYTES", slowest as i64);
+            let var_frac = if rank_skew { 2.0 } else { 0.01 };
+            rec.set_fc("POSIX_F_VARIANCE_RANK_BYTES", (avg * var_frac).powi(2));
+            rec.set_fc("POSIX_F_VARIANCE_RANK_TIME", if rank_skew { 25.0 } else { 0.05 });
+        }
+        trace.push(rec);
+
+        // MPI-IO record mirroring the interface-level activity.
+        if let Some((read_coll, write_coll)) = mpiio {
+            let mut m = Record::new(Module::Mpiio, slot.rank, record_id, slot.path.clone())
+                .with_mount("/scratch", "lustre");
+            let (ir, cr) = if read_coll { (0, r_ops) } else { (r_ops, 0) };
+            let (iw, cw) = if write_coll { (0, w_ops) } else { (w_ops, 0) };
+            m.set_ic("MPIIO_INDEP_READS", ir);
+            m.set_ic("MPIIO_COLL_READS", cr);
+            m.set_ic("MPIIO_INDEP_WRITES", iw);
+            m.set_ic("MPIIO_COLL_WRITES", cw);
+            if read_coll || write_coll {
+                m.set_ic("MPIIO_COLL_OPENS", opens_per_file);
+            } else {
+                m.set_ic("MPIIO_INDEP_OPENS", opens_per_file);
+            }
+            m.set_ic("MPIIO_BYTES_READ", r_bytes);
+            m.set_ic("MPIIO_BYTES_WRITTEN", w_bytes);
+            m.set_ic("MPIIO_RW_SWITCHES", (r_ops.min(w_ops) as f64 * 0.1) as i64);
+            if r_ops > 0 {
+                m.set_ic("MPIIO_MAX_READ_TIME_SIZE", read.size);
+                m.set_ic(
+                    &format!(
+                        "MPIIO_SIZE_READ_AGG_{}",
+                        SIZE_BINS[size_bin_index(read.size as u64)]
+                    ),
+                    r_ops,
+                );
+            }
+            if w_ops > 0 {
+                m.set_ic("MPIIO_MAX_WRITE_TIME_SIZE", write.size);
+                m.set_ic(
+                    &format!(
+                        "MPIIO_SIZE_WRITE_AGG_{}",
+                        SIZE_BINS[size_bin_index(write.size as u64)]
+                    ),
+                    w_ops,
+                );
+            }
+            m.set_fc("MPIIO_F_READ_TIME", r_bytes as f64 / effective_bandwidth(spec));
+            m.set_fc("MPIIO_F_WRITE_TIME", w_bytes as f64 / effective_bandwidth(spec));
+            m.set_fc("MPIIO_F_META_TIME", meta_total * 0.1 * share);
+            trace.push(m);
+        }
+
+        // Lustre striping record for every data file.
+        trace.push(lustre_record(slot.rank, record_id, &slot.path, stripe_width, idx, srv));
+    }
+
+    // Metadata-only records: opens and stats but no data traffic. They share
+    // the job's metadata budget with the data files (half/half when present).
+    if !meta_only.is_empty() {
+        let meta_share = meta_total * 0.5 / meta_only.len() as f64;
+        for (rank, path) in &meta_only {
+            let record_id = stable_hash(path);
+            let mut rec = Record::new(Module::Posix, *rank, record_id, path.clone())
+                .with_mount("/scratch", "lustre");
+            rec.set_ic("POSIX_OPENS", opens_per_file.max(2));
+            rec.set_ic("POSIX_STATS", stats_per_file.max(3));
+            rec.set_fc("POSIX_F_META_TIME", meta_share);
+            trace.push(rec);
+        }
+    }
+
+    // -------- STDIO records ------------------------------------------------
+    // Every job reads a small configuration file through STDIO; STDIO-heavy
+    // jobs additionally push their bulk data through streams.
+    let cfg_path = format!("/home/{}/app.cfg", spec.id);
+    let mut cfg = Record::new(Module::Stdio, 0, stable_hash(&cfg_path), cfg_path)
+        .with_mount("/home", "nfs");
+    cfg.set_ic("STDIO_OPENS", 1);
+    cfg.set_ic("STDIO_READS", 4);
+    cfg.set_ic("STDIO_BYTES_READ", 4096);
+    cfg.set_ic("STDIO_MAX_BYTE_READ", 4095);
+    cfg.set_fc("STDIO_F_META_TIME", 0.001);
+    cfg.set_fc("STDIO_F_READ_TIME", 0.002);
+    trace.push(cfg);
+
+    if stdio_heavy {
+        const STREAM_OP: i64 = 64 * 1024;
+        let n = spec.file_count.max(1);
+        for i in 0..n {
+            let path = format!("/scratch/{}/stream.{:02}", spec.id, i);
+            let record_id = stable_hash(&path);
+            let r_bytes = (spec.read_mb as i64) * 1024 * 1024 / n as i64;
+            let w_bytes = (spec.write_mb as i64) * 1024 * 1024 / n as i64;
+            let mut s = Record::new(Module::Stdio, 0, record_id, path.clone())
+                .with_mount("/scratch", "lustre");
+            s.set_ic("STDIO_OPENS", 1);
+            s.set_ic("STDIO_READS", r_bytes / STREAM_OP);
+            s.set_ic("STDIO_WRITES", w_bytes / STREAM_OP);
+            s.set_ic("STDIO_BYTES_READ", r_bytes);
+            s.set_ic("STDIO_BYTES_WRITTEN", w_bytes);
+            s.set_ic("STDIO_MAX_BYTE_READ", (r_bytes - 1).max(0));
+            s.set_ic("STDIO_MAX_BYTE_WRITTEN", (w_bytes - 1).max(0));
+            s.set_fc("STDIO_F_READ_TIME", r_bytes as f64 / effective_bandwidth(spec));
+            s.set_fc("STDIO_F_WRITE_TIME", w_bytes as f64 / effective_bandwidth(spec));
+            s.set_fc("STDIO_F_META_TIME", 0.01);
+            trace.push(s);
+            trace.push(lustre_record(0, record_id, &path, stripe_width, i, srv));
+        }
+    }
+
+    trace
+}
+
+/// Approximate delivered bandwidth (bytes/s) given the planted issues; only
+/// used for plausible timing counters, never for detection.
+fn effective_bandwidth(spec: &TraceSpec) -> f64 {
+    let mut bw: f64 = 2.0e9; // 2 GB/s healthy baseline
+    for l in spec.labels {
+        bw *= match l {
+            IssueLabel::SmallRead | IssueLabel::SmallWrite => 0.5,
+            IssueLabel::MisalignedRead | IssueLabel::MisalignedWrite => 0.7,
+            IssueLabel::RandomRead | IssueLabel::RandomWrite => 0.6,
+            IssueLabel::ServerLoadImbalance => 0.4,
+            IssueLabel::RankLoadImbalance => 0.7,
+            IssueLabel::HighMetadataLoad => 0.8,
+            _ => 1.0,
+        };
+    }
+    bw.max(5.0e7)
+}
+
+/// Build the LUSTRE striping record for one data file.
+fn lustre_record(
+    rank: i64,
+    record_id: u64,
+    path: &str,
+    stripe_width: i64,
+    file_idx: usize,
+    hotspot: bool,
+) -> Record {
+    let mut l =
+        Record::new(Module::Lustre, rank, record_id, path).with_mount("/scratch", "lustre");
+    l.set_ic("LUSTRE_OSTS", 64);
+    l.set_ic("LUSTRE_MDTS", 8);
+    l.set_ic("LUSTRE_STRIPE_OFFSET", 0);
+    l.set_ic("LUSTRE_STRIPE_SIZE", th::LUSTRE_ALIGNMENT);
+    l.set_ic("LUSTRE_STRIPE_WIDTH", stripe_width);
+    for k in 0..stripe_width.max(1) as usize {
+        // Hotspot jobs land every file on OST 0; healthy jobs spread stripes
+        // across the 64 OSTs.
+        let ost = if hotspot { 0 } else { ((file_idx * 7 + k * 3) % 64) as i64 };
+        l.set_ic(&format!("LUSTRE_OST_ID_{k}"), ost);
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::all_specs;
+
+    fn spec(id: &str) -> TraceSpec {
+        all_specs().into_iter().find(|s| s.id == id).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = spec("ra_amrex");
+        let a = synthesize(&s);
+        let b = synthesize(&s);
+        assert_eq!(darshan::write::write_text(&a), darshan::write::write_text(&b));
+    }
+
+    #[test]
+    fn shared_trace_uses_one_shared_record() {
+        let t = synthesize(&spec("sb04_shared_file"));
+        let posix: Vec<_> = t.records_for(Module::Posix).collect();
+        assert_eq!(posix.len(), 1);
+        assert!(posix[0].is_shared());
+    }
+
+    #[test]
+    fn fpp_trace_assigns_ranks() {
+        let t = synthesize(&spec("sb01_small_io"));
+        let ranks: Vec<i64> = t.records_for(Module::Posix).map(|r| r.rank).collect();
+        assert!(ranks.iter().all(|&r| r >= 0));
+        assert_eq!(ranks.len(), 4);
+    }
+
+    #[test]
+    fn posix_only_specs_have_no_mpiio() {
+        let t = synthesize(&spec("io500_easy_posix_small_1"));
+        assert!(!t.module_present(Module::Mpiio));
+        assert!(t.module_present(Module::Posix));
+    }
+
+    #[test]
+    fn small_labels_put_ops_in_small_bins() {
+        let t = synthesize(&spec("sb01_small_io"));
+        let agg = darshan::derive::aggregate(&t, Module::Posix).unwrap();
+        assert!(agg.small_read_fraction() > 0.9);
+        assert!(agg.small_write_fraction() > 0.9);
+    }
+
+    #[test]
+    fn unlabelled_directions_are_large_and_aligned() {
+        let t = synthesize(&spec("sb09_independent_io"));
+        let agg = darshan::derive::aggregate(&t, Module::Posix).unwrap();
+        assert_eq!(agg.small_read_fraction(), 0.0);
+        assert!(agg.misaligned_fraction() < 0.05);
+        assert_eq!(agg.max_read_time_size % th::LUSTRE_ALIGNMENT, 0);
+    }
+
+    #[test]
+    fn server_imbalance_pins_stripe_width_one() {
+        let t = synthesize(&spec("sb10_server_hotspot"));
+        let l = darshan::derive::lustre_summary(&t).unwrap();
+        assert_eq!(l.mean_stripe_width(), 1.0);
+        assert_eq!(l.distinct_osts_used, 1);
+        let healthy = synthesize(&spec("sb09_independent_io"));
+        let lh = darshan::derive::lustre_summary(&healthy).unwrap();
+        assert!(lh.mean_stripe_width() > 1.5);
+        assert!(lh.distinct_osts_used > 4);
+    }
+
+    #[test]
+    fn stdio_heavy_routes_bytes_through_stdio() {
+        let t = synthesize(&spec("sb07_stdio_heavy"));
+        let s = darshan::derive::TraceSummary::of(&t);
+        assert!(s.stdio_read_fraction() > 0.9);
+        assert!(s.stdio_write_fraction() > 0.9);
+    }
+
+    #[test]
+    fn repetitive_read_shrinks_byte_range() {
+        let t = synthesize(&spec("sb05_repetitive_read"));
+        let rec = t.records_for(Module::Posix).next().unwrap();
+        let bytes = rec.ic("POSIX_BYTES_READ");
+        let range = rec.ic("POSIX_MAX_BYTE_READ") + 1;
+        assert!(bytes as f64 / range as f64 > 4.0);
+    }
+
+    #[test]
+    fn rank_skew_inflates_rank_zero() {
+        let t = synthesize(&spec("sb06_rank_imbalance"));
+        let mut by_rank = std::collections::BTreeMap::new();
+        for r in t.records_for(Module::Posix) {
+            *by_rank.entry(r.rank).or_insert(0i64) +=
+                r.ic("POSIX_BYTES_READ") + r.ic("POSIX_BYTES_WRITTEN");
+        }
+        let r0 = by_rank[&0];
+        let r1 = by_rank[&1];
+        assert!(r0 > 5 * r1, "rank0 {r0} vs rank1 {r1}");
+    }
+
+    #[test]
+    fn collective_api_yields_collective_counters() {
+        let t = synthesize(&spec("ra_openpmd_fixed"));
+        let agg = darshan::derive::aggregate(&t, Module::Mpiio).unwrap();
+        assert!(agg.collective_read_fraction() > 0.9);
+        assert!(agg.collective_write_fraction() > 0.9);
+        let indep = synthesize(&spec("ra_hacc_io"));
+        let ai = darshan::derive::aggregate(&indep, Module::Mpiio).unwrap();
+        assert_eq!(ai.collective_read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mixed_api_splits_directions() {
+        let t = synthesize(&spec("ra_vpic_io"));
+        let agg = darshan::derive::aggregate(&t, Module::Mpiio).unwrap();
+        assert_eq!(agg.collective_read_fraction(), 0.0);
+        assert!(agg.collective_write_fraction() > 0.9);
+    }
+
+    #[test]
+    fn every_trace_has_config_stdio_record() {
+        for s in all_specs() {
+            let t = synthesize(&s);
+            assert!(t.module_present(Module::Stdio), "{}", s.id);
+        }
+    }
+
+    #[test]
+    fn traces_round_trip_through_text_format() {
+        for s in all_specs().into_iter().take(6) {
+            let t = synthesize(&s);
+            let text = darshan::write::write_text(&t);
+            let back = darshan::parse::parse_text(&text).unwrap();
+            assert_eq!(back.records.len(), t.records.len(), "{}", s.id);
+        }
+    }
+}

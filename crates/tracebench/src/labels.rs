@@ -1,0 +1,232 @@
+//! The TraceBench I/O issue label set (paper Table II).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the sixteen I/O performance issue labels used to annotate
+/// TraceBench traces (paper Table II; `[Read|Write]` variants expanded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IssueLabel {
+    /// Significant time in metadata operations (lookups, stats, opens).
+    HighMetadataLoad,
+    /// Read requests not aligned with file-system stripe boundaries.
+    MisalignedRead,
+    /// Write requests not aligned with file-system stripe boundaries.
+    MisalignedWrite,
+    /// Random access pattern on reads.
+    RandomRead,
+    /// Random access pattern on writes.
+    RandomWrite,
+    /// Multiple processes/ranks accessing the same file.
+    SharedFileAccess,
+    /// Frequent reads with a small number of bytes.
+    SmallRead,
+    /// Frequent writes with a small number of bytes.
+    SmallWrite,
+    /// Repeated reads of the same data.
+    RepetitiveRead,
+    /// Disproportionate traffic to some servers / storage under-utilised.
+    ServerLoadImbalance,
+    /// Some MPI ranks issue disproportionate I/O traffic.
+    RankLoadImbalance,
+    /// Multiple processes without leveraging MPI(-IO).
+    MultiProcessWithoutMpi,
+    /// No collective I/O on reads despite MPI-IO usage.
+    NoCollectiveRead,
+    /// No collective I/O on writes despite MPI-IO usage.
+    NoCollectiveWrite,
+    /// Low-level library (STDIO) used for significant read volume.
+    LowLevelLibraryRead,
+    /// Low-level library (STDIO) used for significant write volume.
+    LowLevelLibraryWrite,
+}
+
+impl IssueLabel {
+    /// All labels in Table II order.
+    pub const ALL: [IssueLabel; 16] = [
+        IssueLabel::HighMetadataLoad,
+        IssueLabel::MisalignedRead,
+        IssueLabel::MisalignedWrite,
+        IssueLabel::RandomWrite,
+        IssueLabel::RandomRead,
+        IssueLabel::SharedFileAccess,
+        IssueLabel::SmallRead,
+        IssueLabel::SmallWrite,
+        IssueLabel::RepetitiveRead,
+        IssueLabel::ServerLoadImbalance,
+        IssueLabel::RankLoadImbalance,
+        IssueLabel::MultiProcessWithoutMpi,
+        IssueLabel::NoCollectiveRead,
+        IssueLabel::NoCollectiveWrite,
+        IssueLabel::LowLevelLibraryRead,
+        IssueLabel::LowLevelLibraryWrite,
+    ];
+
+    /// Stable machine identifier (snake case).
+    pub fn key(&self) -> &'static str {
+        match self {
+            IssueLabel::HighMetadataLoad => "high_metadata_load",
+            IssueLabel::MisalignedRead => "misaligned_read",
+            IssueLabel::MisalignedWrite => "misaligned_write",
+            IssueLabel::RandomRead => "random_read",
+            IssueLabel::RandomWrite => "random_write",
+            IssueLabel::SharedFileAccess => "shared_file_access",
+            IssueLabel::SmallRead => "small_read",
+            IssueLabel::SmallWrite => "small_write",
+            IssueLabel::RepetitiveRead => "repetitive_read",
+            IssueLabel::ServerLoadImbalance => "server_load_imbalance",
+            IssueLabel::RankLoadImbalance => "rank_load_imbalance",
+            IssueLabel::MultiProcessWithoutMpi => "multi_process_without_mpi",
+            IssueLabel::NoCollectiveRead => "no_collective_read",
+            IssueLabel::NoCollectiveWrite => "no_collective_write",
+            IssueLabel::LowLevelLibraryRead => "low_level_library_read",
+            IssueLabel::LowLevelLibraryWrite => "low_level_library_write",
+        }
+    }
+
+    /// Human-readable label text as printed in the paper's Table II.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            IssueLabel::HighMetadataLoad => "High Metadata Load",
+            IssueLabel::MisalignedRead => "Misaligned Read Requests",
+            IssueLabel::MisalignedWrite => "Misaligned Write Requests",
+            IssueLabel::RandomRead => "Random Access Patterns on Read",
+            IssueLabel::RandomWrite => "Random Access Patterns on Write",
+            IssueLabel::SharedFileAccess => "Shared File Access",
+            IssueLabel::SmallRead => "Small Read I/O Requests",
+            IssueLabel::SmallWrite => "Small Write I/O Requests",
+            IssueLabel::RepetitiveRead => "Repetitive Data Access on Read",
+            IssueLabel::ServerLoadImbalance => "Server Load Imbalance",
+            IssueLabel::RankLoadImbalance => "Rank Load Imbalance",
+            IssueLabel::MultiProcessWithoutMpi => "Multi-Process Without MPI",
+            IssueLabel::NoCollectiveRead => "No Collective I/O on Read",
+            IssueLabel::NoCollectiveWrite => "No Collective I/O on Write",
+            IssueLabel::LowLevelLibraryRead => "Low-Level Library on Read",
+            IssueLabel::LowLevelLibraryWrite => "Low-Level Library on Write",
+        }
+    }
+
+    /// Description as in Table II.
+    pub fn description(&self) -> &'static str {
+        match self {
+            IssueLabel::HighMetadataLoad => {
+                "The application spends a significant amount of time performing metadata \
+                 operations (e.g., directory lookups, file system operations)."
+            }
+            IssueLabel::MisalignedRead => {
+                "The application makes read requests that are not aligned with the file \
+                 system's stripe boundaries."
+            }
+            IssueLabel::MisalignedWrite => {
+                "The application makes write requests that are not aligned with the file \
+                 system's stripe boundaries."
+            }
+            IssueLabel::RandomRead => {
+                "The application issues read requests in a random access pattern."
+            }
+            IssueLabel::RandomWrite => {
+                "The application issues write requests in a random access pattern."
+            }
+            IssueLabel::SharedFileAccess => {
+                "The application has multiple processes or ranks accessing the same file."
+            }
+            IssueLabel::SmallRead => {
+                "The application is making frequent read requests with a small number of bytes."
+            }
+            IssueLabel::SmallWrite => {
+                "The application is making frequent write requests with a small number of bytes."
+            }
+            IssueLabel::RepetitiveRead => {
+                "The application is making read requests to the same data repeatedly."
+            }
+            IssueLabel::ServerLoadImbalance => {
+                "The application issues a disproportionate amount of I/O traffic to some \
+                 servers compared to others or does not properly utilize the available \
+                 storage resources."
+            }
+            IssueLabel::RankLoadImbalance => {
+                "The application has MPI ranks issuing a disproportionate amount of I/O \
+                 traffic compared to others."
+            }
+            IssueLabel::MultiProcessWithoutMpi => {
+                "The application has multiple processes but does not leverage MPI."
+            }
+            IssueLabel::NoCollectiveRead => {
+                "The application does not perform collective I/O on read operations."
+            }
+            IssueLabel::NoCollectiveWrite => {
+                "The application does not perform collective I/O on write operations."
+            }
+            IssueLabel::LowLevelLibraryRead => {
+                "The application relies on a low-level library like STDIO for a significant \
+                 amount of read operations outside of loading/reading configuration files."
+            }
+            IssueLabel::LowLevelLibraryWrite => {
+                "The application relies on a low-level library like STDIO for a significant \
+                 amount of write operations outside of writing output/configuration files."
+            }
+        }
+    }
+}
+
+impl fmt::Display for IssueLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+impl FromStr for IssueLabel {
+    type Err = ();
+    /// Parses either the machine key or the display name.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        IssueLabel::ALL
+            .into_iter()
+            .find(|l| l.key() == s || l.display_name().eq_ignore_ascii_case(s))
+            .ok_or(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn sixteen_distinct_labels() {
+        let set: BTreeSet<_> = IssueLabel::ALL.into_iter().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        for l in IssueLabel::ALL {
+            assert_eq!(l.key().parse::<IssueLabel>().unwrap(), l);
+            assert_eq!(l.display_name().parse::<IssueLabel>().unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn keys_are_snake_case_and_unique() {
+        let mut keys: Vec<_> = IssueLabel::ALL.iter().map(|l| l.key()).collect();
+        keys.sort_unstable();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+        for k in keys {
+            assert!(k.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn descriptions_non_empty() {
+        for l in IssueLabel::ALL {
+            assert!(l.description().len() > 20, "{l:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        assert!("definitely_not_a_label".parse::<IssueLabel>().is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! TraceBench: the labelled Darshan-trace benchmark suite from the IOAgent
+//! paper (IPDPS 2025), reproduced synthetically.
+//!
+//! The paper's TraceBench contains 40+ Darshan traces from three sources —
+//! 10 rudimentary C programs (Simple-Bench), 21 IO500 configurations, and 9
+//! real-application runs — annotated by I/O experts with 182 issue labels
+//! drawn from a 16-label taxonomy (paper Tables II & III).
+//!
+//! We cannot ship the original production traces, so this crate *generates*
+//! them: each trace spec pins the source, workload parameters, and
+//! ground-truth label set, and [`gen::synthesize`] builds a Darshan trace
+//! that provably exhibits exactly those issues (validated by the reference
+//! detector in [`check`]). The per-source label distribution reproduces
+//! Table III exactly, including the 182-issue total.
+//!
+//! ```
+//! use tracebench::TraceBench;
+//!
+//! let suite = TraceBench::generate();
+//! assert_eq!(suite.len(), 40);
+//! assert_eq!(suite.table3().total_issues(), 182);
+//! ```
+
+pub mod check;
+pub mod dxt;
+pub mod gen;
+pub mod labels;
+pub mod spec;
+pub mod suite;
+pub mod thresholds;
+
+pub use check::reference_detect;
+pub use dxt::synthesize_dxt;
+pub use gen::{stable_hash, synthesize};
+pub use labels::IssueLabel;
+pub use spec::{all_specs, IoApi, Source, TraceSpec};
+pub use suite::{LabeledTrace, Table3, TraceBench};

@@ -1,0 +1,706 @@
+//! Static specifications of the 40 TraceBench traces.
+//!
+//! Each spec pins the trace's provenance (Simple-Bench / IO500 / Real
+//! Applications), the expert-confirmed issue labels, and the workload
+//! parameters the generator uses to synthesise a Darshan trace exhibiting
+//! exactly those issues. The per-source label totals reproduce the paper's
+//! Table III (182 issues over 40 traces).
+
+use crate::labels::IssueLabel;
+use serde::{Deserialize, Serialize};
+use IssueLabel::*;
+
+/// Provenance of a TraceBench trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// Rudimentary C programs each targeting specific issues.
+    SimpleBench,
+    /// Configurations of the IO500 benchmark.
+    Io500,
+    /// Traces of real applications on production systems.
+    RealApps,
+}
+
+impl Source {
+    /// All sources in paper order.
+    pub const ALL: [Source; 3] = [Source::SimpleBench, Source::Io500, Source::RealApps];
+
+    /// Short name as used in the paper's tables.
+    pub fn short(&self) -> &'static str {
+        match self {
+            Source::SimpleBench => "SB",
+            Source::Io500 => "IO500",
+            Source::RealApps => "RA",
+        }
+    }
+
+    /// Full display name.
+    pub fn display(&self) -> &'static str {
+        match self {
+            Source::SimpleBench => "Simple-Bench",
+            Source::Io500 => "IO500",
+            Source::RealApps => "Real-Applications",
+        }
+    }
+}
+
+/// How the workload's I/O interfaces are wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoApi {
+    /// POSIX only, no MPI-IO records.
+    PosixOnly,
+    /// MPI-IO with only independent operations in both directions.
+    MpiioIndependent,
+    /// MPI-IO with collective operations in both directions.
+    MpiioCollective,
+    /// MPI-IO with independent reads but collective writes.
+    MpiioIndepReadCollWrite,
+    /// Bulk data through STDIO streams (POSIX only carries a trickle).
+    StdioHeavy,
+}
+
+/// Static description of one TraceBench trace.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceSpec {
+    /// Stable identifier, e.g. `sb01_small_io`.
+    pub id: &'static str,
+    /// Workload name for display.
+    pub name: &'static str,
+    /// Provenance bucket.
+    pub source: Source,
+    /// Ground-truth issue labels (expert-confirmed in the paper).
+    pub labels: &'static [IssueLabel],
+    /// MPI process count.
+    pub nprocs: u64,
+    /// Wall-clock runtime (seconds).
+    pub run_time: f64,
+    /// Number of data files (shared-file traces use 1 data file).
+    pub file_count: usize,
+    /// Total megabytes read across the job.
+    pub read_mb: u64,
+    /// Total megabytes written across the job.
+    pub write_mb: u64,
+    /// I/O interface wiring.
+    pub api: IoApi,
+    /// One-line description of the scenario.
+    pub description: &'static str,
+}
+
+impl TraceSpec {
+    /// Whether a label is in the ground-truth set.
+    pub fn has(&self, label: IssueLabel) -> bool {
+        self.labels.contains(&label)
+    }
+}
+
+/// All 40 trace specifications.
+pub fn all_specs() -> Vec<TraceSpec> {
+    let mut v = Vec::with_capacity(40);
+    v.extend(simple_bench_specs());
+    v.extend(io500_specs());
+    v.extend(real_app_specs());
+    v
+}
+
+/// The 10 Simple-Bench specs.
+pub fn simple_bench_specs() -> Vec<TraceSpec> {
+    vec![
+        TraceSpec {
+            id: "sb01_small_io",
+            name: "simple small I/O",
+            source: Source::SimpleBench,
+            labels: &[SmallRead, SmallWrite, NoCollectiveRead, NoCollectiveWrite],
+            nprocs: 4,
+            run_time: 30.0,
+            file_count: 4,
+            read_mb: 2,
+            write_mb: 2,
+            api: IoApi::MpiioIndependent,
+            description: "C program issuing 8 KiB independent reads and writes per rank",
+        },
+        TraceSpec {
+            id: "sb02_misaligned",
+            name: "simple misaligned I/O",
+            source: Source::SimpleBench,
+            labels: &[
+                MisalignedRead,
+                MisalignedWrite,
+                NoCollectiveRead,
+                NoCollectiveWrite,
+                ServerLoadImbalance,
+            ],
+            nprocs: 4,
+            run_time: 35.0,
+            file_count: 4,
+            read_mb: 600,
+            write_mb: 600,
+            api: IoApi::MpiioIndependent,
+            description: "large transfers offset off the stripe boundary on a 1-stripe file",
+        },
+        TraceSpec {
+            id: "sb03_metadata_storm",
+            name: "simple metadata storm",
+            source: Source::SimpleBench,
+            labels: &[HighMetadataLoad, ServerLoadImbalance],
+            nprocs: 1,
+            run_time: 40.0,
+            file_count: 50,
+            read_mb: 0,
+            write_mb: 16,
+            api: IoApi::PosixOnly,
+            description: "open/stat/close loop over many small files",
+        },
+        TraceSpec {
+            id: "sb04_shared_file",
+            name: "simple shared file",
+            source: Source::SimpleBench,
+            labels: &[SharedFileAccess, NoCollectiveRead, NoCollectiveWrite, ServerLoadImbalance],
+            nprocs: 4,
+            run_time: 45.0,
+            file_count: 1,
+            read_mb: 512,
+            write_mb: 512,
+            api: IoApi::MpiioIndependent,
+            description: "all ranks read and write one file with independent MPI-IO",
+        },
+        TraceSpec {
+            id: "sb05_repetitive_read",
+            name: "simple repetitive read",
+            source: Source::SimpleBench,
+            labels: &[RepetitiveRead, NoCollectiveRead, ServerLoadImbalance],
+            nprocs: 4,
+            run_time: 50.0,
+            file_count: 4,
+            read_mb: 640,
+            write_mb: 0,
+            api: IoApi::MpiioIndependent,
+            description: "re-reads the same 128 MiB region five times",
+        },
+        TraceSpec {
+            id: "sb06_rank_imbalance",
+            name: "simple rank imbalance",
+            source: Source::SimpleBench,
+            labels: &[RankLoadImbalance, ServerLoadImbalance],
+            nprocs: 8,
+            run_time: 55.0,
+            file_count: 8,
+            read_mb: 256,
+            write_mb: 256,
+            api: IoApi::MpiioCollective,
+            description: "rank 0 moves ten times the data of every other rank",
+        },
+        TraceSpec {
+            id: "sb07_stdio_heavy",
+            name: "simple STDIO streams",
+            source: Source::SimpleBench,
+            labels: &[LowLevelLibraryRead, LowLevelLibraryWrite],
+            nprocs: 1,
+            run_time: 25.0,
+            file_count: 2,
+            read_mb: 64,
+            write_mb: 64,
+            api: IoApi::StdioHeavy,
+            description: "bulk data pushed through fread/fwrite streams",
+        },
+        TraceSpec {
+            id: "sb08_misaligned_small",
+            name: "simple misaligned small I/O",
+            source: Source::SimpleBench,
+            labels: &[
+                MisalignedRead,
+                MisalignedWrite,
+                SmallRead,
+                SmallWrite,
+                NoCollectiveRead,
+                NoCollectiveWrite,
+                ServerLoadImbalance,
+            ],
+            nprocs: 4,
+            run_time: 60.0,
+            file_count: 4,
+            read_mb: 20,
+            write_mb: 20,
+            api: IoApi::MpiioIndependent,
+            description: "47008-byte unaligned independent transfers on 1-stripe files",
+        },
+        TraceSpec {
+            id: "sb09_independent_io",
+            name: "simple independent I/O",
+            source: Source::SimpleBench,
+            labels: &[NoCollectiveRead, NoCollectiveWrite],
+            nprocs: 4,
+            run_time: 30.0,
+            file_count: 4,
+            read_mb: 512,
+            write_mb: 512,
+            api: IoApi::MpiioIndependent,
+            description: "well-formed 4 MiB I/O that simply never goes collective",
+        },
+        TraceSpec {
+            id: "sb10_server_hotspot",
+            name: "simple server hotspot",
+            source: Source::SimpleBench,
+            labels: &[ServerLoadImbalance],
+            nprocs: 1,
+            run_time: 40.0,
+            file_count: 1,
+            read_mb: 0,
+            write_mb: 1024,
+            api: IoApi::PosixOnly,
+            description: "1 GiB streamed onto a single OST via stripe count 1",
+        },
+    ]
+}
+
+/// The 21 IO500 specs.
+pub fn io500_specs() -> Vec<TraceSpec> {
+    let mut v = Vec::with_capacity(21);
+    // Group 1: ior-easy, POSIX api, 8 KiB transfers (×4).
+    for i in 1..=4u32 {
+        v.push(TraceSpec {
+            id: match i {
+                1 => "io500_easy_posix_small_1",
+                2 => "io500_easy_posix_small_2",
+                3 => "io500_easy_posix_small_3",
+                _ => "io500_easy_posix_small_4",
+            },
+            name: "IO500 ior-easy POSIX 8k",
+            source: Source::Io500,
+            labels: &[
+                SmallRead,
+                SmallWrite,
+                MisalignedRead,
+                MisalignedWrite,
+                MultiProcessWithoutMpi,
+                ServerLoadImbalance,
+            ],
+            nprocs: 16,
+            run_time: 300.0,
+            file_count: 16,
+            read_mb: 200,
+            write_mb: 200,
+            api: IoApi::PosixOnly,
+            description: "ior-easy tuned to 8k transfers through independent POSIX ops",
+        });
+    }
+    // Group 2: ior-hard, POSIX api, 47008-byte shared-file transfers (×6).
+    for i in 1..=6u32 {
+        v.push(TraceSpec {
+            id: match i {
+                1 => "io500_hard_posix_1",
+                2 => "io500_hard_posix_2",
+                3 => "io500_hard_posix_3",
+                4 => "io500_hard_posix_4",
+                5 => "io500_hard_posix_5",
+                _ => "io500_hard_posix_6",
+            },
+            name: "IO500 ior-hard POSIX",
+            source: Source::Io500,
+            labels: &[
+                SharedFileAccess,
+                SmallRead,
+                SmallWrite,
+                MisalignedRead,
+                MisalignedWrite,
+                MultiProcessWithoutMpi,
+                ServerLoadImbalance,
+            ],
+            nprocs: 16,
+            run_time: 360.0,
+            file_count: 1,
+            read_mb: 300,
+            write_mb: 300,
+            api: IoApi::PosixOnly,
+            description: "ior-hard 47008-byte interleaved writes to one shared file",
+        });
+    }
+    // Group 3: ior-easy, MPI-IO api forced independent (×3; Srv on 1 & 2).
+    for i in 1..=3u32 {
+        v.push(TraceSpec {
+            id: match i {
+                1 => "io500_easy_mpiio_indep_1",
+                2 => "io500_easy_mpiio_indep_2",
+                _ => "io500_easy_mpiio_indep_3",
+            },
+            name: "IO500 ior-easy MPI-IO independent",
+            source: Source::Io500,
+            labels: if i <= 2 {
+                &[NoCollectiveRead, NoCollectiveWrite, ServerLoadImbalance]
+            } else {
+                &[NoCollectiveRead, NoCollectiveWrite]
+            },
+            nprocs: 16,
+            run_time: 420.0,
+            file_count: 16,
+            read_mb: 2048,
+            write_mb: 2048,
+            api: IoApi::MpiioIndependent,
+            description: "ior-easy through MPI-IO with collective buffering disabled",
+        });
+    }
+    // Group 4: ior-hard, MPI-IO independent, random offsets (×4; Srv on 1 & 2).
+    for i in 1..=4u32 {
+        v.push(TraceSpec {
+            id: match i {
+                1 => "io500_hard_mpiio_indep_1",
+                2 => "io500_hard_mpiio_indep_2",
+                3 => "io500_hard_mpiio_indep_3",
+                _ => "io500_hard_mpiio_indep_4",
+            },
+            name: "IO500 ior-hard MPI-IO independent random",
+            source: Source::Io500,
+            labels: if i <= 2 {
+                &[
+                    SharedFileAccess,
+                    NoCollectiveRead,
+                    NoCollectiveWrite,
+                    RandomRead,
+                    RandomWrite,
+                    ServerLoadImbalance,
+                ]
+            } else {
+                &[
+                    SharedFileAccess,
+                    NoCollectiveRead,
+                    NoCollectiveWrite,
+                    RandomRead,
+                    RandomWrite,
+                ]
+            },
+            nprocs: 16,
+            run_time: 480.0,
+            file_count: 1,
+            read_mb: 1024,
+            write_mb: 1024,
+            api: IoApi::MpiioIndependent,
+            description: "ior-hard random offsets into one shared file, independent MPI-IO",
+        });
+    }
+    // Group 5: mdtest-hard (×2).
+    for i in 1..=2u32 {
+        v.push(TraceSpec {
+            id: if i == 1 { "io500_mdtest_hard_1" } else { "io500_mdtest_hard_2" },
+            name: "IO500 mdtest-hard",
+            source: Source::Io500,
+            labels: &[HighMetadataLoad, SharedFileAccess, MultiProcessWithoutMpi],
+            nprocs: 16,
+            run_time: 240.0,
+            file_count: 1000,
+            read_mb: 200,
+            write_mb: 200,
+            api: IoApi::PosixOnly,
+            description: "mdtest-hard create/stat/unlink storm over a shared directory tree",
+        });
+    }
+    // Group 6a: random POSIX shared-file run.
+    v.push(TraceSpec {
+        id: "io500_rnd_posix_shared",
+        name: "IO500 ior-rnd POSIX shared",
+        source: Source::Io500,
+        labels: &[
+            SharedFileAccess,
+            MultiProcessWithoutMpi,
+            RandomRead,
+            RandomWrite,
+            ServerLoadImbalance,
+        ],
+        nprocs: 16,
+        run_time: 300.0,
+        file_count: 1,
+        read_mb: 1024,
+        write_mb: 1024,
+        api: IoApi::PosixOnly,
+        description: "random 4 MiB POSIX accesses into one shared 1-stripe file",
+    });
+    // Group 6b: shared-file independent MPI-IO run.
+    v.push(TraceSpec {
+        id: "io500_mpiio_indep_shared",
+        name: "IO500 ior-easy MPI-IO shared",
+        source: Source::Io500,
+        labels: &[SharedFileAccess, NoCollectiveRead, NoCollectiveWrite],
+        nprocs: 16,
+        run_time: 300.0,
+        file_count: 1,
+        read_mb: 1024,
+        write_mb: 1024,
+        api: IoApi::MpiioIndependent,
+        description: "sequential 4 MiB independent MPI-IO into one well-striped shared file",
+    });
+    v
+}
+
+/// The 9 Real-Application specs.
+pub fn real_app_specs() -> Vec<TraceSpec> {
+    vec![
+        TraceSpec {
+            id: "ra_amrex",
+            name: "AMReX",
+            source: Source::RealApps,
+            labels: &[
+                NoCollectiveRead,
+                NoCollectiveWrite,
+                ServerLoadImbalance,
+                SmallWrite,
+                MisalignedWrite,
+            ],
+            nprocs: 8,
+            run_time: 722.0,
+            file_count: 11,
+            read_mb: 200,
+            write_mb: 500,
+            api: IoApi::MpiioIndependent,
+            description: "block-structured AMR plotfile dump: small unaligned writes, \
+                          stripe count 1, MPI-IO never goes collective",
+        },
+        TraceSpec {
+            id: "ra_e2e_orig",
+            name: "E2E (original)",
+            source: Source::RealApps,
+            labels: &[SmallRead, MisalignedRead, SmallWrite, MisalignedWrite, HighMetadataLoad],
+            nprocs: 16,
+            run_time: 400.0,
+            file_count: 16,
+            read_mb: 300,
+            write_mb: 300,
+            api: IoApi::MpiioCollective,
+            description: "end-to-end coupling workflow with 47008-byte records and \
+                          per-step metadata churn",
+        },
+        TraceSpec {
+            id: "ra_e2e_fixed",
+            name: "E2E (recollected)",
+            source: Source::RealApps,
+            labels: &[MisalignedWrite],
+            nprocs: 16,
+            run_time: 260.0,
+            file_count: 16,
+            read_mb: 500,
+            write_mb: 2048,
+            api: IoApi::MpiioCollective,
+            description: "E2E after tuning: large collective I/O, one residual \
+                          off-boundary write pattern",
+        },
+        TraceSpec {
+            id: "ra_openpmd_orig",
+            name: "OpenPMD (original)",
+            source: Source::RealApps,
+            labels: &[SharedFileAccess, RandomRead, RandomWrite, MisalignedWrite, SmallWrite],
+            nprocs: 32,
+            run_time: 540.0,
+            file_count: 1,
+            read_mb: 500,
+            write_mb: 800,
+            api: IoApi::MpiioCollective,
+            description: "particle-mesh dumps into one shared series file with \
+                          scattered small unaligned writes",
+        },
+        TraceSpec {
+            id: "ra_openpmd_fixed",
+            name: "OpenPMD (recollected)",
+            source: Source::RealApps,
+            labels: &[SharedFileAccess],
+            nprocs: 32,
+            run_time: 310.0,
+            file_count: 1,
+            read_mb: 1024,
+            write_mb: 2048,
+            api: IoApi::MpiioCollective,
+            description: "OpenPMD after chunk-size tuning: clean collective shared-file I/O",
+        },
+        TraceSpec {
+            id: "ra_hacc_io",
+            name: "HACC-IO",
+            source: Source::RealApps,
+            labels: &[
+                SharedFileAccess,
+                SmallRead,
+                MisalignedRead,
+                SmallWrite,
+                MisalignedWrite,
+                NoCollectiveRead,
+                NoCollectiveWrite,
+            ],
+            nprocs: 32,
+            run_time: 480.0,
+            file_count: 1,
+            read_mb: 1024,
+            write_mb: 1024,
+            api: IoApi::MpiioIndependent,
+            description: "cosmology particle checkpoint: every rank writes small \
+                          unaligned records independently into one file",
+        },
+        TraceSpec {
+            id: "ra_vpic_io",
+            name: "VPIC-IO",
+            source: Source::RealApps,
+            labels: &[
+                SharedFileAccess,
+                SmallRead,
+                MisalignedRead,
+                SmallWrite,
+                MisalignedWrite,
+                NoCollectiveRead,
+                RandomWrite,
+            ],
+            nprocs: 64,
+            run_time: 600.0,
+            file_count: 1,
+            read_mb: 600,
+            write_mb: 900,
+            api: IoApi::MpiioIndepReadCollWrite,
+            description: "plasma physics particle dump: independent small reads, \
+                          scattered small collective writes",
+        },
+        TraceSpec {
+            id: "ra_nyx",
+            name: "Nyx",
+            source: Source::RealApps,
+            labels: &[SmallRead, MisalignedRead, RankLoadImbalance, NoCollectiveRead],
+            nprocs: 16,
+            run_time: 450.0,
+            file_count: 16,
+            read_mb: 300,
+            write_mb: 1024,
+            api: IoApi::MpiioIndepReadCollWrite,
+            description: "cosmology AMR restart: rank 0 re-reads grid metadata in \
+                          small unaligned chunks",
+        },
+        TraceSpec {
+            id: "ra_montage",
+            name: "Montage",
+            source: Source::RealApps,
+            labels: &[HighMetadataLoad, SmallRead, SmallWrite, RandomRead, ServerLoadImbalance],
+            nprocs: 1,
+            run_time: 380.0,
+            file_count: 30,
+            read_mb: 50,
+            write_mb: 50,
+            api: IoApi::PosixOnly,
+            description: "astronomy mosaicking workflow: thousands of small FITS \
+                          accesses across many files",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn forty_specs_with_unique_ids() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 40);
+        let mut ids: Vec<_> = specs.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn source_counts_match_paper() {
+        let specs = all_specs();
+        let count = |s: Source| specs.iter().filter(|t| t.source == s).count();
+        assert_eq!(count(Source::SimpleBench), 10);
+        assert_eq!(count(Source::Io500), 21);
+        assert_eq!(count(Source::RealApps), 9);
+    }
+
+    /// The per-source label totals of the paper's Table III.
+    #[test]
+    fn table3_label_totals() {
+        let specs = all_specs();
+        let mut counts: BTreeMap<(IssueLabel, Source), usize> = BTreeMap::new();
+        for spec in &specs {
+            for &l in spec.labels {
+                *counts.entry((l, spec.source)).or_insert(0) += 1;
+            }
+        }
+        let c = |l, s| counts.get(&(l, s)).copied().unwrap_or(0);
+        use Source::*;
+        let expected: [(IssueLabel, usize, usize, usize); 16] = [
+            (HighMetadataLoad, 1, 2, 2),
+            (MisalignedRead, 2, 10, 4),
+            (MisalignedWrite, 2, 10, 6),
+            (RandomWrite, 0, 5, 2),
+            (RandomRead, 0, 5, 2),
+            (SharedFileAccess, 1, 14, 4),
+            (SmallRead, 2, 10, 5),
+            (SmallWrite, 2, 10, 6),
+            (RepetitiveRead, 1, 0, 0),
+            (ServerLoadImbalance, 7, 15, 2),
+            (RankLoadImbalance, 1, 0, 1),
+            (MultiProcessWithoutMpi, 0, 13, 0),
+            (NoCollectiveRead, 6, 8, 4),
+            (NoCollectiveWrite, 5, 8, 2),
+            (LowLevelLibraryRead, 1, 0, 0),
+            (LowLevelLibraryWrite, 1, 0, 0),
+        ];
+        for (label, sb, io500, ra) in expected {
+            assert_eq!(c(label, SimpleBench), sb, "{label:?} SB");
+            assert_eq!(c(label, Io500), io500, "{label:?} IO500");
+            assert_eq!(c(label, RealApps), ra, "{label:?} RA");
+        }
+        let total: usize = specs.iter().map(|s| s.labels.len()).sum();
+        assert_eq!(total, 182);
+    }
+
+    #[test]
+    fn every_trace_has_at_least_one_label() {
+        for spec in all_specs() {
+            assert!(!spec.labels.is_empty(), "{}", spec.id);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_labels_within_a_trace() {
+        for spec in all_specs() {
+            let mut labels = spec.labels.to_vec();
+            labels.sort_unstable();
+            let n = labels.len();
+            labels.dedup();
+            assert_eq!(labels.len(), n, "{}", spec.id);
+        }
+    }
+
+    /// Multi-process traces without MPI-IO must carry the
+    /// MultiProcessWithoutMpi label, and vice versa.
+    #[test]
+    fn api_is_consistent_with_mp_label() {
+        for spec in all_specs() {
+            let posix_only = matches!(spec.api, IoApi::PosixOnly | IoApi::StdioHeavy);
+            if spec.nprocs > 1 && posix_only {
+                assert!(
+                    spec.has(IssueLabel::MultiProcessWithoutMpi),
+                    "{} is multi-process POSIX-only but not MP-labelled",
+                    spec.id
+                );
+            }
+            if spec.has(IssueLabel::MultiProcessWithoutMpi) {
+                assert!(posix_only && spec.nprocs > 1, "{} MP label but has MPI-IO", spec.id);
+            }
+            // No-collective labels require an MPI-IO api.
+            if spec.has(IssueLabel::NoCollectiveRead) || spec.has(IssueLabel::NoCollectiveWrite) {
+                assert!(!posix_only, "{} NC label without MPI-IO", spec.id);
+            }
+        }
+    }
+
+    /// A direction may be labelled Small without Misaligned only when the
+    /// *other* direction is not labelled Misaligned (otherwise the combined
+    /// misalignment fraction would mis-attribute); see generator notes.
+    #[test]
+    fn no_cross_direction_small_misaligned_conflicts() {
+        for spec in all_specs() {
+            let conflict_read = spec.has(MisalignedWrite)
+                && !spec.has(MisalignedRead)
+                && spec.has(SmallRead);
+            let conflict_write = spec.has(MisalignedRead)
+                && !spec.has(MisalignedWrite)
+                && spec.has(SmallWrite);
+            assert!(!conflict_read, "{}: SmallRead next to MisalignedWrite-only", spec.id);
+            assert!(!conflict_write, "{}: SmallWrite next to MisalignedRead-only", spec.id);
+        }
+    }
+}

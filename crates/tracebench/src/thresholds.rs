@@ -1,0 +1,64 @@
+//! Detection thresholds shared by the TraceBench reference detector and the
+//! heuristic tools built on top of it.
+//!
+//! TraceBench generators plant each labelled issue with a comfortable margin
+//! beyond these thresholds, and keep unlabelled behaviour well below them,
+//! so that a sound detector recovers exactly the planted label set.
+
+/// Minimum per-direction operation count before small/random/misaligned
+/// judgements are attempted (low-volume noise is not diagnosable).
+pub const MIN_DIR_OPS: i64 = 64;
+
+/// Fraction of operations below 1 MB beyond which I/O is "small".
+pub const SMALL_FRACTION: f64 = 0.10;
+
+/// Fraction of file-system-misaligned operations beyond which I/O is
+/// "misaligned".
+pub const MISALIGNED_FRACTION: f64 = 0.10;
+
+/// Sequential-operation fraction below which a direction is "random".
+pub const SEQ_FRACTION_RANDOM: f64 = 0.40;
+
+/// Metadata time as a fraction of `run_time × nprocs` beyond which the
+/// job has a high metadata load.
+pub const META_TIME_FRACTION: f64 = 0.25;
+
+/// Read-reuse factor (bytes read / byte range touched) beyond which reads
+/// are repetitive.
+pub const READ_REUSE_FACTOR: f64 = 2.0;
+
+/// Per-direction STDIO byte fraction beyond which a low-level library is
+/// carrying significant I/O.
+pub const STDIO_FRACTION: f64 = 0.30;
+
+/// Minimum STDIO bytes (per direction) before the low-level-library rule
+/// applies; filters out tiny configuration-file accesses.
+pub const STDIO_MIN_BYTES: i64 = 1 << 20;
+
+/// Coefficient of variation of per-rank byte totals beyond which ranks are
+/// imbalanced.
+pub const RANK_CV: f64 = 1.0;
+
+/// Fastest/slowest rank byte ratio (shared files) beyond which ranks are
+/// imbalanced.
+pub const RANK_RATIO: f64 = 3.0;
+
+/// Mean Lustre stripe width at or below which the job cannot exploit
+/// server parallelism (a stripe count of 1 serialises each file on one OST).
+pub const STRIPE_WIDTH_LOW: f64 = 1.5;
+
+/// Minimum bytes moved before server-imbalance is considered meaningful.
+pub const SERVER_MIN_BYTES: i64 = 1 << 20;
+
+/// Collective fraction below which MPI-IO usage counts as "no collective
+/// I/O" for that direction.
+pub const COLLECTIVE_FRACTION: f64 = 0.20;
+
+/// Minimum per-direction MPI-IO operation count for the collective rule.
+pub const MIN_MPIIO_OPS: i64 = 16;
+
+/// Lustre file alignment in bytes (default stripe size).
+pub const LUSTRE_ALIGNMENT: i64 = 1 << 20;
+
+/// Generic block alignment for non-Lustre file systems.
+pub const BLOCK_ALIGNMENT: i64 = 4096;

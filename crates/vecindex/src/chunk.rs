@@ -1,0 +1,68 @@
+//! Token-window chunking.
+
+/// One chunk of a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// The chunk's text (tokens re-joined with single spaces).
+    pub text: String,
+    /// Index of the first token of this chunk in the source document.
+    pub start_token: usize,
+}
+
+/// Split `text` into chunks of `chunk_size` tokens with `overlap` tokens
+/// shared between consecutive chunks.
+pub fn chunk_text(text: &str, chunk_size: usize, overlap: usize) -> Vec<Chunk> {
+    assert!(chunk_size > overlap, "chunk size must exceed overlap");
+    let tokens = ioembed::tokenize(text);
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    let stride = chunk_size - overlap;
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    loop {
+        let end = (start + chunk_size).min(tokens.len());
+        chunks.push(Chunk { text: tokens[start..end].join(" "), start_token: start });
+        if end == tokens.len() {
+            break;
+        }
+        start += stride;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_text_is_one_chunk() {
+        let c = chunk_text("one two three", 512, 20);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].text, "one two three");
+    }
+
+    #[test]
+    fn chunks_overlap_correctly() {
+        let text = (0..100).map(|i| format!("t{i}")).collect::<Vec<_>>().join(" ");
+        let chunks = chunk_text(&text, 40, 10);
+        assert_eq!(chunks[0].start_token, 0);
+        assert_eq!(chunks[1].start_token, 30);
+        // Overlapping region is shared.
+        assert!(chunks[0].text.contains("t30"));
+        assert!(chunks[1].text.contains("t30"));
+    }
+
+    #[test]
+    fn all_tokens_covered() {
+        let text = (0..95).map(|i| format!("t{i}")).collect::<Vec<_>>().join(" ");
+        let chunks = chunk_text(&text, 40, 10);
+        let last = chunks.last().unwrap();
+        assert!(last.text.ends_with("t94"));
+    }
+
+    #[test]
+    fn empty_text_yields_no_chunks() {
+        assert!(chunk_text("", 16, 2).is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Chunking vector index with top-k cosine retrieval.
+//!
+//! Reproduces the paper's LlamaIndex configuration: documents are split into
+//! chunks of 512 tokens with an overlap of 20, each chunk is embedded, and
+//! queries retrieve the top-k chunks by cosine similarity (the paper uses
+//! k = 15 before self-reflection filtering). Batch searches run in parallel
+//! with rayon, mirroring IOAgent's parallel per-fragment retrieval.
+
+pub mod chunk;
+
+pub use chunk::{chunk_text, Chunk};
+
+use ioembed::Embedder;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Default chunk size in tokens (LlamaIndex default used by the paper).
+pub const DEFAULT_CHUNK_SIZE: usize = 512;
+/// Default chunk overlap in tokens.
+pub const DEFAULT_OVERLAP: usize = 20;
+
+/// One indexed chunk.
+#[derive(Debug, Clone, Serialize)]
+pub struct IndexEntry {
+    /// Identifier of the source document.
+    pub doc_id: String,
+    /// Human-readable citation for the source (title, venue, year).
+    pub citation: String,
+    /// Chunk ordinal within the document.
+    pub chunk_no: usize,
+    /// The chunk text.
+    pub text: String,
+    /// The embedding vector.
+    #[serde(skip)]
+    pub vector: Vec<f32>,
+}
+
+/// A retrieval hit.
+#[derive(Debug, Clone)]
+pub struct SearchHit {
+    /// Cosine similarity to the query.
+    pub score: f32,
+    /// Index of the entry within the index.
+    pub entry_idx: usize,
+}
+
+/// An in-memory vector index over chunked documents.
+#[derive(Debug, Clone)]
+pub struct VectorIndex {
+    embedder: Embedder,
+    chunk_size: usize,
+    overlap: usize,
+    entries: Vec<IndexEntry>,
+}
+
+impl Default for VectorIndex {
+    fn default() -> Self {
+        VectorIndex::new(Embedder::default(), DEFAULT_CHUNK_SIZE, DEFAULT_OVERLAP)
+    }
+}
+
+impl VectorIndex {
+    /// Create an empty index with explicit hyper-parameters.
+    pub fn new(embedder: Embedder, chunk_size: usize, overlap: usize) -> Self {
+        assert!(chunk_size > overlap, "chunk size must exceed overlap");
+        VectorIndex { embedder, chunk_size, overlap, entries: Vec::new() }
+    }
+
+    /// Chunk, embed, and add a document.
+    pub fn add_document(&mut self, doc_id: &str, citation: &str, text: &str) {
+        for (i, chunk) in chunk_text(text, self.chunk_size, self.overlap).into_iter().enumerate() {
+            let vector = self.embedder.embed(&chunk.text);
+            self.entries.push(IndexEntry {
+                doc_id: doc_id.to_string(),
+                citation: citation.to_string(),
+                chunk_no: i,
+                text: chunk.text,
+                vector,
+            });
+        }
+    }
+
+    /// Number of chunks in the index.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Access an entry by index.
+    pub fn entry(&self, idx: usize) -> &IndexEntry {
+        &self.entries[idx]
+    }
+
+    /// Top-k entries by cosine similarity to `query`. Scanning is parallel;
+    /// the result is deterministic (ties broken by entry index).
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let qv = self.embedder.embed(query);
+        let mut scored: Vec<SearchHit> = self
+            .entries
+            .par_iter()
+            .enumerate()
+            .map(|(i, e)| SearchHit { score: ioembed::cosine(&qv, &e.vector), entry_idx: i })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap().then(a.entry_idx.cmp(&b.entry_idx))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Run many queries in parallel, each returning its own top-k.
+    pub fn search_batch(&self, queries: &[String], k: usize) -> Vec<Vec<SearchHit>> {
+        queries.par_iter().map(|q| self.search(q, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_index() -> VectorIndex {
+        let mut ix = VectorIndex::new(Embedder::default(), 64, 8);
+        ix.add_document(
+            "doc-stripe",
+            "[Striping for Parallel I/O, SC 2021]",
+            "Lustre stripe count determines how many object storage targets serve a file. \
+             A stripe count of one serialises all accesses onto a single OST, limiting \
+             bandwidth and parallelism. Increasing the stripe count spreads server load.",
+        );
+        ix.add_document(
+            "doc-collective",
+            "[Collective I/O Revisited, IPDPS 2022]",
+            "Collective MPI-IO operations aggregate many small independent requests into \
+             large contiguous transfers, dramatically improving shared-file write bandwidth.",
+        );
+        ix.add_document(
+            "doc-metadata",
+            "[Metadata Scalability, FAST 2023]",
+            "Excessive open, stat and close operations overload the metadata server. \
+             Batching metadata operations or caching attributes reduces latency.",
+        );
+        ix
+    }
+
+    #[test]
+    fn retrieval_prefers_topical_document() {
+        let ix = small_index();
+        let hits = ix.search("stripe count of 1 limits parallelism on a single OST", 2);
+        assert_eq!(ix.entry(hits[0].entry_idx).doc_id, "doc-stripe");
+        assert!(hits[0].score > 0.2);
+    }
+
+    #[test]
+    fn search_returns_at_most_k() {
+        let ix = small_index();
+        assert_eq!(ix.search("metadata", 1).len(), 1);
+        assert!(ix.search("metadata", 100).len() <= ix.len());
+    }
+
+    #[test]
+    fn batch_matches_individual_searches() {
+        let ix = small_index();
+        let queries =
+            vec!["collective aggregation of small writes".to_string(), "stat storm".to_string()];
+        let batch = ix.search_batch(&queries, 2);
+        for (q, hits) in queries.iter().zip(&batch) {
+            let single = ix.search(q, 2);
+            let a: Vec<usize> = hits.iter().map(|h| h.entry_idx).collect();
+            let b: Vec<usize> = single.iter().map(|h| h.entry_idx).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn long_document_produces_multiple_chunks() {
+        let mut ix = VectorIndex::new(Embedder::default(), 32, 4);
+        let long = "word ".repeat(200);
+        ix.add_document("long", "[Long]", &long);
+        assert!(ix.len() > 3);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let ix = VectorIndex::default();
+        assert!(ix.search("anything", 5).is_empty());
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must exceed overlap")]
+    fn bad_hyperparameters_panic() {
+        VectorIndex::new(Embedder::default(), 10, 10);
+    }
+}

@@ -1,0 +1,51 @@
+//! Side-by-side comparison of all four diagnosis tools on one trace.
+//!
+//! ```sh
+//! cargo run --release --example compare_tools [trace_id]
+//! ```
+//!
+//! Defaults to `ra_hacc_io` (shared-file small unaligned independent I/O —
+//! a seven-label trace). Pass any TraceBench id to compare on a different
+//! workload; run `table3_tracebench` for the inventory.
+
+use baselines::{Drishti, Ion};
+use ioagent_core::IoAgent;
+use simllm::SimLlm;
+use tracebench::TraceBench;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "ra_hacc_io".to_string());
+    let suite = TraceBench::generate();
+    let Some(entry) = suite.get(&id) else {
+        eprintln!("unknown trace id {id:?}; available ids:");
+        for e in &suite.entries {
+            eprintln!("  {}", e.spec.id);
+        }
+        std::process::exit(1);
+    };
+    println!("trace: {} — {}", entry.spec.id, entry.spec.description);
+    println!("ground truth: {:?}\n", entry.labels());
+
+    let gt = entry.labels();
+    let score = |d: &simllm::Diagnosis| {
+        let found = d.issue_set();
+        let hits = gt.iter().filter(|l| found.contains(l)).count();
+        let fps = found.len().saturating_sub(hits);
+        (hits, gt.len(), fps)
+    };
+
+    let drishti = Drishti.diagnose(&entry.trace);
+    let ion_model = SimLlm::new("gpt-4o");
+    let ion = Ion::new(&ion_model).diagnose(&entry.trace);
+    let gpt4o = SimLlm::new("gpt-4o");
+    let agent = IoAgent::new(&gpt4o).diagnose(&entry.trace);
+    let llama = SimLlm::new("llama-3.1-70b");
+    let agent_llama = IoAgent::new(&llama).diagnose(&entry.trace);
+
+    for d in [&drishti, &ion, &agent, &agent_llama] {
+        let (hits, total, fps) = score(d);
+        println!("================ {} ================", d.tool);
+        println!("[{hits}/{total} ground-truth issues found, {fps} false positives]\n");
+        println!("{}", d.text);
+    }
+}

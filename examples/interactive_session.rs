@@ -1,0 +1,40 @@
+//! Continued user interaction (paper §VI-E, Fig. 5).
+//!
+//! ```sh
+//! cargo run --release --example interactive_session
+//! ```
+//!
+//! Reproduces the paper's interaction: an IO500 trace doing 4 MB accesses
+//! on the default Lustre layout (stripe count 1, stripe size 1 MB) is
+//! diagnosed, then the user asks how to fix the stripe settings and gets a
+//! tailored `lfs setstripe` command, then keeps digging.
+
+use ioagent_core::IoAgent;
+use simllm::SimLlm;
+use tracebench::TraceBench;
+
+fn main() {
+    let suite = TraceBench::generate();
+    let entry = suite.get("io500_rnd_posix_shared").expect("trace");
+    println!(
+        "trace: {} — 4 MB accesses on stripe count 1 / stripe size 1 MB\n",
+        entry.spec.id
+    );
+
+    let model = SimLlm::new("gpt-4o");
+    let agent = IoAgent::new(&model);
+    let mut session = agent.start_session(&entry.trace);
+
+    println!("=== diagnosis ===\n{}", session.diagnosis.text);
+
+    for question in [
+        "How can I fix the suboptimal stripe settings?",
+        "Should I also switch to collective MPI-IO?",
+        "What about the random write pattern?",
+    ] {
+        println!("user> {question}\n");
+        let answer = session.ask(question);
+        println!("ioagent> {answer}");
+    }
+    println!("({} turns in session)", session.turns.len());
+}

@@ -1,0 +1,49 @@
+//! Quickstart: diagnose a Darshan trace with IOAgent in ~20 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full pipeline on one TraceBench trace: parse-format round
+//! trip, pre-processing into JSON summary fragments, the JSON→NL
+//! transformation (paper Fig. 3), and the final merged diagnosis with
+//! references.
+
+use ioagent_core::IoAgent;
+use simllm::SimLlm;
+use tracebench::TraceBench;
+
+fn main() {
+    // 1. Get a Darshan trace. TraceBench generates labelled ones; in real
+    //    use you would `darshan::parse::parse_text(&darshan_parser_output)`.
+    let suite = TraceBench::generate();
+    let entry = suite.get("sb01_small_io").expect("trace");
+    println!("trace: {} ({} ranks, {:.0}s)", entry.spec.id, entry.spec.nprocs, entry.spec.run_time);
+    println!("ground-truth issues: {:?}\n", entry.labels());
+
+    // The text format round-trips through the darshan crate.
+    let text = darshan::write::write_text(&entry.trace);
+    let trace = darshan::parse::parse_text(&text).expect("parse darshan text");
+
+    // 2. Peek at the pre-processor output (module-based summary fragments).
+    let fragments = preprocessor::extract_fragments(&trace);
+    println!("pre-processor produced {} summary fragments:", fragments.len());
+    for f in &fragments {
+        println!("  - {}", f.title);
+    }
+
+    // 3. The Fig. 3 step: one fragment's JSON and its natural-language
+    //    transformation (the RAG query).
+    let model = SimLlm::new("gpt-4o");
+    let io_size = fragments.iter().find(|f| f.title == "POSIX I/O Size").unwrap();
+    println!("\nJSON fragment ({}):\n{}", io_size.title, io_size.json_text());
+    let nl = ioagent_core::transform::to_natural_language(&model, io_size);
+    println!("\nnatural-language form:\n{nl}\n");
+
+    // 4. Full diagnosis.
+    let agent = IoAgent::new(&model);
+    let diagnosis = agent.diagnose(&trace);
+    println!("{}", diagnosis.text);
+    println!("identified issues: {:?}", diagnosis.issues);
+    println!("llm usage: {:?}", model.usage());
+}

@@ -1,0 +1,130 @@
+//! End-to-end integration: TraceBench → all four tools → LLM judge, with
+//! the paper's headline orderings asserted on a representative subset.
+
+use baselines::{Drishti, Ion};
+use ioagent_core::IoAgent;
+use judge::{Criterion, Judge, ToolRun};
+use simllm::SimLlm;
+use tracebench::{IssueLabel, Source, TraceBench};
+
+/// A 12-trace slice covering all three sources.
+fn mini_suite() -> TraceBench {
+    let mut suite = TraceBench::generate();
+    let keep = [
+        "sb01_small_io",
+        "sb03_metadata_storm",
+        "sb07_stdio_heavy",
+        "sb10_server_hotspot",
+        "io500_easy_posix_small_1",
+        "io500_hard_posix_1",
+        "io500_hard_mpiio_indep_1",
+        "io500_mdtest_hard_1",
+        "ra_amrex",
+        "ra_hacc_io",
+        "ra_openpmd_fixed",
+        "ra_montage",
+    ];
+    suite.entries.retain(|e| keep.contains(&e.spec.id));
+    assert_eq!(suite.len(), keep.len());
+    suite
+}
+
+fn all_runs(suite: &TraceBench) -> Vec<ToolRun> {
+    let ion_model = SimLlm::new("gpt-4o");
+    let ion = Ion::new(&ion_model);
+    let gpt4o = SimLlm::new("gpt-4o");
+    let agent = IoAgent::new(&gpt4o);
+    let llama = SimLlm::new("llama-3.1-70b");
+    let agent_llama = IoAgent::new(&llama);
+    vec![
+        ToolRun {
+            tool: "Drishti".into(),
+            diagnoses: suite.entries.iter().map(|e| Drishti.diagnose(&e.trace)).collect(),
+        },
+        ToolRun {
+            tool: "ION".into(),
+            diagnoses: suite.entries.iter().map(|e| ion.diagnose(&e.trace)).collect(),
+        },
+        ToolRun {
+            tool: "IOAgent-gpt-4o".into(),
+            diagnoses: suite.entries.iter().map(|e| agent.diagnose(&e.trace)).collect(),
+        },
+        ToolRun {
+            tool: "IOAgent-llama-3.1-70B".into(),
+            diagnoses: suite.entries.iter().map(|e| agent_llama.diagnose(&e.trace)).collect(),
+        },
+    ]
+}
+
+#[test]
+fn table4_shape_holds_on_subset() {
+    let suite = mini_suite();
+    let runs = all_runs(&suite);
+    let judge_model = SimLlm::new("gpt-4o");
+    let judge = Judge::new(&judge_model);
+    let eval = judge.evaluate(&suite, &runs);
+
+    // Headline shape: IOAgent variants beat both baselines on accuracy.
+    let acc = |i: usize| eval.normalized(i, Criterion::Accuracy, None);
+    assert!(acc(2) > acc(0), "IOAgent-gpt-4o {} <= Drishti {}", acc(2), acc(0));
+    assert!(acc(2) > acc(1), "IOAgent-gpt-4o {} <= ION {}", acc(2), acc(1));
+    assert!(acc(3) > acc(1), "IOAgent-llama {} <= ION {}", acc(3), acc(1));
+    // Average: the agent with the frontier backbone leads overall.
+    let avg = |i: usize| eval.average(i, None);
+    assert!(avg(2) > avg(0) && avg(2) > avg(1), "averages: {:?}", (0..4).map(avg).collect::<Vec<_>>());
+}
+
+#[test]
+fn ioagent_finds_what_only_it_can() {
+    // sb10: ServerLoadImbalance only — invisible to Drishti's vocabulary
+    // and frequently suppressed by the plain model's stripe misconception.
+    let suite = TraceBench::generate();
+    let entry = suite.get("sb10_server_hotspot").unwrap();
+    let model = SimLlm::new("gpt-4o");
+    let agent = IoAgent::new(&model);
+    let d = agent.diagnose(&entry.trace);
+    assert!(d.issues.contains(&IssueLabel::ServerLoadImbalance));
+    let drishti = Drishti.diagnose(&entry.trace);
+    assert!(!drishti.issues.contains(&IssueLabel::ServerLoadImbalance));
+}
+
+#[test]
+fn every_source_represented_and_judged() {
+    let suite = mini_suite();
+    for src in Source::ALL {
+        assert!(suite.by_source(src).count() >= 3, "{src:?}");
+    }
+    let runs = all_runs(&suite);
+    let judge_model = SimLlm::new("gpt-4o");
+    let judge = Judge::new(&judge_model);
+    let eval = judge.evaluate(&suite, &runs);
+    for src in Source::ALL {
+        let total: f64 = (0..4).map(|i| eval.average(i, Some(src))).sum();
+        // Ranks are zero-sum: per-source averages must sum to 2.0
+        // ((3+2+1+0)/3 over 4 tools).
+        assert!((total - 2.0).abs() < 1e-9, "{src:?} sums to {total}");
+    }
+}
+
+#[test]
+fn full_reports_mention_references_only_for_rag_tools() {
+    let suite = mini_suite();
+    let runs = all_runs(&suite);
+    let refs = |run: &ToolRun| -> usize { run.diagnoses.iter().map(|d| d.references.len()).sum() };
+    assert_eq!(refs(&runs[0]), 0, "Drishti cites nothing");
+    assert_eq!(refs(&runs[1]), 0, "ION cites nothing");
+    assert!(refs(&runs[2]) > 0, "IOAgent-gpt-4o cites sources");
+    assert!(refs(&runs[3]) > 0, "IOAgent-llama cites sources");
+}
+
+#[test]
+fn interactive_session_after_full_pipeline() {
+    let suite = TraceBench::generate();
+    let entry = suite.get("io500_rnd_posix_shared").unwrap();
+    let model = SimLlm::new("gpt-4o");
+    let agent = IoAgent::new(&model);
+    let mut session = agent.start_session(&entry.trace);
+    assert!(session.diagnosis.issues.contains(&IssueLabel::ServerLoadImbalance));
+    let answer = session.ask("how do I fix the stripe settings?");
+    assert!(answer.contains("lfs setstripe"));
+}

@@ -1,0 +1,85 @@
+//! Cross-crate consistency: the `darshan-parser` text format round-trips
+//! every TraceBench trace, the pre-processor sees identical fragments on
+//! either side of the round trip, and the reference detector agrees.
+
+use darshan::counters::Module;
+use tracebench::{reference_detect, TraceBench};
+
+#[test]
+fn all_40_traces_round_trip_text_format() {
+    let suite = TraceBench::generate();
+    for entry in &suite.entries {
+        let text = darshan::write::write_text(&entry.trace);
+        let back = darshan::parse::parse_text(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.spec.id));
+        assert_eq!(back.records.len(), entry.trace.records.len(), "{}", entry.spec.id);
+        assert_eq!(back.header.nprocs, entry.trace.header.nprocs, "{}", entry.spec.id);
+        // Second write must be byte-identical (canonical form).
+        assert_eq!(text, darshan::write::write_text(&back), "{}", entry.spec.id);
+    }
+}
+
+#[test]
+fn detection_is_invariant_under_round_trip() {
+    let suite = TraceBench::generate();
+    for entry in &suite.entries {
+        let text = darshan::write::write_text(&entry.trace);
+        let back = darshan::parse::parse_text(&text).unwrap();
+        assert_eq!(
+            reference_detect(&back),
+            reference_detect(&entry.trace),
+            "{}",
+            entry.spec.id
+        );
+    }
+}
+
+#[test]
+fn fragments_are_invariant_under_round_trip() {
+    let suite = TraceBench::generate();
+    for entry in suite.entries.iter().take(10) {
+        let text = darshan::write::write_text(&entry.trace);
+        let back = darshan::parse::parse_text(&text).unwrap();
+        let a = preprocessor::extract_fragments(&entry.trace);
+        let b = preprocessor::extract_fragments(&back);
+        assert_eq!(a.len(), b.len(), "{}", entry.spec.id);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.title, y.title);
+            assert_eq!(x.json_text(), y.json_text(), "{} {}", entry.spec.id, x.title);
+            assert_eq!(x.evidence, y.evidence, "{} {}", entry.spec.id, x.title);
+        }
+    }
+}
+
+#[test]
+fn csv_split_covers_every_present_module() {
+    let suite = TraceBench::generate();
+    for entry in &suite.entries {
+        let csvs = preprocessor::split_modules(&entry.trace);
+        for module in Module::ALL {
+            assert_eq!(
+                csvs.contains_key(&module),
+                entry.trace.module_present(module),
+                "{} {module:?}",
+                entry.spec.id
+            );
+        }
+        for (module, csv) in &csvs {
+            let rows = csv.lines().count() - 1;
+            let records = entry.trace.records_for(*module).count();
+            assert_eq!(rows, records, "{} {module:?}", entry.spec.id);
+        }
+    }
+}
+
+#[test]
+fn ground_truth_labels_expressible_in_reports() {
+    // Every label's display name must be recoverable by the report scanner
+    // (the convention all tools rely on for accuracy judging).
+    for label in tracebench::IssueLabel::ALL {
+        let text = format!("Issue: {}\n details", label.display_name());
+        let found = simllm::extract_issues(&text);
+        assert!(found.contains(&label), "{label:?}");
+        assert_eq!(found.len(), 1, "{label:?} text matched extra labels");
+    }
+}
