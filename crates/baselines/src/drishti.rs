@@ -181,7 +181,11 @@ impl Drishti {
         }
         // D10 — too many stats (informational).
         if posix.stats > 100 * posix.files.max(1) as i64 {
-            hit("D10", None, format!("Application issues many stat operations ({}).", posix.stats));
+            hit(
+                "D10",
+                None,
+                format!("Application issues many stat operations ({}).", posix.stats),
+            );
         }
         // D11 — redundant / repetitive reads (per-record reuse).
         let reuse = trace
@@ -232,7 +236,8 @@ impl Drishti {
         // D14/D15 — no collective MPI-IO.
         if let Some(m) = &mpiio {
             let r_total = m.indep_reads + m.coll_reads;
-            if r_total >= th::MIN_MPIIO_OPS && m.collective_read_fraction() < th::COLLECTIVE_FRACTION
+            if r_total >= th::MIN_MPIIO_OPS
+                && m.collective_read_fraction() < th::COLLECTIVE_FRACTION
             {
                 hit(
                     "D14",
@@ -290,15 +295,27 @@ impl Drishti {
         }
         // D18 — excessive seeks (informational).
         if posix.seeks > posix.total_ops() / 2 && posix.seeks > 100 {
-            hit("D18", None, format!("Application issues many seeks ({}).", posix.seeks));
+            hit(
+                "D18",
+                None,
+                format!("Application issues many seeks ({}).", posix.seeks),
+            );
         }
         // D19 — read-heavy / write-heavy note (informational).
         if posix.bytes_read > 10 * posix.bytes_written.max(1) {
-            hit("D19", None, "Workload is strongly read-dominant.".to_string());
+            hit(
+                "D19",
+                None,
+                "Workload is strongly read-dominant.".to_string(),
+            );
         }
         // D20 — write-dominant note (informational).
         if posix.bytes_written > 10 * posix.bytes_read.max(1) {
-            hit("D20", None, "Workload is strongly write-dominant.".to_string());
+            hit(
+                "D20",
+                None,
+                "Workload is strongly write-dominant.".to_string(),
+            );
         }
         // D21 — largest request still small (informational).
         if posix.max_read_time_size > 0 && posix.max_read_time_size < (1 << 20) && reads > 0 {
@@ -313,11 +330,19 @@ impl Drishti {
         }
         // D22 — many files (informational).
         if posix.files > 500 {
-            hit("D22", None, format!("Application touches many files ({}).", posix.files));
+            hit(
+                "D22",
+                None,
+                format!("Application touches many files ({}).", posix.files),
+            );
         }
         // D23 — fsync-heavy (informational).
         if posix.syncs > 100 {
-            hit("D23", None, format!("Application issues many sync operations ({}).", posix.syncs));
+            hit(
+                "D23",
+                None,
+                format!("Application issues many sync operations ({}).", posix.syncs),
+            );
         }
         // D24 — stdio streams observed (informational only: Drishti's
         // vocabulary does not include the low-level-library issue).
@@ -355,20 +380,35 @@ impl Drishti {
             hit(
                 "D27",
                 None,
-                format!("{} accesses are not aligned in memory.", posix.mem_not_aligned),
+                format!(
+                    "{} accesses are not aligned in memory.",
+                    posix.mem_not_aligned
+                ),
             );
         }
         // D28 — long runtime with little I/O (informational).
         if s.run_time > 300.0 && s.total_bytes() < (1 << 20) {
-            hit("D28", None, "Long-running job with negligible I/O volume.".to_string());
+            hit(
+                "D28",
+                None,
+                "Long-running job with negligible I/O volume.".to_string(),
+            );
         }
         // D29 — no read activity (informational).
         if reads == 0 && writes > 0 {
-            hit("D29", None, "Write-only workload (no reads recorded).".to_string());
+            hit(
+                "D29",
+                None,
+                "Write-only workload (no reads recorded).".to_string(),
+            );
         }
         // D30 — no write activity (informational).
         if writes == 0 && reads > 0 {
-            hit("D30", None, "Read-only workload (no writes recorded).".to_string());
+            hit(
+                "D30",
+                None,
+                "Read-only workload (no writes recorded).".to_string(),
+            );
         }
 
         hits
@@ -382,9 +422,11 @@ impl Drishti {
         for h in &hits {
             // Quote the interpolated counters as an inline evidence clause.
             let msg = if h.message.contains("): ") && h.message.contains(". Recommendation:") {
-                h.message
-                    .replacen("): ", "): (data: ", 1)
-                    .replacen(". Recommendation:", "). Recommendation:", 1)
+                h.message.replacen("): ", "): (data: ", 1).replacen(
+                    ". Recommendation:",
+                    "). Recommendation:",
+                    1,
+                )
             } else {
                 h.message.clone()
             };
@@ -398,7 +440,12 @@ impl Drishti {
         if hits.is_empty() {
             text.push_str("No triggers fired: no issues detected.\n");
         }
-        Diagnosis { tool: "drishti".to_string(), text, issues, references: Vec::new() }
+        Diagnosis {
+            tool: "drishti".to_string(),
+            text,
+            issues,
+            references: Vec::new(),
+        }
     }
 }
 
@@ -461,7 +508,10 @@ mod tests {
         let tb = TraceBench::generate();
         let d = Drishti.diagnose(&tb.get("ra_e2e_fixed").unwrap().trace);
         assert!(d.issues.contains(&IssueLabel::MisalignedWrite));
-        assert!(d.issues.contains(&IssueLabel::MisalignedRead), "quirk should misfire");
+        assert!(
+            d.issues.contains(&IssueLabel::MisalignedRead),
+            "quirk should misfire"
+        );
     }
 
     #[test]

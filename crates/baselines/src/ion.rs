@@ -62,8 +62,7 @@ mod tests {
         let d = ion.diagnose(&tb.get("sb01_small_io").unwrap().trace);
         // Small I/O is the easiest rule; on a small trace ION should find it.
         assert!(
-            d.issues.contains(&IssueLabel::SmallWrite)
-                || d.issues.contains(&IssueLabel::SmallRead),
+            d.issues.contains(&IssueLabel::SmallWrite) || d.issues.contains(&IssueLabel::SmallRead),
             "{}",
             d.text
         );

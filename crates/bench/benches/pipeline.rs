@@ -52,11 +52,7 @@ fn bench_judge(c: &mut Criterion) {
     group.bench_function("rank_one_sample_4perms", |b| {
         let candidates: Vec<&simllm::Diagnosis> = runs.iter().map(|r| &r.diagnoses[0]).collect();
         b.iter(|| {
-            black_box(judge.mean_ranks(
-                &suite.entries[0],
-                judge::Criterion::Accuracy,
-                &candidates,
-            ))
+            black_box(judge.mean_ranks(&suite.entries[0], judge::Criterion::Accuracy, &candidates))
         })
     });
     group.bench_function("evaluate_6_traces_all_criteria", |b| {
@@ -102,5 +98,11 @@ fn bench_tracebench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tools, bench_judge, bench_table4, bench_tracebench);
+criterion_group!(
+    benches,
+    bench_tools,
+    bench_judge,
+    bench_table4,
+    bench_tracebench
+);
 criterion_main!(benches);

@@ -15,7 +15,9 @@ fn bench_retrieval(c: &mut Criterion) {
     let mut group = c.benchmark_group("retrieval");
     group.sample_size(20);
 
-    group.bench_function("build_index_66_docs", |b| b.iter(|| black_box(Retriever::build())));
+    group.bench_function("build_index_66_docs", |b| {
+        b.iter(|| black_box(Retriever::build()))
+    });
 
     let retriever = Retriever::build();
     let mini = SimLlm::new("gpt-4o-mini");
@@ -24,7 +26,9 @@ fn bench_retrieval(c: &mut Criterion) {
     });
 
     let embedder = Embedder::default();
-    group.bench_function("embed_query", |b| b.iter(|| black_box(embedder.embed(QUERY))));
+    group.bench_function("embed_query", |b| {
+        b.iter(|| black_box(embedder.embed(QUERY)))
+    });
 
     group.finish();
 }

@@ -1,0 +1,127 @@
+//! `ioagentd` throughput benchmark: wall-clock for a 64-trace heterogeneous
+//! batch through the diagnosis service at 1 worker vs N workers, plus the
+//! cache-hit fast path.
+//!
+//! Two scaling arms:
+//!
+//! - **cpu**: raw local compute. Scales with physical cores (on a 1-core
+//!   container both widths are equivalent by construction).
+//! - **rpc**: each fresh job additionally pays a simulated 20 ms
+//!   remote-LLM round trip — the regime a deployed service actually runs
+//!   in, where worker concurrency hides latency rather than splitting
+//!   compute. This arm scales with the worker count on any machine.
+//!
+//! All service instances share one pre-built knowledge index so the
+//! comparison isolates diagnosis throughput from index construction; the
+//! result cache is disabled in the scaling arms so every job does real
+//! work. A `speedup` summary is printed after the samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioagentd::{DiagnosisService, JobRequest, Retriever, ServiceConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tracebench::TraceBench;
+
+const N_JOBS: usize = 64;
+const RPC_LATENCY: Duration = Duration::from_millis(20);
+
+/// 64 heterogeneous jobs: the 40 TraceBench traces cycled, with the model
+/// alternating so repeated traces are still distinct (cache-busting) work.
+fn workload(suite: &TraceBench) -> Vec<JobRequest> {
+    let models = ["gpt-4o", "gpt-4o-mini", "llama-3.1-70b"];
+    (0..N_JOBS)
+        .map(|i| {
+            let entry = &suite.entries[i % suite.entries.len()];
+            let model = models[(i / suite.entries.len()) % models.len()];
+            JobRequest::new(
+                format!("job-{i}-{}", entry.spec.id),
+                entry.trace.clone(),
+                model,
+            )
+        })
+        .collect()
+}
+
+fn timed_batch(service: &DiagnosisService, jobs: &[JobRequest]) -> Duration {
+    let start = Instant::now();
+    black_box(service.run_batch(jobs.to_vec()).unwrap());
+    start.elapsed()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let suite = TraceBench::generate();
+    let jobs = workload(&suite);
+    let index = Arc::new(Retriever::build());
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(4);
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(5);
+
+    let mut summary: Vec<(String, Duration)> = Vec::new();
+    for (arm, rpc) in [("cpu", Duration::ZERO), ("rpc", RPC_LATENCY)] {
+        for workers in [1, n_workers] {
+            let service = DiagnosisService::with_shared_index(
+                ServiceConfig::with_workers(workers)
+                    .cache_capacity(0)
+                    .rpc_latency(rpc),
+                Arc::clone(&index),
+            );
+            let label = format!("{arm}_{workers}worker");
+            group.bench_with_input(BenchmarkId::new("batch64", &label), &jobs, |b, jobs| {
+                b.iter(|| black_box(service.run_batch(jobs.to_vec()).unwrap()));
+            });
+            summary.push((label, timed_batch(&service, &jobs)));
+            service.shutdown();
+        }
+    }
+
+    // Cache arm: after the first batch, every job is answered from the LRU.
+    let cached_service = DiagnosisService::with_shared_index(
+        ServiceConfig::with_workers(n_workers).cache_capacity(2 * N_JOBS),
+        Arc::clone(&index),
+    );
+    cached_service.run_batch(jobs.clone()).unwrap(); // warm the cache
+    group.bench_with_input(
+        BenchmarkId::new("batch64", "cache_hit"),
+        &jobs,
+        |b, jobs| {
+            b.iter(|| black_box(cached_service.run_batch(jobs.to_vec()).unwrap()));
+        },
+    );
+    summary.push(("cache_hit".into(), timed_batch(&cached_service, &jobs)));
+    cached_service.shutdown();
+    group.finish();
+
+    println!("\nservice scaling summary ({N_JOBS} jobs, N = {n_workers} workers):");
+    for (label, t) in &summary {
+        println!("  {label:16} {t:>12.3?}");
+    }
+    let find = |l: &str| summary.iter().find(|(s, _)| s == l).map(|(_, t)| *t);
+    if let (Some(one), Some(n)) = (
+        find("rpc_1worker"),
+        &find(&format!("rpc_{n_workers}worker")),
+    ) {
+        println!(
+            "  rpc arm speedup: {:.2}x ({} workers vs 1)",
+            one.as_secs_f64() / n.as_secs_f64(),
+            n_workers
+        );
+    }
+    if let (Some(one), Some(n)) = (
+        find("cpu_1worker"),
+        &find(&format!("cpu_{n_workers}worker")),
+    ) {
+        println!(
+            "  cpu arm speedup: {:.2}x ({} workers vs 1)",
+            one.as_secs_f64() / n.as_secs_f64(),
+            n_workers
+        );
+    }
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

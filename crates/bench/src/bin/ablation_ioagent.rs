@@ -18,27 +18,58 @@ use tracebench::TraceBench;
 
 fn main() {
     let suite = TraceBench::generate();
-    println!("IOAgent ablations over all {} TraceBench traces (gpt-4o backbone)\n", suite.len());
-    println!("{:<12} {:>7} {:>10} {:>12} {:>14}", "arm", "recall", "precision", "refs/trace", "misconceptions");
+    println!(
+        "IOAgent ablations over all {} TraceBench traces (gpt-4o backbone)\n",
+        suite.len()
+    );
+    println!(
+        "{:<12} {:>7} {:>10} {:>12} {:>14}",
+        "arm", "recall", "precision", "refs/trace", "misconceptions"
+    );
 
     let arms: Vec<(&str, AgentConfig)> = vec![
         ("full", AgentConfig::default()),
-        ("no-rag", AgentConfig { use_rag: false, ..AgentConfig::default() }),
-        ("no-nl", AgentConfig { nl_transform: false, ..AgentConfig::default() }),
-        ("flat-merge", AgentConfig { merge: MergeStrategy::Flat, ..AgentConfig::default() }),
+        (
+            "no-rag",
+            AgentConfig {
+                use_rag: false,
+                ..AgentConfig::default()
+            },
+        ),
+        (
+            "no-nl",
+            AgentConfig {
+                nl_transform: false,
+                ..AgentConfig::default()
+            },
+        ),
+        (
+            "flat-merge",
+            AgentConfig {
+                merge: MergeStrategy::Flat,
+                ..AgentConfig::default()
+            },
+        ),
     ];
 
     for (name, config) in arms {
         let model = SimLlm::new("gpt-4o");
         let agent = IoAgent::with_config(&model, config);
-        let diagnoses: Vec<Diagnosis> =
-            suite.entries.iter().map(|e| agent.diagnose(&e.trace)).collect();
+        let diagnoses: Vec<Diagnosis> = suite
+            .entries
+            .iter()
+            .map(|e| agent.diagnose(&e.trace))
+            .collect();
         report(name, &suite, &diagnoses);
     }
 
     let model = SimLlm::new("gpt-4o");
     let ion = Ion::new(&model);
-    let diagnoses: Vec<Diagnosis> = suite.entries.iter().map(|e| ion.diagnose(&e.trace)).collect();
+    let diagnoses: Vec<Diagnosis> = suite
+        .entries
+        .iter()
+        .map(|e| ion.diagnose(&e.trace))
+        .collect();
     report("ion", &suite, &diagnoses);
 
     println!(

@@ -6,7 +6,9 @@
 use tracebench::TraceBench;
 
 fn main() {
-    let id = std::env::args().nth(1).unwrap_or_else(|| "ra_amrex".to_string());
+    let id = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ra_amrex".to_string());
     let suite = TraceBench::generate();
     match suite.get(&id) {
         Some(entry) => print!("{}", darshan::write::write_text(&entry.trace)),

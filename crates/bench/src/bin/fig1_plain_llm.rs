@@ -30,8 +30,10 @@ fn main() {
         let model = SimLlm::new(model_name);
         let ion = Ion::new(&model);
         let prompt = Ion::prompt(&amrex.trace);
-        let completion =
-            model.complete(&simllm::CompletionRequest::new("You are an I/O expert.", prompt));
+        let completion = model.complete(&simllm::CompletionRequest::new(
+            "You are an I/O expert.",
+            prompt,
+        ));
         println!("================ {} ================", model_name);
         println!(
             "input tokens: {}  attended: {:.0}%  truncated: {}",

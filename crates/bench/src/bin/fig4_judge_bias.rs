@@ -48,11 +48,19 @@ fn main() {
         ("no augmentation", Augmentations::NONE),
         (
             "A (anonymise)",
-            Augmentations { anonymize: true, rotate_rank_order: false, rotate_content: false },
+            Augmentations {
+                anonymize: true,
+                rotate_rank_order: false,
+                rotate_content: false,
+            },
         ),
         (
             "A+B (+ rank-order rotation)",
-            Augmentations { anonymize: true, rotate_rank_order: true, rotate_content: false },
+            Augmentations {
+                anonymize: true,
+                rotate_rank_order: true,
+                rotate_content: false,
+            },
         ),
         ("A+B+C (full, paper config)", Augmentations::FULL),
     ];

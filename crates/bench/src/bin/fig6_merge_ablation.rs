@@ -52,10 +52,19 @@ fn fig6_blocks() -> Vec<SummaryBlock> {
 }
 
 fn count_refs(block: &SummaryBlock) -> usize {
-    block.points.iter().filter(|p| p.contains(";; REFS:")).count()
+    block
+        .points
+        .iter()
+        .filter(|p| p.contains(";; REFS:"))
+        .count()
 }
 
-fn trial(model: &SimLlm, blocks: &[SummaryBlock], strategy: MergeStrategy, rounds: usize) -> (f64, f64) {
+fn trial(
+    model: &SimLlm,
+    blocks: &[SummaryBlock],
+    strategy: MergeStrategy,
+    rounds: usize,
+) -> (f64, f64) {
     let mut points = 0usize;
     let mut refs = 0usize;
     for round in 0..rounds {
@@ -80,8 +89,18 @@ fn main() {
     let (tree_p, tree_r) = trial(&llama, &blocks, MergeStrategy::Tree, ROUNDS);
     let (flat_p, flat_r) = trial(&llama, &blocks, MergeStrategy::Flat, ROUNDS);
     println!("4 summaries, llama-3-70b ({ROUNDS} rounds):");
-    println!("  {:<16} key points kept {:>5.1}%   references kept {:>5.1}%", "tree merge", tree_p * 100.0, tree_r * 100.0);
-    println!("  {:<16} key points kept {:>5.1}%   references kept {:>5.1}%", "1-step merge", flat_p * 100.0, flat_r * 100.0);
+    println!(
+        "  {:<16} key points kept {:>5.1}%   references kept {:>5.1}%",
+        "tree merge",
+        tree_p * 100.0,
+        tree_r * 100.0
+    );
+    println!(
+        "  {:<16} key points kept {:>5.1}%   references kept {:>5.1}%",
+        "1-step merge",
+        flat_p * 100.0,
+        flat_r * 100.0
+    );
 
     // The 13-summary case that defeats even gpt-4o.
     let gpt4o = SimLlm::new("gpt-4o");
@@ -98,8 +117,18 @@ fn main() {
     let (tree_p, tree_r) = trial(&gpt4o, &many, MergeStrategy::Tree, ROUNDS);
     let (flat_p, flat_r) = trial(&gpt4o, &many, MergeStrategy::Flat, ROUNDS);
     println!("\n13 summaries, gpt-4o ({ROUNDS} rounds):");
-    println!("  {:<16} key points kept {:>5.1}%   references kept {:>5.1}%", "tree merge", tree_p * 100.0, tree_r * 100.0);
-    println!("  {:<16} key points kept {:>5.1}%   references kept {:>5.1}%", "1-step merge", flat_p * 100.0, flat_r * 100.0);
+    println!(
+        "  {:<16} key points kept {:>5.1}%   references kept {:>5.1}%",
+        "tree merge",
+        tree_p * 100.0,
+        tree_r * 100.0
+    );
+    println!(
+        "  {:<16} key points kept {:>5.1}%   references kept {:>5.1}%",
+        "1-step merge",
+        flat_p * 100.0,
+        flat_r * 100.0
+    );
 
     // One concrete sample output pair, as the figure shows.
     println!("\nsample tree-merge output (llama-3-70b, 4 summaries):");

@@ -30,14 +30,20 @@ fn main() {
     for profile in PROFILES {
         let model = SimLlm::new(profile.name);
         let agent = IoAgent::new(&model);
-        let agent_diag: Vec<Diagnosis> =
-            suite.entries.iter().map(|e| agent.diagnose(&e.trace)).collect();
+        let agent_diag: Vec<Diagnosis> = suite
+            .entries
+            .iter()
+            .map(|e| agent.diagnose(&e.trace))
+            .collect();
         let (agent_recall, _) = recall_precision(&suite, &agent_diag);
 
         let ion_model = SimLlm::new(profile.name);
         let ion = Ion::new(&ion_model);
-        let ion_diag: Vec<Diagnosis> =
-            suite.entries.iter().map(|e| ion.diagnose(&e.trace)).collect();
+        let ion_diag: Vec<Diagnosis> = suite
+            .entries
+            .iter()
+            .map(|e| ion.diagnose(&e.trace))
+            .collect();
         let (ion_recall, _) = recall_precision(&suite, &ion_diag);
 
         println!(

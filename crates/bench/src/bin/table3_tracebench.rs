@@ -21,10 +21,16 @@ fn main() {
         if detected == expected {
             ok += 1;
         } else {
-            eprintln!("MISMATCH {}: {:?} vs {:?}", entry.spec.id, detected, expected);
+            eprintln!(
+                "MISMATCH {}: {:?} vs {:?}",
+                entry.spec.id, detected, expected
+            );
         }
     }
-    println!("reference-detector self-check: {ok}/{} traces exact", suite.len());
+    println!(
+        "reference-detector self-check: {ok}/{} traces exact",
+        suite.len()
+    );
 
     println!("\ntrace inventory:");
     for entry in &suite.entries {

@@ -14,7 +14,11 @@ use tracebench::TraceBench;
 fn main() {
     let start = std::time::Instant::now();
     let suite = TraceBench::generate();
-    eprintln!("TraceBench generated: {} traces, {} issues", suite.len(), suite.table3().total_issues());
+    eprintln!(
+        "TraceBench generated: {} traces, {} issues",
+        suite.len(),
+        suite.table3().total_issues()
+    );
 
     let runs = run_all_tools(&suite);
     eprintln!("tool diagnoses complete ({:.1?})", start.elapsed());
@@ -24,7 +28,10 @@ fn main() {
     eprintln!("\nraw label recall/precision per tool:");
     for r in &runs {
         let (recall, precision) = recall_precision(&suite, &r.diagnoses);
-        eprintln!("  {:<24} recall {:.3}  precision {:.3}", r.tool, recall, precision);
+        eprintln!(
+            "  {:<24} recall {:.3}  precision {:.3}",
+            r.tool, recall, precision
+        );
     }
 
     let judge_model = SimLlm::new("gpt-4o");

@@ -13,28 +13,44 @@ use tracebench::TraceBench;
 pub fn run_all_tools(suite: &TraceBench) -> Vec<ToolRun> {
     let drishti_run = ToolRun {
         tool: "Drishti".to_string(),
-        diagnoses: suite.entries.iter().map(|e| Drishti.diagnose(&e.trace)).collect(),
+        diagnoses: suite
+            .entries
+            .iter()
+            .map(|e| Drishti.diagnose(&e.trace))
+            .collect(),
     };
 
     let ion_model = SimLlm::new("gpt-4o");
     let ion = Ion::new(&ion_model);
     let ion_run = ToolRun {
         tool: "ION".to_string(),
-        diagnoses: suite.entries.iter().map(|e| ion.diagnose(&e.trace)).collect(),
+        diagnoses: suite
+            .entries
+            .iter()
+            .map(|e| ion.diagnose(&e.trace))
+            .collect(),
     };
 
     let gpt4o = SimLlm::new("gpt-4o");
     let agent_gpt4o = IoAgent::new(&gpt4o);
     let agent_gpt4o_run = ToolRun {
         tool: "IOAgent-gpt-4o".to_string(),
-        diagnoses: suite.entries.iter().map(|e| agent_gpt4o.diagnose(&e.trace)).collect(),
+        diagnoses: suite
+            .entries
+            .iter()
+            .map(|e| agent_gpt4o.diagnose(&e.trace))
+            .collect(),
     };
 
     let llama = SimLlm::new("llama-3.1-70b");
     let agent_llama = IoAgent::new(&llama);
     let agent_llama_run = ToolRun {
         tool: "IOAgent-llama-3.1-70B".to_string(),
-        diagnoses: suite.entries.iter().map(|e| agent_llama.diagnose(&e.trace)).collect(),
+        diagnoses: suite
+            .entries
+            .iter()
+            .map(|e| agent_llama.diagnose(&e.trace))
+            .collect(),
     };
 
     vec![drishti_run, ion_run, agent_gpt4o_run, agent_llama_run]

@@ -151,7 +151,11 @@ impl ModuleAgg {
     /// module read. > 1.0 indicates repeated reads of the same data.
     pub fn read_reuse_factor(&self) -> f64 {
         if self.max_byte_read <= 0 {
-            return if self.bytes_read > 0 { f64::INFINITY } else { 0.0 };
+            return if self.bytes_read > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         self.bytes_read as f64 / (self.max_byte_read as f64 + 1.0)
     }
@@ -169,8 +173,11 @@ impl ModuleAgg {
     /// Human-readable histogram rendering used by prompt builders, e.g.
     /// `{"0-100": 0.75, "100-1K": 0.25}` keyed by bin label with fractions.
     pub fn hist_fractions(&self, write: bool) -> BTreeMap<&'static str, f64> {
-        let (hist, total) =
-            if write { (&self.write_hist, self.writes) } else { (&self.read_hist, self.reads) };
+        let (hist, total) = if write {
+            (&self.write_hist, self.writes)
+        } else {
+            (&self.read_hist, self.reads)
+        };
         let mut out = BTreeMap::new();
         if total <= 0 {
             return out;
@@ -243,10 +250,15 @@ pub fn aggregate(trace: &DarshanTrace, module: Module) -> Option<ModuleAgg> {
         agg.bytes_read += r.ic(&format!("{p}_BYTES_READ"));
         agg.bytes_written += r.ic(&format!("{p}_BYTES_WRITTEN"));
         agg.max_byte_read = agg.max_byte_read.max(r.ic(&format!("{p}_MAX_BYTE_READ")));
-        agg.max_byte_written = agg.max_byte_written.max(r.ic(&format!("{p}_MAX_BYTE_WRITTEN")));
-        agg.max_read_time_size = agg.max_read_time_size.max(r.ic(&format!("{p}_MAX_READ_TIME_SIZE")));
-        agg.max_write_time_size =
-            agg.max_write_time_size.max(r.ic(&format!("{p}_MAX_WRITE_TIME_SIZE")));
+        agg.max_byte_written = agg
+            .max_byte_written
+            .max(r.ic(&format!("{p}_MAX_BYTE_WRITTEN")));
+        agg.max_read_time_size = agg
+            .max_read_time_size
+            .max(r.ic(&format!("{p}_MAX_READ_TIME_SIZE")));
+        agg.max_write_time_size = agg
+            .max_write_time_size
+            .max(r.ic(&format!("{p}_MAX_WRITE_TIME_SIZE")));
         agg.seq_reads += r.ic(&format!("{p}_SEQ_READS"));
         agg.seq_writes += r.ic(&format!("{p}_SEQ_WRITES"));
         agg.consec_reads += r.ic(&format!("{p}_CONSEC_READS"));
@@ -258,10 +270,12 @@ pub fn aggregate(trace: &DarshanTrace, module: Module) -> Option<ModuleAgg> {
         agg.read_time += r.fc(&format!("{p}_F_READ_TIME"));
         agg.write_time += r.fc(&format!("{p}_F_WRITE_TIME"));
         agg.meta_time += r.fc(&format!("{p}_F_META_TIME"));
-        agg.variance_rank_bytes =
-            agg.variance_rank_bytes.max(r.fc(&format!("{p}_F_VARIANCE_RANK_BYTES")));
-        agg.variance_rank_time =
-            agg.variance_rank_time.max(r.fc(&format!("{p}_F_VARIANCE_RANK_TIME")));
+        agg.variance_rank_bytes = agg
+            .variance_rank_bytes
+            .max(r.fc(&format!("{p}_F_VARIANCE_RANK_BYTES")));
+        agg.variance_rank_time = agg
+            .variance_rank_time
+            .max(r.fc(&format!("{p}_F_VARIANCE_RANK_TIME")));
         agg.fastest_rank_bytes += r.ic(&format!("{p}_FASTEST_RANK_BYTES"));
         agg.slowest_rank_bytes += r.ic(&format!("{p}_SLOWEST_RANK_BYTES"));
         let hist_read_prefix = match module {
@@ -340,7 +354,10 @@ pub fn lustre_summary(trace: &DarshanTrace) -> Option<LustreSummary> {
     if records.is_empty() {
         return None;
     }
-    let mut s = LustreSummary { files: records.len(), ..LustreSummary::default() };
+    let mut s = LustreSummary {
+        files: records.len(),
+        ..LustreSummary::default()
+    };
     for r in &records {
         s.total_osts = s.total_osts.max(r.ic("LUSTRE_OSTS"));
         s.total_mdts = s.total_mdts.max(r.ic("LUSTRE_MDTS"));
@@ -388,8 +405,16 @@ impl TraceSummary {
 
     /// Total bytes through POSIX + STDIO (MPI-IO excluded: double counting).
     pub fn total_bytes(&self) -> i64 {
-        let p = self.posix.as_ref().map(|a| a.bytes_read + a.bytes_written).unwrap_or(0);
-        let s = self.stdio.as_ref().map(|a| a.bytes_read + a.bytes_written).unwrap_or(0);
+        let p = self
+            .posix
+            .as_ref()
+            .map(|a| a.bytes_read + a.bytes_written)
+            .unwrap_or(0);
+        let s = self
+            .stdio
+            .as_ref()
+            .map(|a| a.bytes_read + a.bytes_written)
+            .unwrap_or(0);
         p + s
     }
 
@@ -399,7 +424,11 @@ impl TraceSummary {
         if total <= 0 {
             return 0.0;
         }
-        let s = self.stdio.as_ref().map(|a| a.bytes_read + a.bytes_written).unwrap_or(0);
+        let s = self
+            .stdio
+            .as_ref()
+            .map(|a| a.bytes_read + a.bytes_written)
+            .unwrap_or(0);
         (s as f64 / total as f64).clamp(0.0, 1.0)
     }
 

@@ -97,9 +97,18 @@ impl DxtTrace {
 pub fn write_dxt_text(trace: &DxtTrace) -> String {
     let mut out = String::new();
     writeln!(out, "# ***************************************************").unwrap();
-    writeln!(out, "# DXT trace (module, rank, op, segment, offset, length, start, end)").unwrap();
+    writeln!(
+        out,
+        "# DXT trace (module, rank, op, segment, offset, length, start, end)"
+    )
+    .unwrap();
     for file in trace.files.values() {
-        writeln!(out, "# DXT, file_id: {}, file_name: {}", file.record_id, file.file).unwrap();
+        writeln!(
+            out,
+            "# DXT, file_id: {}, file_name: {}",
+            file.record_id, file.file
+        )
+        .unwrap();
         for e in &file.events {
             writeln!(
                 out,
@@ -146,13 +155,19 @@ pub fn parse_dxt_text(input: &str) -> Result<DxtTrace, DarshanError> {
         }
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() < 8 {
-            return Err(DarshanError::MalformedRow { line: lineno, content: line.into() });
+            return Err(DarshanError::MalformedRow {
+                line: lineno,
+                content: line.into(),
+            });
         }
         let module: Module = cols[0]
             .strip_prefix("X_")
             .unwrap_or(cols[0])
             .parse()
-            .map_err(|_| DarshanError::UnknownModule { line: lineno, module: cols[0].into() })?;
+            .map_err(|_| DarshanError::UnknownModule {
+                line: lineno,
+                module: cols[0].into(),
+            })?;
         let bad = |field: &'static str, value: &str| DarshanError::BadNumber {
             line: lineno,
             field,
@@ -169,13 +184,22 @@ pub fn parse_dxt_text(input: &str) -> Result<DxtTrace, DarshanError> {
         let length = cols[5].parse().map_err(|_| bad("length", cols[5]))?;
         let start = cols[6].parse().map_err(|_| bad("start", cols[6]))?;
         let end = cols[7].parse().map_err(|_| bad("end", cols[7]))?;
-        let (record_id, file) = current
-            .clone()
-            .ok_or(DarshanError::MissingHeader("DXT file_id header before events"))?;
+        let (record_id, file) = current.clone().ok_or(DarshanError::MissingHeader(
+            "DXT file_id header before events",
+        ))?;
         trace.push(
             record_id,
             &file,
-            DxtEvent { module, rank, op, segment, offset, length, start, end },
+            DxtEvent {
+                module,
+                rank,
+                op,
+                segment,
+                offset,
+                length,
+                start,
+                end,
+            },
         );
     }
     Ok(trace)
@@ -208,8 +232,12 @@ pub fn file_stats(file: &DxtFileTrace) -> DxtFileStats {
         return DxtFileStats::default();
     }
     let bytes: u64 = file.events.iter().map(|e| e.length).sum();
-    let mean_duration =
-        file.events.iter().map(|e| (e.end - e.start).max(0.0)).sum::<f64>() / n as f64;
+    let mean_duration = file
+        .events
+        .iter()
+        .map(|e| (e.end - e.start).max(0.0))
+        .sum::<f64>()
+        / n as f64;
 
     // Per-rank offset sequences for sequentiality and stride analysis.
     let mut per_rank: BTreeMap<i64, Vec<&DxtEvent>> = BTreeMap::new();
@@ -232,8 +260,11 @@ pub fn file_stats(file: &DxtFileTrace) -> DxtFileStats {
             }
         }
     }
-    let consecutive_fraction =
-        if pairs == 0 { 1.0 } else { consecutive as f64 / pairs as f64 };
+    let consecutive_fraction = if pairs == 0 {
+        1.0
+    } else {
+        consecutive as f64 / pairs as f64
+    };
     let dominant_stride = strides
         .iter()
         .max_by_key(|(_, &c)| c)
@@ -263,7 +294,10 @@ pub fn file_stats(file: &DxtFileTrace) -> DxtFileStats {
     let starts: Vec<f64> = file.events.iter().map(|e| e.start).collect();
     for e in &file.events {
         let w_start = e.start;
-        let count = starts.iter().filter(|&&s| s >= w_start && s < w_start + window).count();
+        let count = starts
+            .iter()
+            .filter(|&&s| s >= w_start && s < w_start + window)
+            .count();
         if count > best {
             best = count;
             burst_start = w_start;
@@ -301,7 +335,11 @@ mod tests {
     fn sequential_trace() -> DxtTrace {
         let mut t = DxtTrace::default();
         for i in 0..10u64 {
-            t.push(7, "/scratch/seq", event(0, DxtOp::Write, i * 4096, 4096, i as f64 * 0.01));
+            t.push(
+                7,
+                "/scratch/seq",
+                event(0, DxtOp::Write, i * 4096, 4096, i as f64 * 0.01),
+            );
         }
         t
     }
@@ -315,8 +353,10 @@ mod tests {
         let (a, b) = (&t.files[&7], &back.files[&7]);
         assert_eq!(a.file, b.file);
         for (x, y) in a.events.iter().zip(&b.events) {
-            assert_eq!((x.module, x.rank, x.op, x.segment, x.offset, x.length),
-                       (y.module, y.rank, y.op, y.segment, y.offset, y.length));
+            assert_eq!(
+                (x.module, x.rank, x.op, x.segment, x.offset, x.length),
+                (y.module, y.rank, y.op, y.segment, y.offset, y.length)
+            );
             // Timestamps are serialised at microsecond precision.
             assert!((x.start - y.start).abs() < 1e-6);
             assert!((x.end - y.end).abs() < 1e-6);
@@ -338,7 +378,11 @@ mod tests {
         let mut t = DxtTrace::default();
         // 1 MB stride with 4 KB transfers: classic interleaved shared file.
         for i in 0..20u64 {
-            t.push(9, "/scratch/strided", event(1, DxtOp::Write, i * 1048576, 4096, i as f64));
+            t.push(
+                9,
+                "/scratch/strided",
+                event(1, DxtOp::Write, i * 1048576, 4096, i as f64),
+            );
         }
         let stats = file_stats(&t.files[&9]);
         assert_eq!(stats.dominant_stride, Some(1048576));
@@ -350,7 +394,11 @@ mod tests {
         let mut t = DxtTrace::default();
         let offsets = [0u64, 900_000, 30_000, 4_000_000, 120_000, 2_500_000, 60_000];
         for (i, &o) in offsets.iter().enumerate() {
-            t.push(3, "/scratch/rand", event(0, DxtOp::Read, o, 8192, i as f64 * 0.1));
+            t.push(
+                3,
+                "/scratch/rand",
+                event(0, DxtOp::Read, o, 8192, i as f64 * 0.1),
+            );
         }
         let stats = file_stats(&t.files[&3]);
         assert_eq!(stats.dominant_stride, None);
@@ -383,15 +431,25 @@ mod tests {
     #[test]
     fn parse_rejects_events_before_header() {
         let bad = "X_POSIX\t0\twrite\t0\t0\t4096\t0.0\t0.1\n";
-        assert!(matches!(parse_dxt_text(bad), Err(DarshanError::MissingHeader(_))));
+        assert!(matches!(
+            parse_dxt_text(bad),
+            Err(DarshanError::MissingHeader(_))
+        ));
     }
 
     #[test]
     fn parse_rejects_malformed_rows() {
         let bad = "# DXT, file_id: 1, file_name: /x\nX_POSIX\t0\twrite\t0\n";
-        assert!(matches!(parse_dxt_text(bad), Err(DarshanError::MalformedRow { .. })));
-        let bad_op = "# DXT, file_id: 1, file_name: /x\nX_POSIX\t0\tfrobnicate\t0\t0\t1\t0.0\t0.1\n";
-        assert!(matches!(parse_dxt_text(bad_op), Err(DarshanError::BadNumber { .. })));
+        assert!(matches!(
+            parse_dxt_text(bad),
+            Err(DarshanError::MalformedRow { .. })
+        ));
+        let bad_op =
+            "# DXT, file_id: 1, file_name: /x\nX_POSIX\t0\tfrobnicate\t0\t0\t1\t0.0\t0.1\n";
+        assert!(matches!(
+            parse_dxt_text(bad_op),
+            Err(DarshanError::BadNumber { .. })
+        ));
     }
 
     #[test]

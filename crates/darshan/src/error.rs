@@ -10,7 +10,11 @@ pub enum DarshanError {
     /// A data row named an unknown module.
     UnknownModule { line: usize, module: String },
     /// A numeric field failed to parse.
-    BadNumber { line: usize, field: &'static str, value: String },
+    BadNumber {
+        line: usize,
+        field: &'static str,
+        value: String,
+    },
     /// The header was missing a mandatory field.
     MissingHeader(&'static str),
 }
@@ -42,7 +46,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DarshanError::BadNumber { line: 3, field: "rank", value: "x".into() };
+        let e = DarshanError::BadNumber {
+            line: 3,
+            field: "rank",
+            value: "x".into(),
+        };
         let msg = e.to_string();
         assert!(msg.contains("line 3"));
         assert!(msg.contains("rank"));

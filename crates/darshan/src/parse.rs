@@ -19,7 +19,10 @@ use std::collections::BTreeMap;
 
 /// Parse `darshan-parser` text output into a [`DarshanTrace`].
 pub fn parse_text(input: &str) -> Result<DarshanTrace, DarshanError> {
-    let mut header = JobHeader { mounts: Vec::new(), ..JobHeader::default() };
+    let mut header = JobHeader {
+        mounts: Vec::new(),
+        ..JobHeader::default()
+    };
     let mut seen_nprocs = false;
     // Keyed by (module, rank, record_id) to fold counter rows into records.
     let mut records: BTreeMap<(Module, i64, u64), Record> = BTreeMap::new();
@@ -40,11 +43,15 @@ pub fn parse_text(input: &str) -> Result<DarshanTrace, DarshanError> {
             line.split_whitespace().collect()
         };
         if cols.len() < 5 {
-            return Err(DarshanError::MalformedRow { line: lineno, content: line.to_string() });
+            return Err(DarshanError::MalformedRow {
+                line: lineno,
+                content: line.to_string(),
+            });
         }
-        let module: Module = cols[0]
-            .parse()
-            .map_err(|_| DarshanError::UnknownModule { line: lineno, module: cols[0].into() })?;
+        let module: Module = cols[0].parse().map_err(|_| DarshanError::UnknownModule {
+            line: lineno,
+            module: cols[0].into(),
+        })?;
         let rank: i64 = cols[1].parse().map_err(|_| DarshanError::BadNumber {
             line: lineno,
             field: "rank",
@@ -61,9 +68,9 @@ pub fn parse_text(input: &str) -> Result<DarshanTrace, DarshanError> {
         let mount = cols.get(6).copied().unwrap_or("/");
         let fs = cols.get(7).copied().unwrap_or("unknown");
 
-        let rec = records.entry((module, rank, record_id)).or_insert_with(|| {
-            Record::new(module, rank, record_id, file).with_mount(mount, fs)
-        });
+        let rec = records
+            .entry((module, rank, record_id))
+            .or_insert_with(|| Record::new(module, rank, record_id, file).with_mount(mount, fs));
         if is_float_counter(counter) {
             let v: f64 = value.parse().map_err(|_| DarshanError::BadNumber {
                 line: lineno,
@@ -86,18 +93,26 @@ pub fn parse_text(input: &str) -> Result<DarshanTrace, DarshanError> {
         return Err(DarshanError::MissingHeader("nprocs"));
     }
 
-    Ok(DarshanTrace { header, records: records.into_values().collect() })
+    Ok(DarshanTrace {
+        header,
+        records: records.into_values().collect(),
+    })
 }
 
 fn parse_header_line(line: &str, header: &mut JobHeader, seen_nprocs: &mut bool) {
     if let Some(rest) = line.strip_prefix("mount entry:") {
         let mut parts = rest.split_whitespace();
         if let (Some(point), Some(fs)) = (parts.next(), parts.next()) {
-            header.mounts.push(Mount { point: point.to_string(), fs: fs.to_string() });
+            header.mounts.push(Mount {
+                point: point.to_string(),
+                fs: fs.to_string(),
+            });
         }
         return;
     }
-    let Some((key, value)) = line.split_once(':') else { return };
+    let Some((key, value)) = line.split_once(':') else {
+        return;
+    };
     let key = key.trim();
     let value = value.trim();
     match key {
@@ -159,7 +174,10 @@ LUSTRE\t-1\t101\tLUSTRE_STRIPE_SIZE\t1048576\t/scratch/plt00000\t/scratch\tlustr
         assert_eq!(t.header.mounts.len(), 2);
         assert_eq!(t.header.mounts[0].point, "/scratch");
         assert_eq!(t.header.mounts[0].fs, "lustre");
-        assert_eq!(t.header.metadata.get("metadata").map(String::as_str), Some("lib_ver = 3.4.1"));
+        assert_eq!(
+            t.header.metadata.get("metadata").map(String::as_str),
+            Some("lib_ver = 3.4.1")
+        );
     }
 
     #[test]
@@ -195,13 +213,19 @@ LUSTRE\t-1\t101\tLUSTRE_STRIPE_SIZE\t1048576\t/scratch/plt00000\t/scratch\tlustr
     #[test]
     fn rejects_short_row() {
         let bad = "# nprocs: 1\nPOSIX\t0\t1\n";
-        assert!(matches!(parse_text(bad), Err(DarshanError::MalformedRow { .. })));
+        assert!(matches!(
+            parse_text(bad),
+            Err(DarshanError::MalformedRow { .. })
+        ));
     }
 
     #[test]
     fn rejects_bad_counter_value() {
         let bad = "# nprocs: 1\nPOSIX\t0\t1\tPOSIX_OPENS\txyz\t/f\t/\text4\n";
-        assert!(matches!(parse_text(bad), Err(DarshanError::BadNumber { .. })));
+        assert!(matches!(
+            parse_text(bad),
+            Err(DarshanError::BadNumber { .. })
+        ));
     }
 
     #[test]

@@ -123,8 +123,8 @@ mod tests {
     use super::*;
 
     fn sample() -> Record {
-        let mut r = Record::new(Module::Posix, -1, 42, "/scratch/out.dat")
-            .with_mount("/scratch", "lustre");
+        let mut r =
+            Record::new(Module::Posix, -1, 42, "/scratch/out.dat").with_mount("/scratch", "lustre");
         r.set_ic("POSIX_READS", 10);
         r.set_ic("POSIX_WRITES", 20);
         r.set_fc("POSIX_F_READ_TIME", 1.5);

@@ -50,7 +50,10 @@ impl Default for JobHeader {
             start_time: 1_700_000_000,
             end_time: 1_700_000_060,
             run_time: 60.0,
-            mounts: vec![Mount { point: "/".to_string(), fs: "ext4".to_string() }],
+            mounts: vec![Mount {
+                point: "/".to_string(),
+                fs: "ext4".to_string(),
+            }],
             metadata: BTreeMap::new(),
         }
     }
@@ -83,7 +86,10 @@ pub struct DarshanTrace {
 impl DarshanTrace {
     /// Create an empty trace with the given header.
     pub fn new(header: JobHeader) -> Self {
-        DarshanTrace { header, records: Vec::new() }
+        DarshanTrace {
+            header,
+            records: Vec::new(),
+        }
     }
 
     /// Append a record.
@@ -103,7 +109,10 @@ impl DarshanTrace {
 
     /// The set of modules present in the trace, in canonical order.
     pub fn modules(&self) -> Vec<Module> {
-        Module::ALL.into_iter().filter(|m| self.module_present(*m)).collect()
+        Module::ALL
+            .into_iter()
+            .filter(|m| self.module_present(*m))
+            .collect()
     }
 
     /// Distinct file paths touched by any module.
@@ -173,7 +182,10 @@ mod tests {
         assert!(t.module_present(Module::Posix));
         assert!(t.module_present(Module::Stdio));
         assert!(!t.module_present(Module::Lustre));
-        assert_eq!(t.modules(), vec![Module::Posix, Module::Mpiio, Module::Stdio]);
+        assert_eq!(
+            t.modules(),
+            vec![Module::Posix, Module::Mpiio, Module::Stdio]
+        );
     }
 
     #[test]

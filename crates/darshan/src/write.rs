@@ -27,7 +27,11 @@ pub fn write_text(trace: &DarshanTrace) -> String {
     }
     writeln!(out, "#").unwrap();
     writeln!(out, "# mounted file systems (mount point and fs type)").unwrap();
-    writeln!(out, "# -------------------------------------------------------").unwrap();
+    writeln!(
+        out,
+        "# -------------------------------------------------------"
+    )
+    .unwrap();
     for m in &h.mounts {
         writeln!(out, "# mount entry:\t{}\t{}", m.point, m.fs).unwrap();
     }
@@ -40,8 +44,11 @@ pub fn write_text(trace: &DarshanTrace) -> String {
 
     let mut sorted: Vec<&Record> = trace.records.iter().collect();
     sorted.sort_by(|a, b| {
-        (module_order(a.module), a.record_id, a.rank)
-            .cmp(&(module_order(b.module), b.record_id, b.rank))
+        (module_order(a.module), a.record_id, a.rank).cmp(&(
+            module_order(b.module),
+            b.record_id,
+            b.rank,
+        ))
     });
     for rec in sorted {
         let m = rec.module.as_str();
@@ -66,7 +73,10 @@ pub fn write_text(trace: &DarshanTrace) -> String {
 }
 
 fn module_order(m: Module) -> usize {
-    Module::ALL.iter().position(|x| *x == m).unwrap_or(usize::MAX)
+    Module::ALL
+        .iter()
+        .position(|x| *x == m)
+        .unwrap_or(usize::MAX)
 }
 
 #[cfg(test)]
@@ -77,8 +87,8 @@ mod tests {
 
     fn sample_trace() -> DarshanTrace {
         let mut t = DarshanTrace::new(JobHeader::new("./bench", 16, 300.5));
-        let mut p = Record::new(Module::Posix, -1, 7, "/scratch/data.h5")
-            .with_mount("/scratch", "lustre");
+        let mut p =
+            Record::new(Module::Posix, -1, 7, "/scratch/data.h5").with_mount("/scratch", "lustre");
         p.set_ic("POSIX_OPENS", 32);
         p.set_ic("POSIX_WRITES", 4096);
         p.set_ic("POSIX_BYTES_WRITTEN", 1 << 30);
@@ -127,8 +137,10 @@ mod tests {
     #[test]
     fn header_contains_mounts() {
         let mut t = sample_trace();
-        t.header.mounts =
-            vec![crate::trace::Mount { point: "/scratch".into(), fs: "lustre".into() }];
+        t.header.mounts = vec![crate::trace::Mount {
+            point: "/scratch".into(),
+            fs: "lustre".into(),
+        }];
         let text = write_text(&t);
         assert!(text.contains("# mount entry:\t/scratch\tlustre"));
     }

@@ -31,12 +31,18 @@ mod tests {
 
     #[test]
     fn splits_on_punctuation_and_lowercases() {
-        assert_eq!(tokenize("Small, WRITES (8KB)!"), vec!["small", "writes", "8kb"]);
+        assert_eq!(
+            tokenize("Small, WRITES (8KB)!"),
+            vec!["small", "writes", "8kb"]
+        );
     }
 
     #[test]
     fn keeps_numbers() {
-        assert_eq!(tokenize("stripe=1 size=1048576"), vec!["stripe", "1", "size", "1048576"]);
+        assert_eq!(
+            tokenize("stripe=1 size=1048576"),
+            vec!["stripe", "1", "size", "1048576"]
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use preprocessor::SummaryFragment;
 use rayon::prelude::*;
 use simllm::{CompletionRequest, Diagnosis, LanguageModel, SimLlm};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use tracebench::IssueLabel;
 
 /// Configuration knobs (defaults match the paper).
@@ -40,10 +41,15 @@ impl Default for AgentConfig {
 }
 
 /// The IOAgent, bound to a backbone model.
+///
+/// The knowledge retriever is held behind an [`Arc`] so a long-lived
+/// service (`ioagentd`) can build the vector index once and share it across
+/// many concurrent agents; per-job state (the backbone model reference and
+/// the reflection model with its usage accounting) stays per-agent.
 pub struct IoAgent<'m> {
     model: &'m dyn LanguageModel,
     reflection: SimLlm,
-    retriever: Retriever,
+    retriever: Arc<Retriever>,
     config: AgentConfig,
 }
 
@@ -53,11 +59,39 @@ impl<'m> IoAgent<'m> {
         Self::with_config(model, AgentConfig::default())
     }
 
-    /// Create an agent with explicit configuration.
+    /// Create an agent with explicit configuration, building a private
+    /// knowledge index.
     pub fn with_config(model: &'m dyn LanguageModel, config: AgentConfig) -> Self {
-        let mut retriever = Retriever::build();
-        retriever.top_k = config.top_k;
-        IoAgent { model, reflection: SimLlm::new(&config.reflection_model), retriever, config }
+        Self::with_shared_retriever(model, config, Arc::new(Retriever::build()))
+    }
+
+    /// Create an agent over an existing shared knowledge index. The index
+    /// is immutable after construction, so any number of agents across any
+    /// number of threads may share one `Arc<Retriever>`; `config.top_k` is
+    /// applied per retrieval call rather than baked into the index.
+    pub fn with_shared_retriever(
+        model: &'m dyn LanguageModel,
+        config: AgentConfig,
+        retriever: Arc<Retriever>,
+    ) -> Self {
+        IoAgent {
+            model,
+            reflection: SimLlm::new(&config.reflection_model),
+            retriever,
+            config,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// Usage accumulated by the private self-reflection model. Combined
+    /// with the backbone model's own usage this gives the full per-job
+    /// token/cost accounting.
+    pub fn reflection_usage(&self) -> simllm::Usage {
+        self.reflection.usage()
     }
 
     /// Tool name used in reports and the evaluation.
@@ -83,7 +117,12 @@ impl<'m> IoAgent<'m> {
 
         // Final report rendering.
         let (text, issues, references) = render_report(&self.tool_name(), &merged);
-        Diagnosis { tool: self.tool_name(), text, issues, references }
+        Diagnosis {
+            tool: self.tool_name(),
+            text,
+            issues,
+            references,
+        }
     }
 
     /// Diagnose a single fragment into a mergeable summary block.
@@ -97,7 +136,8 @@ impl<'m> IoAgent<'m> {
 
         // 2b/2c: retrieval + self-reflection filtering.
         let sources = if self.config.use_rag {
-            self.retriever.retrieve(&query, &self.reflection)
+            self.retriever
+                .retrieve_k(&query, &self.reflection, self.config.top_k)
         } else {
             Vec::new()
         };
@@ -131,7 +171,7 @@ fn response_to_points(response: &str) -> Vec<String> {
     let mut points = Vec::new();
     let mut current: Option<(IssueLabel, Vec<String>, Vec<String>)> = None;
     let flush = |cur: &mut Option<(IssueLabel, Vec<String>, Vec<String>)>,
-                     points: &mut Vec<String>| {
+                 points: &mut Vec<String>| {
         if let Some((issue, body, refs)) = cur.take() {
             let mut line = format!(
                 "- POINT[{}] Issue: {} — {}",
@@ -173,7 +213,10 @@ fn response_to_points(response: &str) -> Vec<String> {
 
 /// Render merged points into the final report.
 fn render_report(tool: &str, merged: &SummaryBlock) -> (String, Vec<IssueLabel>, Vec<String>) {
-    let mut text = format!("{tool} diagnosis report\n{}\n\n", "=".repeat(tool.len() + 17));
+    let mut text = format!(
+        "{tool} diagnosis report\n{}\n\n",
+        "=".repeat(tool.len() + 17)
+    );
     let mut issues: Vec<IssueLabel> = Vec::new();
     let mut references: BTreeSet<String> = BTreeSet::new();
     if merged.points.is_empty() {
@@ -193,7 +236,10 @@ fn render_report(tool: &str, merged: &SummaryBlock) -> (String, Vec<IssueLabel>,
             .unwrap_or(head);
         text.push_str(body.trim());
         text.push('\n');
-        if let Some(key) = point.strip_prefix("- POINT[").and_then(|r| r.split(']').next()) {
+        if let Some(key) = point
+            .strip_prefix("- POINT[")
+            .and_then(|r| r.split(']').next())
+        {
             if let Ok(issue) = key.parse::<IssueLabel>() {
                 if !issues.contains(&issue) {
                     issues.push(issue);

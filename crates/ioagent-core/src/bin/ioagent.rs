@@ -61,7 +61,10 @@ fn main() {
             "--flat-merge" => config.merge = MergeStrategy::Flat,
             "--no-rag" => config.use_rag = false,
             "--list-models" => {
-                println!("{:<16} {:>8} {:>12} {:>12}", "model", "vendor", "context", "capability");
+                println!(
+                    "{:<16} {:>8} {:>12} {:>12}",
+                    "model", "vendor", "context", "capability"
+                );
                 for p in PROFILES {
                     println!(
                         "{:<16} {:>8} {:>12} {:>12.2}",
@@ -86,10 +89,12 @@ fn main() {
         }),
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
-                eprintln!("cannot read stdin: {e}");
-                std::process::exit(1);
-            });
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot read stdin: {e}");
+                    std::process::exit(1);
+                });
             buf
         }
     };
@@ -108,7 +113,10 @@ fn main() {
     if questions.is_empty() {
         let diagnosis = agent.diagnose(&trace);
         if json {
-            println!("{}", serde_json::to_string_pretty(&diagnosis).expect("serialize"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&diagnosis).expect("serialize")
+            );
         } else {
             println!("{}", diagnosis.text);
         }

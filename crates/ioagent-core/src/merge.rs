@@ -30,7 +30,10 @@ pub struct SummaryBlock {
 impl SummaryBlock {
     /// Construct a block.
     pub fn new(title: impl Into<String>, points: Vec<String>) -> Self {
-        SummaryBlock { title: title.into(), points }
+        SummaryBlock {
+            title: title.into(),
+            points,
+        }
     }
 
     /// Whether the block carries no points.
@@ -76,8 +79,7 @@ pub fn merge_blocks(
             while blocks.len() > 1 {
                 let mut next: Vec<Option<SummaryBlock>> = Vec::new();
                 // Pair up; an odd trailing block passes through unchanged.
-                let pairs: Vec<(usize, &[SummaryBlock])> =
-                    blocks.chunks(2).enumerate().collect();
+                let pairs: Vec<(usize, &[SummaryBlock])> = blocks.chunks(2).enumerate().collect();
                 let merged: Vec<(usize, SummaryBlock)> = pairs
                     .par_iter()
                     .map(|(i, chunk)| {
@@ -132,7 +134,9 @@ mod tests {
     #[test]
     fn tree_merge_retains_most_points_for_frontier_model() {
         let model = SimLlm::new("gpt-4o");
-        let blocks: Vec<SummaryBlock> = (0..13).map(|i| block(&format!("S{i}"), &[&format!("k{i}")])).collect();
+        let blocks: Vec<SummaryBlock> = (0..13)
+            .map(|i| block(&format!("S{i}"), &[&format!("k{i}")]))
+            .collect();
         let mut total = 0usize;
         for salt in 0..10 {
             // Vary the content slightly per round so RNG streams differ.
@@ -148,14 +152,17 @@ mod tests {
     #[test]
     fn flat_merge_loses_points_even_for_frontier_model() {
         let model = SimLlm::new("gpt-4o");
-        let blocks: Vec<SummaryBlock> =
-            (0..13).map(|i| block(&format!("S{i}"), &[&format!("k{i}")])).collect();
+        let blocks: Vec<SummaryBlock> = (0..13)
+            .map(|i| block(&format!("S{i}"), &[&format!("k{i}")]))
+            .collect();
         let mut tree_total = 0usize;
         let mut flat_total = 0usize;
         for salt in 0..10 {
             let mut bs = blocks.clone();
             bs[0].points[0] = format!("- POINT[k0] finding about k0 round {salt}");
-            tree_total += merge_blocks(&model, bs.clone(), MergeStrategy::Tree).points.len();
+            tree_total += merge_blocks(&model, bs.clone(), MergeStrategy::Tree)
+                .points
+                .len();
             flat_total += merge_blocks(&model, bs, MergeStrategy::Flat).points.len();
         }
         assert!(
@@ -193,8 +200,9 @@ mod tests {
     #[test]
     fn merge_is_deterministic() {
         let model = SimLlm::new("llama-3.1-70b");
-        let blocks: Vec<SummaryBlock> =
-            (0..6).map(|i| block(&format!("S{i}"), &[&format!("k{i}")])).collect();
+        let blocks: Vec<SummaryBlock> = (0..6)
+            .map(|i| block(&format!("S{i}"), &[&format!("k{i}")]))
+            .collect();
         let a = merge_blocks(&model, blocks.clone(), MergeStrategy::Tree);
         let b = merge_blocks(&model, blocks, MergeStrategy::Tree);
         assert_eq!(a, b);

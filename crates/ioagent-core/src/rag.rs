@@ -62,15 +62,26 @@ impl Retriever {
         self.index.is_empty()
     }
 
-    /// Retrieve top-k sources for a query, then self-reflect with the given
-    /// (cheaper) model to drop irrelevant hits. Reflection calls run in
-    /// parallel, as in the paper.
+    /// Retrieve top-`self.top_k` sources for a query, then self-reflect
+    /// with the given (cheaper) model to drop irrelevant hits. Reflection
+    /// calls run in parallel, as in the paper.
     pub fn retrieve(
         &self,
         query: &str,
         reflection_model: &dyn LanguageModel,
     ) -> Vec<GroundedSource> {
-        let hits = self.index.search(query, self.top_k);
+        self.retrieve_k(query, reflection_model, self.top_k)
+    }
+
+    /// [`Retriever::retrieve`] with an explicit `k`, so a shared, immutable
+    /// retriever can serve agents with different `top_k` configurations.
+    pub fn retrieve_k(
+        &self,
+        query: &str,
+        reflection_model: &dyn LanguageModel,
+        k: usize,
+    ) -> Vec<GroundedSource> {
+        let hits = self.index.search(query, k);
         let verdicts: Vec<(usize, bool)> = hits
             .par_iter()
             .map(|hit| {
@@ -131,7 +142,10 @@ mod tests {
             &mini,
         );
         assert!(!sources.is_empty());
-        let claims: Vec<&str> = sources.iter().flat_map(|s| s.claims.iter().copied()).collect();
+        let claims: Vec<&str> = sources
+            .iter()
+            .flat_map(|s| s.claims.iter().copied())
+            .collect();
         assert!(
             claims.contains(&knowledge::claims::STRIPE_WIDTH_PARALLELISM),
             "claims: {claims:?}"
@@ -158,7 +172,10 @@ mod tests {
             claims: vec!["stripe_width_parallelism"],
             score: 0.5,
         };
-        assert_eq!(s.reference_lines(), "REFERENCE claim=stripe_width_parallelism cite=[T, V 2021]\n");
+        assert_eq!(
+            s.reference_lines(),
+            "REFERENCE claim=stripe_width_parallelism cite=[T, V 2021]\n"
+        );
     }
 
     #[test]

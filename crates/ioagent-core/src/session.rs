@@ -47,7 +47,12 @@ impl<'m> AgentSession<'m> {
                 l.stripe_sizes.first().copied().unwrap_or(0)
             ));
         }
-        AgentSession { model, diagnosis, turns: Vec::new(), context_evidence }
+        AgentSession {
+            model,
+            diagnosis,
+            turns: Vec::new(),
+            context_evidence,
+        }
     }
 
     /// Ask a follow-up question; the answer uses the diagnosis, its
@@ -66,14 +71,17 @@ impl<'m> AgentSession<'m> {
         )
         .with_salt(self.turns.len() as u64);
         let answer = self.model.complete(&req).text;
-        self.turns.push(Turn { question: question.to_string(), answer: answer.clone() });
+        self.turns.push(Turn {
+            question: question.to_string(),
+            answer: answer.clone(),
+        });
         answer
     }
 }
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::agent::IoAgent;
     use simllm::SimLlm;
     use tracebench::TraceBench;

@@ -1,0 +1,193 @@
+//! `ioagentd` — streaming front end to the concurrent diagnosis service.
+//!
+//! ```text
+//! USAGE:
+//!   ioagentd [OPTIONS]
+//!
+//! OPTIONS:
+//!   --workers N       worker threads (default: available parallelism)
+//!   --queue N         job queue bound (default: 2 x workers)
+//!   --cache N         result cache entries, 0 disables (default: 256)
+//!   --listen ADDR     serve the line protocol over TCP instead of stdio
+//!   -h, --help        print this help
+//! ```
+//!
+//! In stdio mode the daemon reads newline-delimited JSON requests on stdin
+//! until EOF and writes one JSON response per line to stdout, in request
+//! order. With `--listen host:port` it accepts any number of concurrent
+//! TCP connections, each speaking the same protocol. Either way, all
+//! connections share one knowledge index, one worker pool, and one result
+//! cache; the bounded queue applies backpressure by pausing reads.
+
+use ioagentd::{protocol, DiagnosisService, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "ioagentd — concurrent batch I/O-diagnosis service\n\n\
+         USAGE: ioagentd [OPTIONS]\n\n\
+         OPTIONS:\n\
+           --workers N       worker threads (default: available parallelism)\n\
+           --queue N         job queue bound (default: 2 x workers)\n\
+           --cache N         result cache entries, 0 disables (default: 256)\n\
+           --listen ADDR     serve over TCP (host:port) instead of stdio\n\
+           -h, --help        print this help\n\n\
+         PROTOCOL (one JSON document per line):\n\
+           request:  {{\"id\": \"j1\", \"trace\": \"<darshan-parser text>\",\n\
+                      \"model\": \"gpt-4o\", \"top_k\": 15, \"use_rag\": true,\n\
+                      \"merge\": \"tree\"}}\n\
+           response: {{\"id\": \"j1\", \"issues\": [...], \"text\": \"...\",\n\
+                      \"cached\": false, \"llm_calls\": 93, \"cost_usd\": 0.21}}"
+    );
+    std::process::exit(2);
+}
+
+fn parse_count(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    match args.next().map(|v| v.parse::<usize>()) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("{flag} expects a non-negative integer");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut config = ServiceConfig::default();
+    let mut listen: Option<String> = None;
+    let mut explicit_queue = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => config.workers = parse_count(&mut args, "--workers").max(1),
+            "--queue" => {
+                config.queue_capacity = parse_count(&mut args, "--queue").max(1);
+                explicit_queue = true;
+            }
+            "--cache" => config.cache_capacity = parse_count(&mut args, "--cache"),
+            "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown option {other:?}");
+                usage();
+            }
+        }
+    }
+    // The *default* queue bound scales with the worker count chosen above;
+    // an explicit --queue (however tight) is the operator's call.
+    if !explicit_queue {
+        config.queue_capacity = 2 * config.workers;
+    }
+
+    eprintln!(
+        "[ioagentd] starting: {} workers, queue {}, cache {}",
+        config.workers, config.queue_capacity, config.cache_capacity
+    );
+    let service = Arc::new(DiagnosisService::start(config));
+    eprintln!("[ioagentd] knowledge index ready");
+
+    match listen {
+        None => {
+            let stdin = std::io::stdin();
+            serve_stream(&service, stdin.lock(), std::io::stdout());
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
+                eprintln!("cannot listen on {addr}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[ioagentd] listening on {addr}");
+            // Connection threads are detached: the accept loop runs for the
+            // daemon's lifetime, so retaining JoinHandles would only grow
+            // an unjoinable list. Each thread holds its own Arc on the
+            // service and drains independently.
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let peer = stream
+                    .peer_addr()
+                    .map(|p| p.to_string())
+                    .unwrap_or_default();
+                eprintln!("[ioagentd] connection from {peer}");
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    serve_stream(&service, reader, stream);
+                });
+            }
+        }
+    }
+
+    let stats = match Arc::try_unwrap(service) {
+        Ok(service) => {
+            let stats = service.stats();
+            service.shutdown();
+            stats
+        }
+        Err(service) => service.stats(),
+    };
+    eprintln!(
+        "[ioagentd] done: {} jobs ({} cache hits), {} LLM calls, {} input tokens, ${:.4}",
+        stats.jobs_completed, stats.cache_hits, stats.llm_calls, stats.input_tokens, stats.cost_usd
+    );
+}
+
+/// Pump one request stream: parse + submit each line (blocking on the
+/// bounded queue for backpressure), while a writer thread emits responses
+/// in request order as they complete.
+fn serve_stream<R: BufRead, W: Write + Send + 'static>(
+    service: &DiagnosisService,
+    reader: R,
+    mut writer: W,
+) {
+    enum Outcome {
+        Ticket(ioagentd::JobTicket),
+        Error(String),
+    }
+
+    // Bounded: if the peer stops reading responses, the printer thread
+    // blocks on write, this channel fills, and `send` below blocks the
+    // reader — backpressure holds even for cache hits, which bypass the
+    // service's own bounded queue.
+    let (tx, rx) = mpsc::sync_channel::<Outcome>(64);
+    let printer = std::thread::spawn(move || {
+        let mut served = 0u64;
+        for outcome in rx {
+            let line = match outcome {
+                Outcome::Ticket(ticket) => protocol::render_result(&ticket.wait()),
+                Outcome::Error(line) => line,
+            };
+            if writeln!(writer, "{line}").is_err() {
+                break; // peer went away; drain remaining tickets silently
+            }
+            let _ = writer.flush();
+            served += 1;
+        }
+        served
+    });
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let default_id = format!("line-{}", line_no + 1);
+        let outcome = match protocol::parse_request(&line, &default_id) {
+            Ok(request) => {
+                let id = request.id.clone();
+                match service.submit(request) {
+                    Ok(ticket) => Outcome::Ticket(ticket),
+                    Err(e) => Outcome::Error(protocol::render_error(&id, &e.to_string())),
+                }
+            }
+            Err(e) => Outcome::Error(protocol::render_error(&e.id, &e.message)),
+        };
+        if tx.send(outcome).is_err() {
+            break;
+        }
+    }
+    drop(tx);
+    let _ = printer.join();
+}

@@ -1,0 +1,137 @@
+//! Least-recently-used result cache.
+//!
+//! Keys are job fingerprints (trace content hash × model × config); values
+//! are completed diagnoses. Capacity 0 disables caching entirely. Eviction
+//! scans for the stalest entry — O(capacity), which is irrelevant next to
+//! the multi-millisecond diagnoses being cached.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An LRU map with hit/miss accounting.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V: Clone> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<K, (V, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Look up a key, refreshing its recency on hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((value, last_used)) => {
+                *last_used = self.tick;
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a key, evicting the least recently used entry at capacity.
+    /// No-op when the cache is disabled.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(stalest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&stalest);
+            }
+        }
+        self.entries.insert(key, (value, self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // refresh a; b is now stalest
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn accounting_tracks_hits_and_misses() {
+        let mut c = LruCache::new(4);
+        c.insert("k", 9);
+        assert_eq!(c.get(&"k"), Some(9));
+        assert_eq!(c.get(&"missing"), None);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("a", 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a"), Some(2));
+    }
+}

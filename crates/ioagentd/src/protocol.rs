@@ -1,0 +1,217 @@
+//! Newline-delimited JSON protocol for the `ioagentd` front end.
+//!
+//! One request per line:
+//!
+//! ```json
+//! {"id": "job-1", "trace": "<darshan-parser text>", "model": "gpt-4o",
+//!  "top_k": 15, "use_rag": true, "nl_transform": true, "merge": "tree",
+//!  "reflection_model": "gpt-4o-mini"}
+//! ```
+//!
+//! Only `trace` is required; `id` defaults to the line number, `model` to
+//! `gpt-4o`, and the remaining fields to the paper configuration. One
+//! response (or error) per line, in request order:
+//!
+//! ```json
+//! {"id": "job-1", "tool": "ioagent-gpt-4o", "issues": ["small_write"],
+//!  "references": ["..."], "text": "...", "cached": false, "llm_calls": 93,
+//!  "input_tokens": 31200, "output_tokens": 4800, "cost_usd": 0.21,
+//!  "queue_wait_ms": 0.1, "exec_ms": 42.0, "worker": 3}
+//! ```
+
+use crate::service::{JobRequest, JobResult};
+use ioagent_core::{AgentConfig, MergeStrategy};
+use serde_json::{json, Value};
+
+/// A rejected request line: the id to answer under (the request's own
+/// `id` whenever the JSON parsed far enough to reveal one) plus the
+/// reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Identifier to echo in the error response.
+    pub id: String,
+    /// Human-readable rejection reason.
+    pub message: String,
+}
+
+/// Parse one NDJSON request line into a [`JobRequest`].
+pub fn parse_request(line: &str, default_id: &str) -> Result<JobRequest, RequestError> {
+    let fail = |id: &str, message: String| RequestError {
+        id: id.to_string(),
+        message,
+    };
+    let value: Value = serde_json::from_str(line).map_err(|e| fail(default_id, e.to_string()))?;
+    // Resolve the id first so later rejections are attributable.
+    let id = value
+        .get("id")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| default_id.to_string());
+    let trace_text = value
+        .get("trace")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail(&id, "missing required string field \"trace\"".to_string()))?;
+    let model = value
+        .get("model")
+        .and_then(Value::as_str)
+        .unwrap_or("gpt-4o")
+        .to_string();
+
+    let mut config = AgentConfig::default();
+    if let Some(k) = value.get("top_k").and_then(Value::as_i64) {
+        if k < 1 {
+            return Err(fail(&id, format!("top_k must be >= 1, got {k}")));
+        }
+        config.top_k = k as usize;
+    }
+    if let Some(b) = value.get("use_rag").and_then(Value::as_bool) {
+        config.use_rag = b;
+    }
+    if let Some(b) = value.get("nl_transform").and_then(Value::as_bool) {
+        config.nl_transform = b;
+    }
+    if let Some(m) = value.get("merge").and_then(Value::as_str) {
+        config.merge = match m {
+            "tree" => MergeStrategy::Tree,
+            "flat" => MergeStrategy::Flat,
+            other => {
+                return Err(fail(
+                    &id,
+                    format!("unknown merge strategy {other:?} (tree|flat)"),
+                ))
+            }
+        };
+    }
+    if let Some(m) = value.get("reflection_model").and_then(Value::as_str) {
+        config.reflection_model = m.to_string();
+    }
+
+    let mut request =
+        JobRequest::from_trace_text(id.clone(), trace_text, model).map_err(|e| fail(&id, e))?;
+    request.config = config;
+    Ok(request)
+}
+
+/// Render a completed job as one compact JSON line.
+pub fn render_result(result: &JobResult) -> String {
+    let issues: Vec<Value> = result
+        .diagnosis
+        .issues
+        .iter()
+        .map(|i| json!(i.key()))
+        .collect();
+    let response = json!({
+        "id": result.id,
+        "tool": result.diagnosis.tool,
+        "issues": issues,
+        "references": result.diagnosis.references,
+        "text": result.diagnosis.text,
+        "cached": result.cached,
+        "llm_calls": result.metrics.llm_calls,
+        "input_tokens": result.metrics.input_tokens,
+        "output_tokens": result.metrics.output_tokens,
+        "cost_usd": result.metrics.cost_usd,
+        "queue_wait_ms": result.metrics.queue_wait.as_secs_f64() * 1e3,
+        "exec_ms": result.metrics.exec.as_secs_f64() * 1e3,
+        "worker": if result.worker == usize::MAX { -1 } else { result.worker as i64 },
+    });
+    serde_json::to_string(&response).expect("serialize response")
+}
+
+/// Render a per-line failure as one compact JSON line.
+pub fn render_error(id: &str, message: &str) -> String {
+    serde_json::to_string(&json!({ "id": id, "error": message })).expect("serialize error")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simllm::Diagnosis;
+    use std::time::Duration;
+
+    fn trace_json_line() -> String {
+        let suite = tracebench::TraceBench::generate();
+        let text = darshan::write::write_text(&suite.entries[0].trace);
+        serde_json::to_string(&json!({
+            "id": "t1",
+            "trace": text,
+            "model": "gpt-4o-mini",
+            "top_k": 5,
+            "merge": "flat",
+            "use_rag": false,
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let line = trace_json_line();
+        let req = parse_request(&line, "fallback").unwrap();
+        assert_eq!(req.id, "t1");
+        assert_eq!(req.model, "gpt-4o-mini");
+        assert_eq!(req.config.top_k, 5);
+        assert_eq!(req.config.merge, MergeStrategy::Flat);
+        assert!(!req.config.use_rag);
+        assert!(!req.trace.records.is_empty());
+    }
+
+    #[test]
+    fn missing_trace_is_an_error() {
+        let err = parse_request(r#"{"id": "x"}"#, "d").unwrap_err();
+        assert_eq!(err.id, "x", "error must carry the request's own id");
+        assert!(err.message.contains("trace"), "{}", err.message);
+    }
+
+    #[test]
+    fn bad_merge_is_an_error() {
+        let line = r#"{"trace": "", "merge": "diagonal"}"#;
+        let err = parse_request(line, "d").unwrap_err();
+        assert_eq!(err.id, "d", "no id in the request, so the fallback applies");
+        assert!(err.message.contains("diagonal"), "{}", err.message);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let suite = tracebench::TraceBench::generate();
+        let text = darshan::write::write_text(&suite.entries[0].trace);
+        let line = serde_json::to_string(&json!({ "trace": text })).unwrap();
+        let req = parse_request(&line, "line-7").unwrap();
+        assert_eq!(req.id, "line-7");
+        assert_eq!(req.model, "gpt-4o");
+        assert_eq!(req.config.top_k, AgentConfig::default().top_k);
+    }
+
+    #[test]
+    fn result_renders_parseable_json() {
+        let result = JobResult {
+            id: "j".into(),
+            diagnosis: Diagnosis {
+                tool: "ioagent-gpt-4o".into(),
+                text: "line one\nline \"two\"".into(),
+                issues: vec![tracebench::IssueLabel::SmallWrite],
+                references: vec!["[A, B 2020]".into()],
+            },
+            cached: false,
+            worker: 2,
+            metrics: crate::service::JobMetrics {
+                llm_calls: 3,
+                exec: Duration::from_millis(5),
+                ..Default::default()
+            },
+        };
+        let line = render_result(&result);
+        let back: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.get("id").and_then(Value::as_str), Some("j"));
+        assert_eq!(back.get("llm_calls").and_then(Value::as_i64), Some(3));
+        assert_eq!(back.get("worker").and_then(Value::as_i64), Some(2));
+        // Issue labels use the documented stable snake_case keys.
+        assert_eq!(
+            back.get("issues"),
+            Some(&Value::Array(vec![Value::String("small_write".into())]))
+        );
+        assert_eq!(
+            back.get("text").and_then(Value::as_str),
+            Some("line one\nline \"two\"")
+        );
+    }
+}

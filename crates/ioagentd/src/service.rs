@@ -1,0 +1,496 @@
+//! The diagnosis service: a fixed worker pool draining a bounded job queue
+//! over one shared, build-once knowledge index.
+//!
+//! Concurrency model:
+//!
+//! - The `Arc<Retriever>` (vector index over the 66-document corpus) is
+//!   built once at service start and shared read-only by every worker —
+//!   the single most expensive piece of agent construction is amortised
+//!   across all jobs.
+//! - Each job gets its *own* backbone `SimLlm` and reflection model, so
+//!   per-job usage accounting (calls, tokens, cost) never flows through
+//!   shared state and results are bit-identical to running the job alone
+//!   through [`IoAgent`].
+//! - Completed diagnoses enter an LRU cache keyed by (trace fingerprint,
+//!   model, config); resubmitting an identical job is answered from the
+//!   cache with zero LLM calls.
+
+use crate::cache::LruCache;
+use crate::queue::{BoundedQueue, QueueClosed};
+use darshan::DarshanTrace;
+use ioagent_core::{AgentConfig, IoAgent};
+use simllm::{Diagnosis, SimLlm};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+pub use ioagent_core::rag::Retriever;
+
+/// Stable FNV-1a 64-bit hash (for trace fingerprints).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Service sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (diagnoses running concurrently).
+    pub workers: usize,
+    /// Job queue bound; producers block (backpressure) when it is full.
+    pub queue_capacity: usize,
+    /// Result cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Simulated remote-LLM round-trip budget charged per fresh job (zero
+    /// by default). A deployed service fronts network-hosted models whose
+    /// latency — not local compute — dominates job time; workers sleep
+    /// this long per cache-missing job so benchmarks can reproduce the
+    /// latency-bound regime on any machine. Never applied to cache hits
+    /// and never affects diagnosis content.
+    pub simulated_rpc_latency: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServiceConfig {
+            workers,
+            queue_capacity: 2 * workers,
+            cache_capacity: 256,
+            simulated_rpc_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config with an explicit worker count and proportional queue bound.
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        ServiceConfig {
+            workers,
+            queue_capacity: 2 * workers,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Builder-style cache capacity override.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// Builder-style queue bound override.
+    pub fn queue_capacity(mut self, jobs: usize) -> Self {
+        self.queue_capacity = jobs.max(1);
+        self
+    }
+
+    /// Builder-style simulated per-job RPC latency override.
+    pub fn rpc_latency(mut self, latency: Duration) -> Self {
+        self.simulated_rpc_latency = latency;
+        self
+    }
+}
+
+/// One diagnosis job.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Caller-chosen identifier, echoed in the result.
+    pub id: String,
+    /// The parsed trace to diagnose.
+    pub trace: DarshanTrace,
+    /// Backbone model profile name (must exist in [`simllm::PROFILES`]).
+    pub model: String,
+    /// Agent configuration.
+    pub config: AgentConfig,
+}
+
+impl JobRequest {
+    /// Job with the default (paper) agent configuration.
+    pub fn new(id: impl Into<String>, trace: DarshanTrace, model: impl Into<String>) -> Self {
+        JobRequest {
+            id: id.into(),
+            trace,
+            model: model.into(),
+            config: AgentConfig::default(),
+        }
+    }
+
+    /// Parse `darshan-parser` text into a job.
+    pub fn from_trace_text(
+        id: impl Into<String>,
+        text: &str,
+        model: impl Into<String>,
+    ) -> Result<Self, String> {
+        let trace = darshan::parse::parse_text(text).map_err(|e| e.to_string())?;
+        Ok(JobRequest::new(id, trace, model))
+    }
+
+    /// Cache key: canonical trace bytes × model × full config.
+    fn fingerprint(&self) -> JobKey {
+        let canonical = darshan::write::write_text(&self.trace);
+        JobKey {
+            trace_hash: fnv1a(canonical.as_bytes()),
+            model: self.model.clone(),
+            config: format!("{:?}", self.config),
+        }
+    }
+}
+
+/// Cache key for one job.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JobKey {
+    trace_hash: u64,
+    model: String,
+    config: String,
+}
+
+/// Per-job token/cost accounting (backbone + reflection models combined).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobMetrics {
+    /// LLM completions issued for this job (0 on a cache hit).
+    pub llm_calls: usize,
+    /// Input tokens consumed.
+    pub input_tokens: usize,
+    /// Output tokens produced.
+    pub output_tokens: usize,
+    /// Simulated spend in USD.
+    pub cost_usd: f64,
+    /// Time spent waiting in the queue.
+    pub queue_wait: Duration,
+    /// Time spent executing (or answering from cache).
+    pub exec: Duration,
+}
+
+/// A completed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The request's identifier.
+    pub id: String,
+    /// The diagnosis (bit-identical to a sequential [`IoAgent`] run).
+    pub diagnosis: Diagnosis,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Worker index that served the job (`usize::MAX` for submit-time
+    /// cache hits, which never reach a worker).
+    pub worker: usize,
+    /// Token/cost/latency accounting.
+    pub metrics: JobMetrics,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The model name matches no known profile.
+    UnknownModel(String),
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownModel(m) => write!(f, "unknown model profile {m:?}"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Aggregate service counters (monotonic over the service lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs completed (including cache hits).
+    pub jobs_completed: u64,
+    /// Jobs answered from the result cache.
+    pub cache_hits: u64,
+    /// Total LLM completions across all jobs.
+    pub llm_calls: u64,
+    /// Total input tokens across all jobs.
+    pub input_tokens: u64,
+    /// Total output tokens across all jobs.
+    pub output_tokens: u64,
+    /// Total simulated spend.
+    pub cost_usd: f64,
+}
+
+struct QueuedJob {
+    request: JobRequest,
+    key: JobKey,
+    enqueued: Instant,
+    reply: mpsc::Sender<JobResult>,
+}
+
+struct Shared {
+    queue: BoundedQueue<QueuedJob>,
+    cache: Mutex<LruCache<JobKey, Diagnosis>>,
+    stats: Mutex<ServiceStats>,
+    retriever: Arc<Retriever>,
+    rpc_latency: Duration,
+}
+
+impl Shared {
+    fn record(&self, result: &JobResult) {
+        let mut stats = self
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        stats.jobs_completed += 1;
+        if result.cached {
+            stats.cache_hits += 1;
+        }
+        stats.llm_calls += result.metrics.llm_calls as u64;
+        stats.input_tokens += result.metrics.input_tokens as u64;
+        stats.output_tokens += result.metrics.output_tokens as u64;
+        stats.cost_usd += result.metrics.cost_usd;
+    }
+}
+
+/// Pending result for one submitted job.
+#[derive(Debug)]
+pub struct JobTicket {
+    id: String,
+    receiver: mpsc::Receiver<JobResult>,
+}
+
+impl JobTicket {
+    /// The submitted job's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Block until the job completes. Panics only if the service was torn
+    /// down without running the job (dropped mid-shutdown), which the
+    /// service's graceful drain prevents.
+    pub fn wait(self) -> JobResult {
+        self.receiver.recv().expect("job dropped before completion")
+    }
+}
+
+/// The long-lived diagnosis service.
+pub struct DiagnosisService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DiagnosisService {
+    /// Start a service, building the knowledge index once.
+    pub fn start(config: ServiceConfig) -> Self {
+        Self::with_shared_index(config, Arc::new(Retriever::build()))
+    }
+
+    /// Start a service over an existing index (lets several services — or
+    /// benchmarks comparing worker counts — share one build).
+    pub fn with_shared_index(config: ServiceConfig, retriever: Arc<Retriever>) -> Self {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            stats: Mutex::new(ServiceStats::default()),
+            retriever,
+            rpc_latency: config.simulated_rpc_latency,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|worker_idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ioagentd-worker-{worker_idx}"))
+                    .spawn(move || worker_loop(&shared, worker_idx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        DiagnosisService { shared, workers }
+    }
+
+    /// Both model names a job would instantiate inside a worker. Checked
+    /// at submit time: an unknown profile would otherwise panic the worker
+    /// thread (`profile_or_panic`) and wedge every waiter behind it.
+    fn validate_models(request: &JobRequest) -> Result<(), SubmitError> {
+        if simllm::profile(&request.model).is_none() {
+            return Err(SubmitError::UnknownModel(request.model.clone()));
+        }
+        if simllm::profile(&request.config.reflection_model).is_none() {
+            return Err(SubmitError::UnknownModel(
+                request.config.reflection_model.clone(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Submit one job. Blocks while the queue is full (backpressure).
+    /// Identical completed jobs are answered from the cache immediately.
+    pub fn submit(&self, request: JobRequest) -> Result<JobTicket, SubmitError> {
+        Self::validate_models(&request)?;
+        let key = request.fingerprint();
+        let (reply, receiver) = mpsc::channel();
+        let ticket = JobTicket {
+            id: request.id.clone(),
+            receiver,
+        };
+
+        // Fast path: answer from the cache without touching the queue.
+        let cached = {
+            let mut cache = self
+                .shared
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.get(&key)
+        };
+        if let Some(diagnosis) = cached {
+            let result = JobResult {
+                id: request.id,
+                diagnosis,
+                cached: true,
+                worker: usize::MAX,
+                metrics: JobMetrics::default(),
+            };
+            self.shared.record(&result);
+            let _ = reply.send(result);
+            return Ok(ticket);
+        }
+
+        let job = QueuedJob {
+            request,
+            key,
+            enqueued: Instant::now(),
+            reply,
+        };
+        match self.shared.queue.push(job) {
+            Ok(()) => Ok(ticket),
+            Err(QueueClosed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submit many jobs, returning one ticket per job in input order.
+    /// Model names are validated up front so a bad batch fails atomically
+    /// before any work is enqueued.
+    pub fn submit_batch(&self, requests: Vec<JobRequest>) -> Result<Vec<JobTicket>, SubmitError> {
+        for request in &requests {
+            Self::validate_models(request)?;
+        }
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Wait for a batch of tickets, preserving order.
+    pub fn drain(tickets: Vec<JobTicket>) -> Vec<JobResult> {
+        tickets.into_iter().map(JobTicket::wait).collect()
+    }
+
+    /// Convenience: submit a batch and wait for all results in order.
+    pub fn run_batch(&self, requests: Vec<JobRequest>) -> Result<Vec<JobResult>, SubmitError> {
+        Ok(Self::drain(self.submit_batch(requests)?))
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        *self
+            .shared
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The shared knowledge index (for reuse in sibling services).
+    pub fn retriever(&self) -> Arc<Retriever> {
+        Arc::clone(&self.shared.retriever)
+    }
+
+    /// Stop accepting jobs, finish everything queued, and join the
+    /// workers.
+    pub fn shutdown(mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DiagnosisService {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker_idx: usize) {
+    while let Some(job) = shared.queue.pop() {
+        let queue_wait = job.enqueued.elapsed();
+        let started = Instant::now();
+
+        // A duplicate may have completed while this job sat in the queue.
+        let cached = {
+            let mut cache = shared
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.get(&job.key)
+        };
+        let result = match cached {
+            Some(diagnosis) => JobResult {
+                id: job.request.id,
+                diagnosis,
+                cached: true,
+                worker: worker_idx,
+                metrics: JobMetrics {
+                    queue_wait,
+                    exec: started.elapsed(),
+                    ..Default::default()
+                },
+            },
+            None => {
+                if !shared.rpc_latency.is_zero() {
+                    std::thread::sleep(shared.rpc_latency);
+                }
+                // Fresh per-job models: usage accounting stays job-local.
+                let model = SimLlm::new(&job.request.model);
+                let agent = IoAgent::with_shared_retriever(
+                    &model,
+                    job.request.config.clone(),
+                    Arc::clone(&shared.retriever),
+                );
+                let diagnosis = agent.diagnose(&job.request.trace);
+                let backbone = model.usage();
+                let reflection = agent.reflection_usage();
+                {
+                    let mut cache = shared
+                        .cache
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    cache.insert(job.key, diagnosis.clone());
+                }
+                JobResult {
+                    id: job.request.id,
+                    diagnosis,
+                    cached: false,
+                    worker: worker_idx,
+                    metrics: JobMetrics {
+                        llm_calls: backbone.calls + reflection.calls,
+                        input_tokens: backbone.input_tokens + reflection.input_tokens,
+                        output_tokens: backbone.output_tokens + reflection.output_tokens,
+                        cost_usd: backbone.cost_usd + reflection.cost_usd,
+                        queue_wait,
+                        exec: started.elapsed(),
+                    },
+                }
+            }
+        };
+        shared.record(&result);
+        // The submitter may have given up on the ticket; that is fine.
+        let _ = job.reply.send(result);
+    }
+}

@@ -67,8 +67,10 @@ pub fn tool_rank_means(
     for (ti, entry) in suite.entries.iter().enumerate() {
         let candidates: Vec<&simllm::Diagnosis> = runs.iter().map(|r| &r.diagnoses[ti]).collect();
         for p in 0..judge.permutations {
-            for (tool, (rank, _)) in
-                judge.rank_once(entry, Criterion::Utility, &candidates, p).into_iter().enumerate()
+            for (tool, (rank, _)) in judge
+                .rank_once(entry, Criterion::Utility, &candidates, p)
+                .into_iter()
+                .enumerate()
             {
                 sums[tool] += rank as f64;
                 counts[tool] += 1;

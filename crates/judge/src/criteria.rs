@@ -16,8 +16,11 @@ pub enum Criterion {
 
 impl Criterion {
     /// All criteria in paper order.
-    pub const ALL: [Criterion; 3] =
-        [Criterion::Accuracy, Criterion::Utility, Criterion::Interpretability];
+    pub const ALL: [Criterion; 3] = [
+        Criterion::Accuracy,
+        Criterion::Utility,
+        Criterion::Interpretability,
+    ];
 
     /// Lower-case key used in ranking prompts.
     pub fn key(&self) -> &'static str {

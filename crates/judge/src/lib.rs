@@ -40,11 +40,17 @@ pub struct Augmentations {
 
 impl Augmentations {
     /// All augmentations on (the paper's configuration).
-    pub const FULL: Augmentations =
-        Augmentations { anonymize: true, rotate_rank_order: true, rotate_content: true };
+    pub const FULL: Augmentations = Augmentations {
+        anonymize: true,
+        rotate_rank_order: true,
+        rotate_content: true,
+    };
     /// No augmentations (the biased baseline).
-    pub const NONE: Augmentations =
-        Augmentations { anonymize: false, rotate_rank_order: false, rotate_content: false };
+    pub const NONE: Augmentations = Augmentations {
+        anonymize: false,
+        rotate_rank_order: false,
+        rotate_content: false,
+    };
 }
 
 /// One tool's diagnoses, aligned index-for-index with the suite entries.
@@ -68,12 +74,20 @@ impl<'m> Judge<'m> {
     /// Create a judge with the paper's configuration (GPT-4o, full
     /// augmentations, 4 permutations).
     pub fn new(model: &'m dyn LanguageModel) -> Self {
-        Judge { model, augmentations: Augmentations::FULL, permutations: 4 }
+        Judge {
+            model,
+            augmentations: Augmentations::FULL,
+            permutations: 4,
+        }
     }
 
     /// Create a judge with explicit augmentations.
     pub fn with_augmentations(model: &'m dyn LanguageModel, aug: Augmentations) -> Self {
-        Judge { model, augmentations: aug, permutations: 4 }
+        Judge {
+            model,
+            augmentations: aug,
+            permutations: 4,
+        }
     }
 
     /// Rank the candidate diagnoses for one trace under one criterion and
@@ -107,7 +121,9 @@ impl<'m> Judge<'m> {
         // Rank-assignment order (augmentation B) — rotated differently so B
         // and C do not cancel each other trivially.
         let format_order: Vec<usize> = if self.augmentations.rotate_rank_order {
-            (0..n).map(|i| (n - 1 + i * (n - 1) + permutation) % n).collect()
+            (0..n)
+                .map(|i| (n - 1 + i * (n - 1) + permutation) % n)
+                .collect()
         } else {
             (0..n).collect()
         };
@@ -118,16 +134,22 @@ impl<'m> Judge<'m> {
             criterion.description()
         );
         if criterion == Criterion::Accuracy {
-            let gt: Vec<&str> =
-                entry.spec.labels.iter().map(|l| l.display_name()).collect();
+            let gt: Vec<&str> = entry.spec.labels.iter().map(|l| l.display_name()).collect();
             prompt.push_str(&format!("## GROUND TRUTH\n{}\n", gt.join("; ")));
         }
         prompt.push_str(&format!(
             "## FORMAT\nassign ranks in order: {}\n",
-            format_order.iter().map(|&i| tags[i].as_str()).collect::<Vec<_>>().join(", ")
+            format_order
+                .iter()
+                .map(|&i| tags[i].as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         for &idx in &content_order {
-            prompt.push_str(&format!("## CANDIDATE {}\n{}\n", tags[idx], candidates[idx].text));
+            prompt.push_str(&format!(
+                "## CANDIDATE {}\n{}\n",
+                tags[idx], candidates[idx].text
+            ));
         }
 
         let req = CompletionRequest::new(
@@ -165,8 +187,10 @@ impl<'m> Judge<'m> {
         let n = candidates.len();
         let mut sums = vec![0.0; n];
         for p in 0..self.permutations {
-            for (i, (rank, _)) in
-                self.rank_once(entry, criterion, candidates, p).into_iter().enumerate()
+            for (i, (rank, _)) in self
+                .rank_once(entry, criterion, candidates, p)
+                .into_iter()
+                .enumerate()
             {
                 sums[i] += rank as f64;
             }
@@ -191,8 +215,7 @@ impl<'m> Judge<'m> {
             .par_iter()
             .enumerate()
             .map(|(ti, entry)| {
-                let candidates: Vec<&Diagnosis> =
-                    runs.iter().map(|r| &r.diagnoses[ti]).collect();
+                let candidates: Vec<&Diagnosis> = runs.iter().map(|r| &r.diagnoses[ti]).collect();
                 Criterion::ALL
                     .into_iter()
                     .map(|c| (c, self.mean_ranks(entry, c, &candidates)))
@@ -200,10 +223,7 @@ impl<'m> Judge<'m> {
             })
             .collect();
 
-        let mut eval = Evaluation::new(
-            runs.iter().map(|r| r.tool.clone()).collect(),
-            runs.len(),
-        );
+        let mut eval = Evaluation::new(runs.iter().map(|r| r.tool.clone()).collect(), runs.len());
         for (ti, rows) in per_trace.iter().enumerate() {
             let source = suite.entries[ti].spec.source;
             for (criterion, ranks) in rows {
@@ -284,8 +304,7 @@ mod tests {
         let d1 = fake_diagnosis("a", &[IssueLabel::SmallWrite], "");
         let d2 = fake_diagnosis("b", &[IssueLabel::SmallRead], "");
         let d3 = fake_diagnosis("c", &[], "");
-        let ranks =
-            judge.rank_once(&tb.entries[0], Criterion::Utility, &[&d1, &d2, &d3], 0);
+        let ranks = judge.rank_once(&tb.entries[0], Criterion::Utility, &[&d1, &d2, &d3], 0);
         let mut rs: Vec<usize> = ranks.iter().map(|(r, _)| *r).collect();
         rs.sort_unstable();
         assert_eq!(rs, vec![1, 2, 3]);
@@ -311,7 +330,9 @@ mod tests {
                     diagnoses: tb
                         .entries
                         .iter()
-                        .map(|e| fake_diagnosis("y", &e.spec.labels[..1.min(e.spec.labels.len())], ""))
+                        .map(|e| {
+                            fake_diagnosis("y", &e.spec.labels[..1.min(e.spec.labels.len())], "")
+                        })
                         .collect(),
                 },
             ]
@@ -330,10 +351,16 @@ mod tests {
         let tb = mini_suite();
         let model = SimLlm::new("gpt-4o");
         let judge = Judge::new(&model);
-        let runs = vec![ToolRun { tool: "x".into(), diagnoses: vec![] }, ToolRun {
-            tool: "y".into(),
-            diagnoses: vec![],
-        }];
+        let runs = vec![
+            ToolRun {
+                tool: "x".into(),
+                diagnoses: vec![],
+            },
+            ToolRun {
+                tool: "y".into(),
+                diagnoses: vec![],
+            },
+        ];
         judge.evaluate(&tb, &runs);
     }
 }

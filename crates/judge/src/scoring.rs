@@ -22,7 +22,12 @@ pub struct Evaluation {
 impl Evaluation {
     /// Create an empty evaluation for `n_tools` tools.
     pub fn new(tools: Vec<String>, n_tools: usize) -> Self {
-        Evaluation { tools, n_tools, sums: BTreeMap::new(), counts: BTreeMap::new() }
+        Evaluation {
+            tools,
+            n_tools,
+            sums: BTreeMap::new(),
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Record one per-trace score `S = n − rank`.
@@ -52,7 +57,11 @@ impl Evaluation {
 
     /// Average normalised score across the three criteria.
     pub fn average(&self, tool: usize, source: Option<Source>) -> f64 {
-        Criterion::ALL.iter().map(|&c| self.normalized(tool, c, source)).sum::<f64>() / 3.0
+        Criterion::ALL
+            .iter()
+            .map(|&c| self.normalized(tool, c, source))
+            .sum::<f64>()
+            / 3.0
     }
 
     /// Render the full Table IV reproduction.
@@ -99,8 +108,12 @@ mod tests {
             e.add_sample(2, Criterion::Accuracy, Source::SimpleBench, 1.0);
             e.add_sample(3, Criterion::Accuracy, Source::SimpleBench, 0.0);
         }
-        assert!((e.normalized(0, Criterion::Accuracy, Some(Source::SimpleBench)) - 1.0).abs() < 1e-12);
-        assert!((e.normalized(3, Criterion::Accuracy, Some(Source::SimpleBench)) - 0.0).abs() < 1e-12);
+        assert!(
+            (e.normalized(0, Criterion::Accuracy, Some(Source::SimpleBench)) - 1.0).abs() < 1e-12
+        );
+        assert!(
+            (e.normalized(3, Criterion::Accuracy, Some(Source::SimpleBench)) - 0.0).abs() < 1e-12
+        );
         assert!(
             (e.normalized(1, Criterion::Accuracy, Some(Source::SimpleBench)) - 2.0 / 3.0).abs()
                 < 1e-12

@@ -51,7 +51,10 @@ pub fn get(id: &str) -> Option<&'static KnowledgeDoc> {
 
 /// All documents asserting a claim.
 pub fn docs_for_claim(claim: &str) -> Vec<&'static KnowledgeDoc> {
-    CORPUS.iter().filter(|d| d.claims.contains(&claim)).collect()
+    CORPUS
+        .iter()
+        .filter(|d| d.claims.contains(&claim))
+        .collect()
 }
 
 use claims::*;
@@ -875,7 +878,10 @@ mod tests {
     #[test]
     fn citation_format() {
         let d = get("k01").unwrap();
-        assert_eq!(d.citation(), "[Striping Decisions for Parallel File Access, SC 2021]");
+        assert_eq!(
+            d.citation(),
+            "[Striping Decisions for Parallel File Access, SC 2021]"
+        );
     }
 
     #[test]

@@ -68,7 +68,15 @@ impl SummaryCategory {
 pub fn coverage(module: Module) -> &'static [SummaryCategory] {
     use SummaryCategory::*;
     match module {
-        Module::Posix => &[IoSize, RequestCount, FileMetadata, Rank, Alignment, Order, Mount],
+        Module::Posix => &[
+            IoSize,
+            RequestCount,
+            FileMetadata,
+            Rank,
+            Alignment,
+            Order,
+            Mount,
+        ],
         Module::Mpiio => &[IoSize, RequestCount, FileMetadata, Rank, Alignment],
         Module::Stdio => &[IoSize, RequestCount, FileMetadata],
         Module::Lustre => &[Mount, StripeSetting, ServerUsage],
@@ -96,7 +104,11 @@ impl SummaryFragment {
         format!(
             "{}_{}",
             self.module.as_str().to_lowercase(),
-            self.category.display().to_lowercase().replace(['/', ' '], "_").replace("__", "_")
+            self.category
+                .display()
+                .to_lowercase()
+                .replace(['/', ' '], "_")
+                .replace("__", "_")
         )
     }
 
@@ -141,7 +153,11 @@ fn record_derived(trace: &DarshanTrace) -> RecordDerived {
     let mut read_reuse: f64 = 0.0;
     let mut by_rank: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
     let mut shared_data = false;
-    for r in trace.records.iter().filter(|r| matches!(r.module, Module::Posix | Module::Mpiio)) {
+    for r in trace
+        .records
+        .iter()
+        .filter(|r| matches!(r.module, Module::Posix | Module::Mpiio))
+    {
         let p = r.module.prefix();
         let bytes = r.ic(&format!("{p}_BYTES_READ")) + r.ic(&format!("{p}_BYTES_WRITTEN"));
         if r.is_shared() && bytes > 0 {
@@ -170,7 +186,11 @@ fn record_derived(trace: &DarshanTrace) -> RecordDerived {
     } else {
         0.0
     };
-    RecordDerived { read_reuse, rank_cv, shared_data }
+    RecordDerived {
+        read_reuse,
+        rank_cv,
+        shared_data,
+    }
 }
 
 /// Extract every supported fragment from a trace.
@@ -185,7 +205,10 @@ pub fn extract_fragments(trace: &DarshanTrace) -> Vec<SummaryFragment> {
         ("posix.present".into(), summary.posix.is_some() as u8 as f64),
         ("mpiio.present".into(), summary.mpiio.is_some() as u8 as f64),
         ("stdio.present".into(), summary.stdio.is_some() as u8 as f64),
-        ("lustre.present".into(), summary.lustre.is_some() as u8 as f64),
+        (
+            "lustre.present".into(),
+            summary.lustre.is_some() as u8 as f64,
+        ),
         ("total_bytes".into(), summary.total_bytes() as f64),
     ];
 
@@ -242,7 +265,10 @@ fn posix_fragment(
                 ("posix.reads".into(), a.reads as f64),
                 ("posix.writes".into(), a.writes as f64),
                 ("posix.small_read_fraction".into(), a.small_read_fraction()),
-                ("posix.small_write_fraction".into(), a.small_write_fraction()),
+                (
+                    "posix.small_write_fraction".into(),
+                    a.small_write_fraction(),
+                ),
                 ("posix.bytes_read".into(), a.bytes_read as f64),
                 ("posix.bytes_written".into(), a.bytes_written as f64),
             ],
@@ -277,7 +303,10 @@ fn posix_fragment(
                         / 1000.0,
             }),
             vec![
-                ("posix.meta_fraction".into(), a.meta_time_fraction(summary.run_time, summary.nprocs)),
+                (
+                    "posix.meta_fraction".into(),
+                    a.meta_time_fraction(summary.run_time, summary.nprocs),
+                ),
                 ("posix.opens".into(), a.opens as f64),
                 ("posix.stats".into(), a.stats as f64),
             ],
@@ -306,7 +335,11 @@ fn posix_fragment(
                 "typical_write_size": a.max_write_time_size,
             }),
             {
-                let align = if a.file_alignment > 0 { a.file_alignment } else { 1 };
+                let align = if a.file_alignment > 0 {
+                    a.file_alignment
+                } else {
+                    1
+                };
                 vec![
                     ("posix.misaligned_fraction".into(), a.misaligned_fraction()),
                     (
@@ -437,7 +470,10 @@ fn stdio_fragment(
                 ("stdio.bytes_read".into(), a.bytes_read as f64),
                 ("stdio.bytes_written".into(), a.bytes_written as f64),
                 ("stdio.read_fraction".into(), summary.stdio_read_fraction()),
-                ("stdio.write_fraction".into(), summary.stdio_write_fraction()),
+                (
+                    "stdio.write_fraction".into(),
+                    summary.stdio_write_fraction(),
+                ),
             ],
         )),
         SummaryCategory::RequestCount => Some((
@@ -533,7 +569,9 @@ mod tests {
         let frags = extract_fragments(&amrex.trace);
         // POSIX(7) + MPIIO(5) + STDIO(3) + LUSTRE(3) = 18 for a full trace.
         assert_eq!(frags.len(), 18);
-        assert!(frags.iter().any(|f| f.key() == "posix_i_o_size" || f.key() == "posix_io_size"));
+        assert!(frags
+            .iter()
+            .any(|f| f.key() == "posix_i_o_size" || f.key() == "posix_io_size"));
     }
 
     #[test]
@@ -551,7 +589,11 @@ mod tests {
         for f in extract_fragments(&t.trace) {
             let keys: Vec<&str> = f.evidence.iter().map(|(k, _)| k.as_str()).collect();
             assert!(keys.contains(&"nprocs"), "{} missing context", f.title);
-            assert!(keys.contains(&"mpiio.present"), "{} missing context", f.title);
+            assert!(
+                keys.contains(&"mpiio.present"),
+                "{} missing context",
+                f.title
+            );
         }
     }
 
@@ -608,7 +650,12 @@ mod tests {
         let suite = TraceBench::generate();
         for e in &suite.entries {
             let frags = extract_fragments(&e.trace);
-            assert!(frags.len() >= 3 && frags.len() <= 18, "{}: {}", e.spec.id, frags.len());
+            assert!(
+                frags.len() >= 3 && frags.len() <= 18,
+                "{}: {}",
+                e.spec.id,
+                frags.len()
+            );
             for f in &frags {
                 assert!(
                     f.json_text().split_whitespace().count() < 400,

@@ -1,0 +1,275 @@
+//! Offline shim standing in for `criterion`: a minimal wall-clock
+//! benchmarking harness with criterion's API shape (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! Reports mean / min / max per benchmark to stdout. When invoked by
+//! `cargo test` (a `--test` argument is present), every benchmark body runs
+//! exactly once so bench targets double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Recorded per-sample durations (one closure call each).
+    pub times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, recording one duration per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // One warm-up call, then timed samples.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Ignored in the shim (kept for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        let mut b = Bencher {
+            samples: self.samples,
+            test_mode: self.criterion.test_mode,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        self.criterion.report(&label, &b);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        let mut b = Bencher {
+            samples: self.samples,
+            test_mode: self.criterion.test_mode,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        self.criterion.report(&label, &b);
+        self
+    }
+
+    /// Finish the group (cosmetic in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Things usable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Convert into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from process arguments (`--test` selects run-once mode, as
+    /// `cargo test` passes for `harness = false` bench targets).
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            default_samples: 10,
+        }
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            samples: self.default_samples,
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.default_samples,
+            test_mode: self.test_mode,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        self.report(name, &b);
+        self
+    }
+
+    fn report(&self, label: &str, b: &Bencher) {
+        if self.test_mode {
+            println!("bench {label}: ok (test mode, 1 iteration)");
+            return;
+        }
+        if b.times.is_empty() {
+            println!("bench {label}: no samples recorded");
+            return;
+        }
+        let total: Duration = b.times.iter().sum();
+        let mean = total / b.times.len() as u32;
+        let min = *b.times.iter().min().unwrap();
+        let max = *b.times.iter().max().unwrap();
+        println!(
+            "bench {label}: mean {} (min {}, max {}, {} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+            b.times.len()
+        );
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 4); // 1 warm-up + 3 samples
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("tree", 8).name, "tree/8");
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline shim standing in for `proptest`: the `proptest!` macro plus the
+//! strategy subset this workspace uses — numeric ranges and simple
+//! regex-pattern string strategies of the form `.{m,n}` / `[class]{m,n}`.
+//!
+//! Each generated test runs a fixed number of deterministic cases (seeded
+//! by the test name), so failures are reproducible run to run. There is no
+//! shrinking: a failing case panics with the generated inputs via the
+//! normal assert message.
+
+/// Number of cases each property runs.
+pub const CASES: usize = 64;
+
+/// Deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            state: seed ^ 0x5bf0_3635_d9ab_3a6b,
+        }
+    }
+
+    /// Next 64 mixed bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Stable FNV-1a hash used to seed per-test generators.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+}
+
+macro_rules! strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (gen.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, gen: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + gen.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String strategies from a simplified regex pattern: a sequence of atoms
+/// (`.` or a `[...]` class with ranges) each optionally followed by
+/// `{m,n}`, `{n}`, `*`, or `+`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, gen: &mut Gen) -> String {
+        generate_from_pattern(self, gen)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, gen: &mut Gen) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Atom: '.' or a character class.
+        let alphabet: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                (0x20u32..0x7f)
+                    .map(|c| char::from_u32(c).unwrap())
+                    .collect()
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                set
+            }
+            c => {
+                // Literal character.
+                i += 1;
+                vec![c]
+            }
+        };
+        // Repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or(i);
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(0)),
+                None => {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0usize, 16usize)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1usize, 16usize)
+        } else {
+            (1usize, 1usize)
+        };
+        let count = lo + gen.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            if alphabet.is_empty() {
+                continue;
+            }
+            let idx = gen.below(alphabet.len() as u64) as usize;
+            out.push(alphabet[idx]);
+        }
+    }
+    out
+}
+
+/// Assert inside a property (no shrinking; plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { .. }` runs
+/// [`CASES`] deterministic cases seeded by the test name.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut gen = $crate::Gen::new($crate::seed_for(stringify!($name)));
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut gen);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Gen, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_lengths_respected() {
+        let mut gen = Gen::new(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern(".{0,400}", &mut gen);
+            assert!(s.chars().count() <= 400);
+            let t = generate_from_pattern("[a-z ]{0,200}", &mut gen);
+            assert!(t.chars().count() <= 200);
+            assert!(t.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_cases(x in 0usize..10, text in "[ab]{1,3}") {
+            prop_assert!(x < 10);
+            prop_assert!(!text.is_empty() && text.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline shim standing in for `rayon`. `par_iter()` returns the ordinary
+//! sequential iterator, so every adapter (`map`, `enumerate`, `collect`,
+//! ...) is available with identical, deterministic results. Genuine
+//! multi-core execution in this workspace comes from the `ioagentd` worker
+//! pool, which parallelises across whole diagnosis jobs (a coarser and more
+//! effective grain than intra-trace rayon splits).
+
+/// Sequential stand-ins for rayon's parallel iterator traits.
+pub mod prelude {
+    /// `.par_iter()` on `&self`, yielding a standard sequential iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Iterator type returned by [`Self::par_iter`].
+        type Iter;
+
+        /// Sequential iterator under the parallel name.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+
+    /// `.into_par_iter()`, yielding a standard sequential iterator.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential iterator under the parallel name.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Item = T;
+        type Iter = std::ops::Range<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Record the requested width (informational in the shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the (synchronous) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Pool whose `install` simply runs the closure on the current thread —
+/// exactly the semantics the workspace's determinism tests assert.
+#[derive(Debug)]
+pub struct ThreadPool {
+    _num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` in the pool's scope.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let indexed: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(indexed[3], (3, 4));
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

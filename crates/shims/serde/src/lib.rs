@@ -1,0 +1,311 @@
+//! Offline shim standing in for `serde`, providing the subset this
+//! workspace uses: a `Serialize` trait that lowers values to an in-memory
+//! JSON [`Value`], the matching derive macros, and a no-op `Deserialize`
+//! marker. `serde_json` (the sibling shim) renders and parses `Value`.
+//!
+//! Not a general serde replacement — just enough API-compatible surface to
+//! build this repository without crates.io access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A JSON number. Integers render without a decimal point, like serde_json.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer that does not fit `i64`.
+    U(u64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Lossy conversion to `f64` (always succeeds for this shim).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match *self {
+            Number::I(v) => v as f64,
+            Number::U(v) => v as f64,
+            Number::F(v) => v,
+        })
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I(v) => Some(v),
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Number::I(v) => write!(f, "{v}"),
+            Number::U(v) => write!(f, "{v}"),
+            Number::F(v) => {
+                if v == v.trunc() && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{:.1}", v)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// An ordered string-keyed map of JSON values (BTree-ordered, matching
+/// serde_json's default feature set).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    inner: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert a key/value pair.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.inner.insert(key, value)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.inner.get(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.inner.keys()
+    }
+
+    /// Iterate values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.inner.values()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, String, Value> {
+        self.inner.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+/// An in-memory JSON value (the shim's serialization target).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as `f64` when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` when it is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Anything the shim can lower to a [`Value`]. Derivable via
+/// `#[derive(Serialize)]` for named-field structs and unit enums.
+pub trait Serialize {
+    /// Lower `self` to an in-memory JSON value.
+    fn to_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::Number(Number::I(v)),
+            Err(_) => Value::Number(Number::U(*self)),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        (*self as u64).to_value()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_string(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Serialize for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+/// Marker trait mirroring serde's `Deserialize`; the derive is a no-op
+/// because nothing in the workspace deserializes into typed structs.
+pub trait DeserializeMarker {}

@@ -1,0 +1,192 @@
+//! Offline derive-macro shim standing in for the real `serde_derive`.
+//!
+//! The build image has no crates.io access, so the workspace vendors a
+//! minimal serde facade. This proc-macro supports the subset the workspace
+//! uses: `#[derive(Serialize)]` on non-generic named-field structs and
+//! unit-variant enums (honouring `#[serde(skip)]`), and a no-op
+//! `#[derive(Deserialize)]` (nothing in the workspace deserializes into
+//! typed structs — only into `serde_json::Value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code
+            .parse()
+            .expect("serde_derive shim emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    // Skip outer attributes and visibility to the `struct` / `enum` keyword.
+    while i < tokens.len() {
+        if is_punct(&tokens[i], '#') {
+            i += 2; // `#` + bracket group
+        } else if is_ident(&tokens[i], "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1; // pub(crate) etc.
+            }
+        } else if is_ident(&tokens[i], "struct") || is_ident(&tokens[i], "enum") {
+            break;
+        } else {
+            i += 1;
+        }
+    }
+    let is_struct = is_ident(tokens.get(i).ok_or("expected struct or enum")?, "struct");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        return Err(format!(
+            "serde_derive shim: generic type {name} unsupported"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(t) if is_punct(t, ';') => TokenStream::new(), // unit struct
+        _ => return Err(format!("serde_derive shim: unsupported shape for {name}")),
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    if is_struct {
+        let fields = parse_struct_fields(&body)?;
+        let mut out = format!(
+            "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        let mut m = ::serde::Map::new();\n"
+        );
+        for (field, skip) in fields {
+            if skip {
+                continue;
+            }
+            out.push_str(&format!(
+                "        m.insert(String::from({field:?}), ::serde::Serialize::to_value(&self.{field}));\n"
+            ));
+        }
+        out.push_str("        ::serde::Value::Object(m)\n    }\n}\n");
+        Ok(out)
+    } else {
+        let variants = parse_unit_variants(&body, &name)?;
+        let mut out = format!(
+            "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+        );
+        for v in variants {
+            out.push_str(&format!(
+                "            {name}::{v} => ::serde::Value::String(String::from({v:?})),\n"
+            ));
+        }
+        out.push_str("        }\n    }\n}\n");
+        Ok(out)
+    }
+}
+
+/// Parse `(attrs) (vis) name: Type,` sequences, tracking `#[serde(skip)]`.
+fn parse_struct_fields(tokens: &[TokenTree]) -> Result<Vec<(String, bool)>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        while matches!(tokens.get(i), Some(t) if is_punct(t, '#')) {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let text = g.to_string();
+                if text.contains("serde") && text.contains("skip") {
+                    skip = true;
+                }
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if is_ident(&tokens[i], "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let fname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected field name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        if !matches!(tokens.get(i), Some(t) if is_punct(t, ':')) {
+            return Err("serde_derive shim: tuple structs unsupported".into());
+        }
+        i += 1;
+        // Consume the type, honouring angle-bracket nesting for commas.
+        let mut depth: i32 = 0;
+        while i < tokens.len() {
+            if depth == 0 && is_punct(&tokens[i], ',') {
+                break;
+            }
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push((fname, skip));
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(tokens: &[TokenTree], name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(t) if is_punct(t, '#')) {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected variant, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+            return Err(format!(
+                "serde_derive shim: {name}::{vname} carries data (unsupported)"
+            ));
+        }
+        // Skip any discriminant up to the comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(vname);
+    }
+    Ok(variants)
+}

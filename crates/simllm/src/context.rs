@@ -107,7 +107,12 @@ pub fn attend(profile: &ModelProfile, text: &str, rng: &mut ChaCha8Rng) -> Atten
         .map(|(l, _)| l.to_string())
         .collect();
     let retention = attended.len() as f64 / n.max(1) as f64;
-    Attended { lines: attended, input_tokens, truncated: retention < 1.0, retention }
+    Attended {
+        lines: attended,
+        input_tokens,
+        truncated: retention < 1.0,
+        retention,
+    }
 }
 
 #[cfg(test)]
@@ -130,8 +135,9 @@ mod tests {
     fn oversized_input_keeps_head_and_tail() {
         let p = profile_or_panic("gpt-4");
         let mut rng = rng_for("gpt-4", "y", 0);
-        let body: String =
-            (0..4000).map(|i| format!("line {i} with a few tokens here\n")).collect();
+        let body: String = (0..4000)
+            .map(|i| format!("line {i} with a few tokens here\n"))
+            .collect();
         let a = attend(p, &body, &mut rng);
         assert!(a.truncated);
         assert!(a.retention < 0.7);
@@ -153,7 +159,11 @@ mod tests {
         let mut rng = rng_for("gpt-4o", "z", 0);
         let a = attend(p, &body, &mut rng);
         assert!(a.truncated);
-        assert!(a.retention > 0.5 && a.retention < 1.0, "retention {}", a.retention);
+        assert!(
+            a.retention > 0.5 && a.retention < 1.0,
+            "retention {}",
+            a.retention
+        );
         // Edges preferentially survive.
         assert!(a.lines.first().unwrap().contains("l 0 "));
     }

@@ -229,12 +229,21 @@ impl RawAccumulator {
         if !matches!(module, "POSIX" | "MPIIO" | "STDIO" | "LUSTRE") {
             return;
         }
-        let Ok(rank) = cols[1].parse::<i64>() else { return };
-        let Ok(record_id) = cols[2].parse::<u64>() else { return };
+        let Ok(rank) = cols[1].parse::<i64>() else {
+            return;
+        };
+        let Ok(record_id) = cols[2].parse::<u64>() else {
+            return;
+        };
         let counter = cols[3];
-        let Ok(value) = cols[4].parse::<f64>() else { return };
+        let Ok(value) = cols[4].parse::<f64>() else {
+            return;
+        };
         self.saw_any = true;
-        *self.sums.entry((module.to_string(), counter.to_string())).or_insert(0.0) += value;
+        *self
+            .sums
+            .entry((module.to_string(), counter.to_string()))
+            .or_insert(0.0) += value;
 
         match counter {
             "POSIX_BYTES_READ" => {
@@ -338,7 +347,11 @@ impl RawAccumulator {
                         .min(1.0),
                 );
             }
-            let align = if self.alignment > 0.0 { self.alignment } else { 1048576.0 };
+            let align = if self.alignment > 0.0 {
+                self.alignment
+            } else {
+                1048576.0
+            };
             if self.max_read_size > 0.0 {
                 set(
                     POSIX_READ_ALIGN_MISMATCH,
@@ -385,13 +398,28 @@ impl RawAccumulator {
             }
             let stdio_read = s("STDIO", "STDIO_BYTES_READ").unwrap_or(0.0);
             let stdio_written = s("STDIO", "STDIO_BYTES_WRITTEN").unwrap_or(0.0);
-            set(TOTAL_BYTES, bytes_read + bytes_written + stdio_read + stdio_written);
+            set(
+                TOTAL_BYTES,
+                bytes_read + bytes_written + stdio_read + stdio_written,
+            );
         }
         if mpiio_present {
-            set(MPIIO_INDEP_READS, s("MPIIO", "MPIIO_INDEP_READS").unwrap_or(0.0));
-            set(MPIIO_COLL_READS, s("MPIIO", "MPIIO_COLL_READS").unwrap_or(0.0));
-            set(MPIIO_INDEP_WRITES, s("MPIIO", "MPIIO_INDEP_WRITES").unwrap_or(0.0));
-            set(MPIIO_COLL_WRITES, s("MPIIO", "MPIIO_COLL_WRITES").unwrap_or(0.0));
+            set(
+                MPIIO_INDEP_READS,
+                s("MPIIO", "MPIIO_INDEP_READS").unwrap_or(0.0),
+            );
+            set(
+                MPIIO_COLL_READS,
+                s("MPIIO", "MPIIO_COLL_READS").unwrap_or(0.0),
+            );
+            set(
+                MPIIO_INDEP_WRITES,
+                s("MPIIO", "MPIIO_INDEP_WRITES").unwrap_or(0.0),
+            );
+            set(
+                MPIIO_COLL_WRITES,
+                s("MPIIO", "MPIIO_COLL_WRITES").unwrap_or(0.0),
+            );
         }
         if stdio_present {
             let sr = s("STDIO", "STDIO_BYTES_READ").unwrap_or(0.0);

@@ -48,8 +48,13 @@ static RULES: &[DiagRule] = &[
         check: |ev| {
             let reads = ev.get(K::POSIX_READS)?;
             let f = ev.get(K::POSIX_SMALL_READ_FRACTION)?;
-            (reads >= th::MIN_DIR_OPS as f64 && f > th::SMALL_FRACTION)
-                .then(|| format!("(data: {} of the {:.0} reads are below 1 MB)", pct(f), reads))
+            (reads >= th::MIN_DIR_OPS as f64 && f > th::SMALL_FRACTION).then(|| {
+                format!(
+                    "(data: {} of the {:.0} reads are below 1 MB)",
+                    pct(f),
+                    reads
+                )
+            })
         },
         explanation: "frequent small read requests waste parallel file system bandwidth \
                       because per-request costs dominate data movement",
@@ -63,8 +68,13 @@ static RULES: &[DiagRule] = &[
         check: |ev| {
             let writes = ev.get(K::POSIX_WRITES)?;
             let f = ev.get(K::POSIX_SMALL_WRITE_FRACTION)?;
-            (writes >= th::MIN_DIR_OPS as f64 && f > th::SMALL_FRACTION)
-                .then(|| format!("(data: {} of the {:.0} writes are below 1 MB)", pct(f), writes))
+            (writes >= th::MIN_DIR_OPS as f64 && f > th::SMALL_FRACTION).then(|| {
+                format!(
+                    "(data: {} of the {:.0} writes are below 1 MB)",
+                    pct(f),
+                    writes
+                )
+            })
         },
         explanation: "frequent small write requests incur per-request overhead and lock \
                       traffic far exceeding their payload",
@@ -152,9 +162,8 @@ static RULES: &[DiagRule] = &[
         claim: "shared_file_contention",
         check: |ev| {
             let nprocs = ev.get(K::NPROCS)?;
-            (nprocs > 1.0 && ev.flag(K::POSIX_SHARED_DATA)).then(|| {
-                format!("(data: {nprocs:.0} ranks access the same file concurrently)")
-            })
+            (nprocs > 1.0 && ev.flag(K::POSIX_SHARED_DATA))
+                .then(|| format!("(data: {nprocs:.0} ranks access the same file concurrently)"))
         },
         explanation: "multiple ranks access the same file; without coordination this \
                       contends on extent locks",
@@ -168,7 +177,10 @@ static RULES: &[DiagRule] = &[
         check: |ev| {
             let f = ev.get(K::POSIX_META_FRACTION)?;
             (f > th::META_TIME_FRACTION).then(|| {
-                format!("(data: {} of runtime is spent in metadata operations)", pct(f))
+                format!(
+                    "(data: {} of runtime is spent in metadata operations)",
+                    pct(f)
+                )
             })
         },
         explanation: "the job spends a significant share of its runtime in metadata \
@@ -266,11 +278,7 @@ static RULES: &[DiagRule] = &[
             let coll = ev.get_or(K::MPIIO_COLL_READS, 0.0);
             let total = indep + coll;
             (total >= th::MIN_MPIIO_OPS as f64 && coll / total < th::COLLECTIVE_FRACTION).then(
-                || {
-                    format!(
-                        "(data: {indep:.0} independent MPI-IO reads vs {coll:.0} collective)"
-                    )
-                },
+                || format!("(data: {indep:.0} independent MPI-IO reads vs {coll:.0} collective)"),
             )
         },
         explanation: "MPI-IO reads are issued independently; collective reads would \
@@ -286,11 +294,7 @@ static RULES: &[DiagRule] = &[
             let coll = ev.get_or(K::MPIIO_COLL_WRITES, 0.0);
             let total = indep + coll;
             (total >= th::MIN_MPIIO_OPS as f64 && coll / total < th::COLLECTIVE_FRACTION).then(
-                || {
-                    format!(
-                        "(data: {indep:.0} independent MPI-IO writes vs {coll:.0} collective)"
-                    )
-                },
+                || format!("(data: {indep:.0} independent MPI-IO writes vs {coll:.0} collective)"),
             )
         },
         explanation: "MPI-IO writes never go collective, so no aggregation or reordering \
@@ -305,7 +309,10 @@ static RULES: &[DiagRule] = &[
             let bytes = ev.get(K::STDIO_BYTES_READ)?;
             let f = ev.get(K::STDIO_READ_FRACTION)?;
             (bytes >= th::STDIO_MIN_BYTES as f64 && f > th::STDIO_FRACTION).then(|| {
-                format!("(data: {} of read bytes flow through STDIO streams)", pct(f))
+                format!(
+                    "(data: {} of read bytes flow through STDIO streams)",
+                    pct(f)
+                )
             })
         },
         explanation: "a significant share of read volume goes through buffered STDIO \
@@ -321,7 +328,10 @@ static RULES: &[DiagRule] = &[
             let bytes = ev.get(K::STDIO_BYTES_WRITTEN)?;
             let f = ev.get(K::STDIO_WRITE_FRACTION)?;
             (bytes >= th::STDIO_MIN_BYTES as f64 && f > th::STDIO_FRACTION).then(|| {
-                format!("(data: {} of written bytes flow through STDIO streams)", pct(f))
+                format!(
+                    "(data: {} of written bytes flow through STDIO streams)",
+                    pct(f)
+                )
             })
         },
         explanation: "bulk data is written through STDIO streams, serialising into small \
@@ -425,10 +435,19 @@ mod tests {
 
     #[test]
     fn small_write_rule_fires_on_planted_evidence() {
-        let e = ev(&[(K::POSIX_WRITES, 25600.0), (K::POSIX_SMALL_WRITE_FRACTION, 0.95)]);
-        let rule = rules().iter().find(|r| r.issue == IssueLabel::SmallWrite).unwrap();
+        let e = ev(&[
+            (K::POSIX_WRITES, 25600.0),
+            (K::POSIX_SMALL_WRITE_FRACTION, 0.95),
+        ]);
+        let rule = rules()
+            .iter()
+            .find(|r| r.issue == IssueLabel::SmallWrite)
+            .unwrap();
         assert!((rule.check)(&e).is_some());
-        let quiet = ev(&[(K::POSIX_WRITES, 25600.0), (K::POSIX_SMALL_WRITE_FRACTION, 0.02)]);
+        let quiet = ev(&[
+            (K::POSIX_WRITES, 25600.0),
+            (K::POSIX_SMALL_WRITE_FRACTION, 0.02),
+        ]);
         assert!((rule.check)(&quiet).is_none());
     }
 
@@ -436,26 +455,40 @@ mod tests {
     fn rules_skip_on_missing_evidence() {
         let empty = Evidence::default();
         for r in rules() {
-            assert!((r.check)(&empty).is_none(), "{:?} fired on no evidence", r.issue);
+            assert!(
+                (r.check)(&empty).is_none(),
+                "{:?} fired on no evidence",
+                r.issue
+            );
         }
     }
 
     #[test]
     fn mp_without_mpi_needs_module_absence() {
-        let rule = rules().iter().find(|r| r.issue == IssueLabel::MultiProcessWithoutMpi).unwrap();
+        let rule = rules()
+            .iter()
+            .find(|r| r.issue == IssueLabel::MultiProcessWithoutMpi)
+            .unwrap();
         let fires = ev(&[
             (K::NPROCS, 16.0),
             (K::POSIX_PRESENT, 1.0),
             (K::MPIIO_PRESENT, 0.0),
         ]);
         assert!((rule.check)(&fires).is_some());
-        let quiet = ev(&[(K::NPROCS, 16.0), (K::POSIX_PRESENT, 1.0), (K::MPIIO_PRESENT, 1.0)]);
+        let quiet = ev(&[
+            (K::NPROCS, 16.0),
+            (K::POSIX_PRESENT, 1.0),
+            (K::MPIIO_PRESENT, 1.0),
+        ]);
         assert!((rule.check)(&quiet).is_none());
     }
 
     #[test]
     fn stripe_misconception_triggers_on_narrow_stripes() {
-        let m = misconceptions().iter().find(|m| m.key == "stripe_1_optimal").unwrap();
+        let m = misconceptions()
+            .iter()
+            .find(|m| m.key == "stripe_1_optimal")
+            .unwrap();
         assert!((m.trigger)(&ev(&[(K::LUSTRE_STRIPE_WIDTH, 1.0)])));
         assert!(!(m.trigger)(&ev(&[(K::LUSTRE_STRIPE_WIDTH, 8.0)])));
         assert_eq!(m.suppresses, IssueLabel::ServerLoadImbalance);
@@ -474,7 +507,9 @@ mod tests {
         for m in misconceptions() {
             for l in IssueLabel::ALL {
                 assert!(
-                    !m.text.to_lowercase().contains(&l.display_name().to_lowercase()),
+                    !m.text
+                        .to_lowercase()
+                        .contains(&l.display_name().to_lowercase()),
                     "{} leaks {}",
                     m.key,
                     l.display_name()

@@ -53,7 +53,11 @@ pub struct CompletionRequest {
 impl CompletionRequest {
     /// Convenience constructor.
     pub fn new(system: impl Into<String>, user: impl Into<String>) -> Self {
-        CompletionRequest { system: system.into(), user: user.into(), salt: 0 }
+        CompletionRequest {
+            system: system.into(),
+            user: user.into(),
+            salt: 0,
+        }
     }
 
     /// With a specific salt.
@@ -112,7 +116,10 @@ pub struct SimLlm {
 impl SimLlm {
     /// Instantiate by profile name (panics on unknown names).
     pub fn new(model: &str) -> Self {
-        SimLlm { profile: profile_or_panic(model), usage: Mutex::new(Usage::default()) }
+        SimLlm {
+            profile: profile_or_panic(model),
+            usage: Mutex::new(Usage::default()),
+        }
     }
 
     /// Snapshot of cumulative usage.
@@ -191,7 +198,10 @@ mod tests {
         let m = SimLlm::new("llama-3-70b");
         let user = "### TASK: diagnose\nEVIDENCE nprocs=8\nEVIDENCE posix.writes=1000\nEVIDENCE posix.small_write_fraction=0.9\nEVIDENCE lustre.stripe_width_mean=1\nEVIDENCE total_bytes=2000000000\nEVIDENCE lustre.present=1";
         let texts: std::collections::BTreeSet<String> = (0..12)
-            .map(|s| m.complete(&CompletionRequest::new("sys", user).with_salt(s)).text)
+            .map(|s| {
+                m.complete(&CompletionRequest::new("sys", user).with_salt(s))
+                    .text
+            })
             .collect();
         assert!(texts.len() > 1, "salts produced identical outputs");
     }
@@ -199,8 +209,10 @@ mod tests {
     #[test]
     fn usage_accumulates() {
         let m = SimLlm::new("gpt-4o-mini");
-        let req =
-            CompletionRequest::new("s", "### TASK: filter\n## FRAGMENT\na b c\n## SOURCE\na b c");
+        let req = CompletionRequest::new(
+            "s",
+            "### TASK: filter\n## FRAGMENT\na b c\n## SOURCE\na b c",
+        );
         m.complete(&req);
         m.complete(&req);
         let u = m.usage();

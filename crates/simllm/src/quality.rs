@@ -30,7 +30,10 @@ pub struct QualityFeatures {
 /// Extract features from a report text.
 pub fn features(text: &str) -> QualityFeatures {
     let lower = text.to_lowercase();
-    let mut f = QualityFeatures { words: text.split_whitespace().count(), ..Default::default() };
+    let mut f = QualityFeatures {
+        words: text.split_whitespace().count(),
+        ..Default::default()
+    };
     for label in IssueLabel::ALL {
         if lower.contains(&label.display_name().to_lowercase()) {
             f.issues_mentioned += 1;
@@ -55,7 +58,12 @@ pub fn features(text: &str) -> QualityFeatures {
         + text.matches("REF [").count();
     f.numbers = text
         .split_whitespace()
-        .filter(|w| w.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false))
+        .filter(|w| {
+            w.chars()
+                .next()
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false)
+        })
         .count();
     f.data_sentences = text.matches("(data:").count();
     f
@@ -79,8 +87,7 @@ pub fn utility_score(f: &QualityFeatures) -> f64 {
     let nums = (f.numbers as f64 / 25.0).min(1.0);
     let issues = (f.issues_mentioned as f64 / 6.0).min(1.0);
     let code = (f.code_snippets as f64 / 2.0).min(1.0);
-    0.28 * recs + 0.12 * cites + 0.18 * nums + 0.22 * issues + 0.10 * code
-        + 0.10 * conciseness(f)
+    0.28 * recs + 0.12 * cites + 0.18 * nums + 0.22 * issues + 0.10 * code + 0.10 * conciseness(f)
 }
 
 /// Interpretability score in [0, 1].
@@ -155,7 +162,10 @@ Issue: Server Load Imbalance
     #[test]
     fn interpretability_penalises_walls_of_text() {
         let terse = features(SAMPLE);
-        let bloated_text = format!("# D\n{}", "filler word soup sentence goes on and on ".repeat(80));
+        let bloated_text = format!(
+            "# D\n{}",
+            "filler word soup sentence goes on and on ".repeat(80)
+        );
         let bloated = features(&bloated_text);
         assert!(interpretability_score(&terse) > interpretability_score(&bloated));
     }

@@ -22,7 +22,12 @@ impl Diagnosis {
     pub fn from_text(tool: impl Into<String>, text: impl Into<String>) -> Self {
         let text = text.into();
         let issues = extract_issues(&text).into_iter().collect();
-        Diagnosis { tool: tool.into(), text, issues, references: Vec::new() }
+        Diagnosis {
+            tool: tool.into(),
+            text,
+            issues,
+            references: Vec::new(),
+        }
     }
 
     /// Issue set as a `BTreeSet` for comparisons.

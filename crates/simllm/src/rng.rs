@@ -18,7 +18,9 @@ pub fn stable_hash(s: &str) -> u64 {
 
 /// RNG for a (model, prompt, salt) triple.
 pub fn rng_for(model: &str, prompt: &str, salt: u64) -> ChaCha8Rng {
-    let seed = stable_hash(model) ^ stable_hash(prompt).rotate_left(17) ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let seed = stable_hash(model)
+        ^ stable_hash(prompt).rotate_left(17)
+        ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     ChaCha8Rng::seed_from_u64(seed)
 }
 

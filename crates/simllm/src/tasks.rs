@@ -28,7 +28,9 @@ pub struct Section {
 /// Parse the task name (`### TASK: x`) from attended lines.
 pub fn parse_task(lines: &[String]) -> Option<String> {
     lines.iter().find_map(|l| {
-        l.trim().strip_prefix("### TASK:").map(|t| t.trim().to_lowercase())
+        l.trim()
+            .strip_prefix("### TASK:")
+            .map(|t| t.trim().to_lowercase())
     })
 }
 
@@ -38,7 +40,10 @@ pub fn parse_sections(lines: &[String]) -> Vec<Section> {
     for line in lines {
         let t = line.trim_end();
         if let Some(h) = t.trim_start().strip_prefix("## ") {
-            out.push(Section { header: h.trim().to_string(), body: Vec::new() });
+            out.push(Section {
+                header: h.trim().to_string(),
+                body: Vec::new(),
+            });
         } else if let Some(cur) = out.last_mut() {
             cur.body.push(t.to_string());
         }
@@ -47,7 +52,9 @@ pub fn parse_sections(lines: &[String]) -> Vec<Section> {
 }
 
 fn section<'a>(sections: &'a [Section], name: &str) -> Option<&'a Section> {
-    sections.iter().find(|s| s.header.to_uppercase().starts_with(&name.to_uppercase()))
+    sections
+        .iter()
+        .find(|s| s.header.to_uppercase().starts_with(&name.to_uppercase()))
 }
 
 // ---------------------------------------------------------------------------
@@ -88,11 +95,13 @@ pub fn diagnose(
     let mut suppressed: Vec<IssueLabel> = Vec::new();
     let mut observations: Vec<&'static str> = Vec::new();
     for m in iokb::misconceptions() {
-        if (m.trigger)(&ev) && !ev.is_grounded(m.corrected_by)
-            && rng.gen_bool(profile.misconception_rate) {
-                suppressed.push(m.suppresses);
-                observations.push(m.text);
-            }
+        if (m.trigger)(&ev)
+            && !ev.is_grounded(m.corrected_by)
+            && rng.gen_bool(profile.misconception_rate)
+        {
+            suppressed.push(m.suppresses);
+            observations.push(m.text);
+        }
     }
 
     let mut found: Vec<IssueLabel> = Vec::new();
@@ -100,7 +109,9 @@ pub fn diagnose(
         if suppressed.contains(&rule.issue) {
             continue;
         }
-        let Some(data) = (rule.check)(&ev) else { continue };
+        let Some(data) = (rule.check)(&ev) else {
+            continue;
+        };
         let grounded = ev.is_grounded(rule.claim);
         let effective = rule.difficulty - if grounded { 0.18 } else { 0.0 };
         let roll = profile.capability + noise(rng, 0.12);
@@ -129,9 +140,9 @@ pub fn diagnose(
     // Hallucination: fabricate one plausible but unsupported issue. Heavier
     // prompts hallucinate more; grounded prompts (with references) much less.
     let grounding_damp = if ev.references.is_empty() { 1.0 } else { 0.3 };
-    let p_halluc = (profile.hallucination_rate * (0.25 + 0.75 * load.clamp(0.0, 1.0))
-        * grounding_damp)
-        .clamp(0.0, 1.0);
+    let p_halluc =
+        (profile.hallucination_rate * (0.25 + 0.75 * load.clamp(0.0, 1.0)) * grounding_damp)
+            .clamp(0.0, 1.0);
     if rng.gen_bool(p_halluc) {
         let unsupported: Vec<IssueLabel> = IssueLabel::ALL
             .into_iter()
@@ -161,7 +172,9 @@ pub fn diagnose(
     // not tied to this application's data.
     if ev.references.is_empty() && !found.is_empty() {
         out.push_str("General suggestions:\n");
-        out.push_str("  Recommendation: profile the application further to confirm the dominant cost.\n");
+        out.push_str(
+            "  Recommendation: profile the application further to confirm the dominant cost.\n",
+        );
         out.push_str("  Recommendation: consult your facility's I/O tuning documentation for system-specific settings.\n");
         out.push_str("  Recommendation: consider graphically plotting the time series of operations to uncover phases.\n");
     }
@@ -229,7 +242,11 @@ fn render_value(out: &mut String, key_path: &str, v: &serde_json::Value) {
         serde_json::Value::Object(map) => {
             let is_histogram = !map.is_empty()
                 && map.keys().all(|k| {
-                    k.contains('_') && k.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)
+                    k.contains('_')
+                        && k.chars()
+                            .next()
+                            .map(|c| c.is_ascii_digit())
+                            .unwrap_or(false)
                 });
             if is_histogram {
                 for (bin, frac) in map {
@@ -306,8 +323,10 @@ struct Point {
 /// effect the paper's tree-based merge is designed around (Fig. 6).
 pub fn merge(profile: &ModelProfile, lines: &[String], rng: &mut ChaCha8Rng) -> String {
     let sections = parse_sections(lines);
-    let summaries: Vec<&Section> =
-        sections.iter().filter(|s| s.header.to_uppercase().starts_with("SUMMARY")).collect();
+    let summaries: Vec<&Section> = sections
+        .iter()
+        .filter(|s| s.header.to_uppercase().starts_with("SUMMARY"))
+        .collect();
     let n = summaries.len();
     let mut out = String::from("## MERGED SUMMARY\n");
     if n == 0 {
@@ -329,7 +348,10 @@ pub fn merge(profile: &ModelProfile, lines: &[String], rng: &mut ChaCha8Rng) -> 
                 .and_then(|r| r.split(']').next())
                 .unwrap_or("")
                 .to_string();
-            let point = Point { key, line: t.to_string() };
+            let point = Point {
+                key,
+                line: t.to_string(),
+            };
             if seen_keys.contains(&point.key) {
                 continue; // redundancy removed (that part models do reliably)
             }
@@ -365,14 +387,18 @@ fn strip_refs(line: &str) -> String {
 /// Token-set cosine similarity between two texts.
 fn overlap(a: &str, b: &str) -> f64 {
     use std::collections::BTreeSet;
-    let ta: BTreeSet<String> =
-        a.to_lowercase().split(|c: char| !c.is_ascii_alphanumeric()).filter(|t| t.len() > 2)
-            .map(String::from)
-            .collect();
-    let tb: BTreeSet<String> =
-        b.to_lowercase().split(|c: char| !c.is_ascii_alphanumeric()).filter(|t| t.len() > 2)
-            .map(String::from)
-            .collect();
+    let ta: BTreeSet<String> = a
+        .to_lowercase()
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| t.len() > 2)
+        .map(String::from)
+        .collect();
+    let tb: BTreeSet<String> = b
+        .to_lowercase()
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| t.len() > 2)
+        .map(String::from)
+        .collect();
     if ta.is_empty() || tb.is_empty() {
         return 0.0;
     }
@@ -383,8 +409,12 @@ fn overlap(a: &str, b: &str) -> f64 {
 /// Run the relevance-filter task: is SOURCE useful for FRAGMENT?
 pub fn filter(profile: &ModelProfile, lines: &[String], rng: &mut ChaCha8Rng) -> String {
     let sections = parse_sections(lines);
-    let fragment = section(&sections, "FRAGMENT").map(|s| s.body.join(" ")).unwrap_or_default();
-    let source = section(&sections, "SOURCE").map(|s| s.body.join(" ")).unwrap_or_default();
+    let fragment = section(&sections, "FRAGMENT")
+        .map(|s| s.body.join(" "))
+        .unwrap_or_default();
+    let source = section(&sections, "SOURCE")
+        .map(|s| s.body.join(" "))
+        .unwrap_or_default();
     let sim = overlap(&fragment, &source);
     // Weaker models judge relevance more noisily.
     let amp = 0.02 + (1.0 - profile.capability) * 0.08;
@@ -428,7 +458,12 @@ pub fn rank(profile: &ModelProfile, lines: &[String], rng: &mut ChaCha8Rng) -> S
         .iter()
         .filter(|s| s.header.to_uppercase().starts_with("CANDIDATE"))
         .map(|s| {
-            let tag = s.header.split_whitespace().nth(1).unwrap_or("?").to_string();
+            let tag = s
+                .header
+                .split_whitespace()
+                .nth(1)
+                .unwrap_or("?")
+                .to_string();
             (s, tag)
         })
         .collect();
@@ -456,7 +491,11 @@ pub fn rank(profile: &ModelProfile, lines: &[String], rng: &mut ChaCha8Rng) -> S
             _ => quality::utility_score(&f),
         };
         // Positional bias: primacy preference over prompt order.
-        let primacy = if n > 1 { 1.0 - 2.0 * pos as f64 / (n - 1) as f64 } else { 0.0 };
+        let primacy = if n > 1 {
+            1.0 - 2.0 * pos as f64 / (n - 1) as f64
+        } else {
+            0.0
+        };
         let mut score = base + profile.position_bias * 0.12 * primacy;
         // Rank-assignment-order bias: the first slot in the response format.
         if format_order.first().map(|t| t == tag).unwrap_or(false) {
@@ -499,8 +538,12 @@ pub fn rank(profile: &ModelProfile, lines: &[String], rng: &mut ChaCha8Rng) -> S
 pub fn chat(profile: &ModelProfile, lines: &[String], _rng: &mut ChaCha8Rng) -> String {
     let sections = parse_sections(lines);
     let ev = Evidence::from_lines(lines);
-    let question = section(&sections, "QUESTION").map(|s| s.body.join(" ")).unwrap_or_default();
-    let context = section(&sections, "CONTEXT").map(|s| s.body.join("\n")).unwrap_or_default();
+    let question = section(&sections, "QUESTION")
+        .map(|s| s.body.join(" "))
+        .unwrap_or_default();
+    let context = section(&sections, "CONTEXT")
+        .map(|s| s.body.join("\n"))
+        .unwrap_or_default();
     let q = question.to_lowercase();
 
     let mut out = String::new();
@@ -509,10 +552,7 @@ pub fn chat(profile: &ModelProfile, lines: &[String], _rng: &mut ChaCha8Rng) -> 
             if line.contains('[') && line.to_lowercase().contains(needle) {
                 if let Some(start) = line.find('[') {
                     if let Some(end) = line[start..].find(']') {
-                        out.push_str(&format!(
-                            "Reference: {}\n",
-                            &line[start..start + end + 1]
-                        ));
+                        out.push_str(&format!("Reference: {}\n", &line[start..start + end + 1]));
                         return;
                     }
                 }
@@ -600,7 +640,9 @@ mod tests {
 
     #[test]
     fn task_and_sections_parse() {
-        let l = lines("### TASK: merge\n## SUMMARY 1 Size\n- POINT[a] x\n## SUMMARY 2 Meta\n- POINT[b] y");
+        let l = lines(
+            "### TASK: merge\n## SUMMARY 1 Size\n- POINT[a] x\n## SUMMARY 2 Meta\n- POINT[b] y",
+        );
         assert_eq!(parse_task(&l).as_deref(), Some("merge"));
         let s = parse_sections(&l);
         assert_eq!(s.len(), 2);
@@ -645,10 +687,21 @@ mod tests {
             if ug.contains("optimal for minimizing") {
                 ungrounded_misses += 1;
             }
-            let g = diagnose(p, &lines(&grounded), 0.05, &mut rng_for("gpt-4o", &grounded, salt));
-            assert!(!g.contains("optimal for minimizing"), "grounded run repeated misconception");
+            let g = diagnose(
+                p,
+                &lines(&grounded),
+                0.05,
+                &mut rng_for("gpt-4o", &grounded, salt),
+            );
+            assert!(
+                !g.contains("optimal for minimizing"),
+                "grounded run repeated misconception"
+            );
         }
-        assert!(ungrounded_misses > 4, "misconception never triggered ({ungrounded_misses})");
+        assert!(
+            ungrounded_misses > 4,
+            "misconception never triggered ({ungrounded_misses})"
+        );
     }
 
     #[test]
@@ -682,11 +735,17 @@ mod tests {
         let p = profile_or_panic("llama-3-70b");
         let mut prompt = String::from("### TASK: merge\n");
         for i in 0..13 {
-            prompt.push_str(&format!("## SUMMARY {i} S{i}\n- POINT[k{i}] point {i} ;; REFS: [R{i}]\n"));
+            prompt.push_str(&format!(
+                "## SUMMARY {i} S{i}\n- POINT[k{i}] point {i} ;; REFS: [R{i}]\n"
+            ));
         }
         let mut kept = 0;
         for salt in 0..20 {
-            let outp = merge(p, &lines(&prompt), &mut rng_for("llama-3-70b", &prompt, salt));
+            let outp = merge(
+                p,
+                &lines(&prompt),
+                &mut rng_for("llama-3-70b", &prompt, salt),
+            );
             kept += outp.matches("- POINT[").count();
         }
         // 260 possible; with fidelity collapsed to ~0.1 expect far below half.
@@ -734,7 +793,7 @@ mod tests {
     #[test]
     fn rank_shows_positional_bias_on_ties() {
         let p = profile_or_panic("llama-3-70b"); // strongest bias
-        // Identical candidates: position decides.
+                                                 // Identical candidates: position decides.
         let prompt = "### TASK: rank\n## CRITERION\nutility\n\
                       ## CANDIDATE Tool-1\nIssue: Small Write I/O Requests\n  Recommendation: aggregate.\n\
                       ## CANDIDATE Tool-2\nIssue: Small Write I/O Requests\n  Recommendation: aggregate.\n";

@@ -30,7 +30,11 @@ pub fn reference_detect(trace: &DarshanTrace) -> BTreeSet<IssueLabel> {
 
     // --- Small / misaligned / random (per direction, POSIX) ----------------
     if let Some(posix) = &summary.posix {
-        let align = if posix.file_alignment > 0 { posix.file_alignment } else { th::BLOCK_ALIGNMENT };
+        let align = if posix.file_alignment > 0 {
+            posix.file_alignment
+        } else {
+            th::BLOCK_ALIGNMENT
+        };
         if posix.reads >= th::MIN_DIR_OPS {
             if posix.small_read_fraction() > th::SMALL_FRACTION {
                 out.insert(IssueLabel::SmallRead);
@@ -124,8 +128,11 @@ pub fn reference_detect(trace: &DarshanTrace) -> BTreeSet<IssueLabel> {
 
     // --- Multi-process without MPI ------------------------------------------
     if summary.multi_process_without_mpi() {
-        let posix_active =
-            summary.posix.as_ref().map(|p| p.total_ops() + p.opens > 0).unwrap_or(false);
+        let posix_active = summary
+            .posix
+            .as_ref()
+            .map(|p| p.total_ops() + p.opens > 0)
+            .unwrap_or(false);
         if posix_active {
             out.insert(IssueLabel::MultiProcessWithoutMpi);
         }
@@ -194,7 +201,12 @@ mod tests {
             let trace = synthesize(&spec);
             let text = darshan::write::write_text(&trace);
             let back = darshan::parse::parse_text(&text).unwrap();
-            assert_eq!(reference_detect(&back), reference_detect(&trace), "{}", spec.id);
+            assert_eq!(
+                reference_detect(&back),
+                reference_detect(&trace),
+                "{}",
+                spec.id
+            );
         }
     }
 

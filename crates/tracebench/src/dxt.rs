@@ -25,9 +25,16 @@ pub fn synthesize_dxt(spec: &TraceSpec) -> DxtTrace {
     let has = |l: IssueLabel| spec.has(l);
 
     let read_size = transfer_size(has(IssueLabel::SmallRead), has(IssueLabel::MisalignedRead));
-    let write_size = transfer_size(has(IssueLabel::SmallWrite), has(IssueLabel::MisalignedWrite));
+    let write_size = transfer_size(
+        has(IssueLabel::SmallWrite),
+        has(IssueLabel::MisalignedWrite),
+    );
     let shared = has(IssueLabel::SharedFileAccess);
-    let n_files = if shared { 1 } else { spec.file_count.clamp(1, 8) };
+    let n_files = if shared {
+        1
+    } else {
+        spec.file_count.clamp(1, 8)
+    };
 
     for file_idx in 0..n_files {
         let path = if shared {
@@ -42,8 +49,18 @@ pub fn synthesize_dxt(spec: &TraceSpec) -> DxtTrace {
             vec![(file_idx as u64 % spec.nprocs) as i64]
         };
         for (dir_idx, (op, size, total_mb, random)) in [
-            (DxtOp::Read, read_size, spec.read_mb, has(IssueLabel::RandomRead)),
-            (DxtOp::Write, write_size, spec.write_mb, has(IssueLabel::RandomWrite)),
+            (
+                DxtOp::Read,
+                read_size,
+                spec.read_mb,
+                has(IssueLabel::RandomRead),
+            ),
+            (
+                DxtOp::Write,
+                write_size,
+                spec.write_mb,
+                has(IssueLabel::RandomWrite),
+            ),
         ]
         .into_iter()
         .enumerate()
@@ -59,8 +76,7 @@ pub fn synthesize_dxt(spec: &TraceSpec) -> DxtTrace {
                 // whole file (file per process).
                 let region = per_stream as u64 * size as u64;
                 let base = if shared { rank as u64 * region } else { 0 };
-                let mut t =
-                    0.2 * spec.run_time * (dir_idx as f64) + rank as f64 * 1e-4;
+                let mut t = 0.2 * spec.run_time * (dir_idx as f64) + rank as f64 * 1e-4;
                 let duration = (size as f64) / 1.0e9;
                 for seg in 0..per_stream {
                     let offset = if random {
@@ -129,8 +145,7 @@ mod tests {
         let dxt = synthesize_dxt(&spec("ra_hacc_io"));
         assert_eq!(dxt.files.len(), 1);
         let file = dxt.files.values().next().unwrap();
-        let ranks: std::collections::BTreeSet<i64> =
-            file.events.iter().map(|e| e.rank).collect();
+        let ranks: std::collections::BTreeSet<i64> = file.events.iter().map(|e| e.rank).collect();
         assert_eq!(ranks.len(), 32);
         let stats = file_stats(file);
         assert!(stats.peak_concurrency > 1);

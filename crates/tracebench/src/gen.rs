@@ -56,7 +56,12 @@ impl DirPlan {
     }
 
     fn empty() -> Self {
-        DirPlan { ops: 0, size: 0, seq_frac: 0.0, mis_frac: 0.0 }
+        DirPlan {
+            ops: 0,
+            size: 0,
+            seq_frac: 0.0,
+            mis_frac: 0.0,
+        }
     }
 }
 
@@ -90,8 +95,14 @@ pub fn synthesize(spec: &TraceSpec) -> DarshanTrace {
     header.jobid = stable_hash(spec.id) % 1_000_000;
     header.uid = 2000 + (stable_hash(spec.id) % 500);
     header.mounts = vec![
-        Mount { point: "/scratch".into(), fs: "lustre".into() },
-        Mount { point: "/home".into(), fs: "nfs".into() },
+        Mount {
+            point: "/scratch".into(),
+            fs: "lustre".into(),
+        },
+        Mount {
+            point: "/home".into(),
+            fs: "nfs".into(),
+        },
     ];
     let mut trace = DarshanTrace::new(header);
 
@@ -193,24 +204,40 @@ pub fn synthesize(spec: &TraceSpec) -> DarshanTrace {
         rec.set_ic("POSIX_BYTES_WRITTEN", w_bytes);
         // Byte range touched: repetitive readers sweep 1/5 of the volume
         // five times; everyone else touches each byte once.
-        let read_range = if repetitive { (r_bytes / 5).max(1) } else { r_bytes };
+        let read_range = if repetitive {
+            (r_bytes / 5).max(1)
+        } else {
+            r_bytes
+        };
         rec.set_ic("POSIX_MAX_BYTE_READ", (read_range - 1).max(0));
         rec.set_ic("POSIX_MAX_BYTE_WRITTEN", (w_bytes - 1).max(0));
         if r_ops > 0 {
             rec.set_ic("POSIX_MAX_READ_TIME_SIZE", read.size);
             rec.set_ic("POSIX_SEQ_READS", (r_ops as f64 * read.seq_frac) as i64);
-            rec.set_ic("POSIX_CONSEC_READS", (r_ops as f64 * read.seq_frac * 0.8) as i64);
             rec.set_ic(
-                &format!("POSIX_SIZE_READ_{}", SIZE_BINS[size_bin_index(read.size as u64)]),
+                "POSIX_CONSEC_READS",
+                (r_ops as f64 * read.seq_frac * 0.8) as i64,
+            );
+            rec.set_ic(
+                &format!(
+                    "POSIX_SIZE_READ_{}",
+                    SIZE_BINS[size_bin_index(read.size as u64)]
+                ),
                 r_ops,
             );
         }
         if w_ops > 0 {
             rec.set_ic("POSIX_MAX_WRITE_TIME_SIZE", write.size);
             rec.set_ic("POSIX_SEQ_WRITES", (w_ops as f64 * write.seq_frac) as i64);
-            rec.set_ic("POSIX_CONSEC_WRITES", (w_ops as f64 * write.seq_frac * 0.8) as i64);
             rec.set_ic(
-                &format!("POSIX_SIZE_WRITE_{}", SIZE_BINS[size_bin_index(write.size as u64)]),
+                "POSIX_CONSEC_WRITES",
+                (w_ops as f64 * write.seq_frac * 0.8) as i64,
+            );
+            rec.set_ic(
+                &format!(
+                    "POSIX_SIZE_WRITE_{}",
+                    SIZE_BINS[size_bin_index(write.size as u64)]
+                ),
                 w_ops,
             );
         }
@@ -219,11 +246,18 @@ pub fn synthesize(spec: &TraceSpec) -> DarshanTrace {
             (r_ops as f64 * read.mis_frac + w_ops as f64 * write.mis_frac) as i64,
         );
         rec.set_ic("POSIX_FILE_ALIGNMENT", th::LUSTRE_ALIGNMENT);
-        rec.set_ic("POSIX_MEM_NOT_ALIGNED", ((r_ops + w_ops) as f64 * 0.05) as i64);
+        rec.set_ic(
+            "POSIX_MEM_NOT_ALIGNED",
+            ((r_ops + w_ops) as f64 * 0.05) as i64,
+        );
         rec.set_ic("POSIX_MEM_ALIGNMENT", 8);
         rec.set_ic("POSIX_RW_SWITCHES", (r_ops.min(w_ops) as f64 * 0.1) as i64);
         // Dominant access size: whichever direction carries more operations.
-        let (a_size, a_count) = if r_ops >= w_ops { (read.size, r_ops) } else { (write.size, w_ops) };
+        let (a_size, a_count) = if r_ops >= w_ops {
+            (read.size, r_ops)
+        } else {
+            (write.size, w_ops)
+        };
         if a_count > 0 {
             rec.set_ic("POSIX_ACCESS1_ACCESS", a_size);
             rec.set_ic("POSIX_ACCESS1_COUNT", a_count);
@@ -247,7 +281,10 @@ pub fn synthesize(spec: &TraceSpec) -> DarshanTrace {
             rec.set_ic("POSIX_SLOWEST_RANK_BYTES", slowest as i64);
             let var_frac = if rank_skew { 2.0 } else { 0.01 };
             rec.set_fc("POSIX_F_VARIANCE_RANK_BYTES", (avg * var_frac).powi(2));
-            rec.set_fc("POSIX_F_VARIANCE_RANK_TIME", if rank_skew { 25.0 } else { 0.05 });
+            rec.set_fc(
+                "POSIX_F_VARIANCE_RANK_TIME",
+                if rank_skew { 25.0 } else { 0.05 },
+            );
         }
         trace.push(rec);
 
@@ -289,14 +326,27 @@ pub fn synthesize(spec: &TraceSpec) -> DarshanTrace {
                     w_ops,
                 );
             }
-            m.set_fc("MPIIO_F_READ_TIME", r_bytes as f64 / effective_bandwidth(spec));
-            m.set_fc("MPIIO_F_WRITE_TIME", w_bytes as f64 / effective_bandwidth(spec));
+            m.set_fc(
+                "MPIIO_F_READ_TIME",
+                r_bytes as f64 / effective_bandwidth(spec),
+            );
+            m.set_fc(
+                "MPIIO_F_WRITE_TIME",
+                w_bytes as f64 / effective_bandwidth(spec),
+            );
             m.set_fc("MPIIO_F_META_TIME", meta_total * 0.1 * share);
             trace.push(m);
         }
 
         // Lustre striping record for every data file.
-        trace.push(lustre_record(slot.rank, record_id, &slot.path, stripe_width, idx, srv));
+        trace.push(lustre_record(
+            slot.rank,
+            record_id,
+            &slot.path,
+            stripe_width,
+            idx,
+            srv,
+        ));
     }
 
     // Metadata-only records: opens and stats but no data traffic. They share
@@ -318,8 +368,8 @@ pub fn synthesize(spec: &TraceSpec) -> DarshanTrace {
     // Every job reads a small configuration file through STDIO; STDIO-heavy
     // jobs additionally push their bulk data through streams.
     let cfg_path = format!("/home/{}/app.cfg", spec.id);
-    let mut cfg = Record::new(Module::Stdio, 0, stable_hash(&cfg_path), cfg_path)
-        .with_mount("/home", "nfs");
+    let mut cfg =
+        Record::new(Module::Stdio, 0, stable_hash(&cfg_path), cfg_path).with_mount("/home", "nfs");
     cfg.set_ic("STDIO_OPENS", 1);
     cfg.set_ic("STDIO_READS", 4);
     cfg.set_ic("STDIO_BYTES_READ", 4096);
@@ -345,8 +395,14 @@ pub fn synthesize(spec: &TraceSpec) -> DarshanTrace {
             s.set_ic("STDIO_BYTES_WRITTEN", w_bytes);
             s.set_ic("STDIO_MAX_BYTE_READ", (r_bytes - 1).max(0));
             s.set_ic("STDIO_MAX_BYTE_WRITTEN", (w_bytes - 1).max(0));
-            s.set_fc("STDIO_F_READ_TIME", r_bytes as f64 / effective_bandwidth(spec));
-            s.set_fc("STDIO_F_WRITE_TIME", w_bytes as f64 / effective_bandwidth(spec));
+            s.set_fc(
+                "STDIO_F_READ_TIME",
+                r_bytes as f64 / effective_bandwidth(spec),
+            );
+            s.set_fc(
+                "STDIO_F_WRITE_TIME",
+                w_bytes as f64 / effective_bandwidth(spec),
+            );
             s.set_fc("STDIO_F_META_TIME", 0.01);
             trace.push(s);
             trace.push(lustre_record(0, record_id, &path, stripe_width, i, srv));
@@ -383,8 +439,7 @@ fn lustre_record(
     file_idx: usize,
     hotspot: bool,
 ) -> Record {
-    let mut l =
-        Record::new(Module::Lustre, rank, record_id, path).with_mount("/scratch", "lustre");
+    let mut l = Record::new(Module::Lustre, rank, record_id, path).with_mount("/scratch", "lustre");
     l.set_ic("LUSTRE_OSTS", 64);
     l.set_ic("LUSTRE_MDTS", 8);
     l.set_ic("LUSTRE_STRIPE_OFFSET", 0);
@@ -393,7 +448,11 @@ fn lustre_record(
     for k in 0..stripe_width.max(1) as usize {
         // Hotspot jobs land every file on OST 0; healthy jobs spread stripes
         // across the 64 OSTs.
-        let ost = if hotspot { 0 } else { ((file_idx * 7 + k * 3) % 64) as i64 };
+        let ost = if hotspot {
+            0
+        } else {
+            ((file_idx * 7 + k * 3) % 64) as i64
+        };
         l.set_ic(&format!("LUSTRE_OST_ID_{k}"), ost);
     }
     l
@@ -413,7 +472,10 @@ mod tests {
         let s = spec("ra_amrex");
         let a = synthesize(&s);
         let b = synthesize(&s);
-        assert_eq!(darshan::write::write_text(&a), darshan::write::write_text(&b));
+        assert_eq!(
+            darshan::write::write_text(&a),
+            darshan::write::write_text(&b)
+        );
     }
 
     #[test]

@@ -154,7 +154,12 @@ pub fn simple_bench_specs() -> Vec<TraceSpec> {
             id: "sb04_shared_file",
             name: "simple shared file",
             source: Source::SimpleBench,
-            labels: &[SharedFileAccess, NoCollectiveRead, NoCollectiveWrite, ServerLoadImbalance],
+            labels: &[
+                SharedFileAccess,
+                NoCollectiveRead,
+                NoCollectiveWrite,
+                ServerLoadImbalance,
+            ],
             nprocs: 4,
             run_time: 45.0,
             file_count: 1,
@@ -379,7 +384,11 @@ pub fn io500_specs() -> Vec<TraceSpec> {
     // Group 5: mdtest-hard (×2).
     for i in 1..=2u32 {
         v.push(TraceSpec {
-            id: if i == 1 { "io500_mdtest_hard_1" } else { "io500_mdtest_hard_2" },
+            id: if i == 1 {
+                "io500_mdtest_hard_1"
+            } else {
+                "io500_mdtest_hard_2"
+            },
             name: "IO500 mdtest-hard",
             source: Source::Io500,
             labels: &[HighMetadataLoad, SharedFileAccess, MultiProcessWithoutMpi],
@@ -456,7 +465,13 @@ pub fn real_app_specs() -> Vec<TraceSpec> {
             id: "ra_e2e_orig",
             name: "E2E (original)",
             source: Source::RealApps,
-            labels: &[SmallRead, MisalignedRead, SmallWrite, MisalignedWrite, HighMetadataLoad],
+            labels: &[
+                SmallRead,
+                MisalignedRead,
+                SmallWrite,
+                MisalignedWrite,
+                HighMetadataLoad,
+            ],
             nprocs: 16,
             run_time: 400.0,
             file_count: 16,
@@ -484,7 +499,13 @@ pub fn real_app_specs() -> Vec<TraceSpec> {
             id: "ra_openpmd_orig",
             name: "OpenPMD (original)",
             source: Source::RealApps,
-            labels: &[SharedFileAccess, RandomRead, RandomWrite, MisalignedWrite, SmallWrite],
+            labels: &[
+                SharedFileAccess,
+                RandomRead,
+                RandomWrite,
+                MisalignedWrite,
+                SmallWrite,
+            ],
             nprocs: 32,
             run_time: 540.0,
             file_count: 1,
@@ -555,7 +576,12 @@ pub fn real_app_specs() -> Vec<TraceSpec> {
             id: "ra_nyx",
             name: "Nyx",
             source: Source::RealApps,
-            labels: &[SmallRead, MisalignedRead, RankLoadImbalance, NoCollectiveRead],
+            labels: &[
+                SmallRead,
+                MisalignedRead,
+                RankLoadImbalance,
+                NoCollectiveRead,
+            ],
             nprocs: 16,
             run_time: 450.0,
             file_count: 16,
@@ -569,7 +595,13 @@ pub fn real_app_specs() -> Vec<TraceSpec> {
             id: "ra_montage",
             name: "Montage",
             source: Source::RealApps,
-            labels: &[HighMetadataLoad, SmallRead, SmallWrite, RandomRead, ServerLoadImbalance],
+            labels: &[
+                HighMetadataLoad,
+                SmallRead,
+                SmallWrite,
+                RandomRead,
+                ServerLoadImbalance,
+            ],
             nprocs: 1,
             run_time: 380.0,
             file_count: 30,
@@ -678,7 +710,11 @@ mod tests {
                 );
             }
             if spec.has(IssueLabel::MultiProcessWithoutMpi) {
-                assert!(posix_only && spec.nprocs > 1, "{} MP label but has MPI-IO", spec.id);
+                assert!(
+                    posix_only && spec.nprocs > 1,
+                    "{} MP label but has MPI-IO",
+                    spec.id
+                );
             }
             // No-collective labels require an MPI-IO api.
             if spec.has(IssueLabel::NoCollectiveRead) || spec.has(IssueLabel::NoCollectiveWrite) {
@@ -693,14 +729,20 @@ mod tests {
     #[test]
     fn no_cross_direction_small_misaligned_conflicts() {
         for spec in all_specs() {
-            let conflict_read = spec.has(MisalignedWrite)
-                && !spec.has(MisalignedRead)
-                && spec.has(SmallRead);
-            let conflict_write = spec.has(MisalignedRead)
-                && !spec.has(MisalignedWrite)
-                && spec.has(SmallWrite);
-            assert!(!conflict_read, "{}: SmallRead next to MisalignedWrite-only", spec.id);
-            assert!(!conflict_write, "{}: SmallWrite next to MisalignedRead-only", spec.id);
+            let conflict_read =
+                spec.has(MisalignedWrite) && !spec.has(MisalignedRead) && spec.has(SmallRead);
+            let conflict_write =
+                spec.has(MisalignedRead) && !spec.has(MisalignedWrite) && spec.has(SmallWrite);
+            assert!(
+                !conflict_read,
+                "{}: SmallRead next to MisalignedWrite-only",
+                spec.id
+            );
+            assert!(
+                !conflict_write,
+                "{}: SmallWrite next to MisalignedRead-only",
+                spec.id
+            );
         }
     }
 }

@@ -69,13 +69,17 @@ impl TraceBench {
     pub fn table3(&self) -> Table3 {
         let mut rows = Vec::new();
         for label in IssueLabel::ALL {
-            let count = |src: Source| {
-                self.by_source(src).filter(|e| e.spec.has(label)).count()
-            };
+            let count = |src: Source| self.by_source(src).filter(|e| e.spec.has(label)).count();
             let sb = count(Source::SimpleBench);
             let io500 = count(Source::Io500);
             let ra = count(Source::RealApps);
-            rows.push(Table3Row { label, sb, io500, ra, total: sb + io500 + ra });
+            rows.push(Table3Row {
+                label,
+                sb,
+                io500,
+                ra,
+                total: sb + io500 + ra,
+            });
         }
         Table3 { rows }
     }

@@ -22,7 +22,10 @@ pub fn chunk_text(text: &str, chunk_size: usize, overlap: usize) -> Vec<Chunk> {
     let mut start = 0usize;
     loop {
         let end = (start + chunk_size).min(tokens.len());
-        chunks.push(Chunk { text: tokens[start..end].join(" "), start_token: start });
+        chunks.push(Chunk {
+            text: tokens[start..end].join(" "),
+            start_token: start,
+        });
         if end == tokens.len() {
             break;
         }
@@ -44,7 +47,10 @@ mod tests {
 
     #[test]
     fn chunks_overlap_correctly() {
-        let text = (0..100).map(|i| format!("t{i}")).collect::<Vec<_>>().join(" ");
+        let text = (0..100)
+            .map(|i| format!("t{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         let chunks = chunk_text(&text, 40, 10);
         assert_eq!(chunks[0].start_token, 0);
         assert_eq!(chunks[1].start_token, 30);
@@ -55,7 +61,10 @@ mod tests {
 
     #[test]
     fn all_tokens_covered() {
-        let text = (0..95).map(|i| format!("t{i}")).collect::<Vec<_>>().join(" ");
+        let text = (0..95)
+            .map(|i| format!("t{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         let chunks = chunk_text(&text, 40, 10);
         let last = chunks.last().unwrap();
         assert!(last.text.ends_with("t94"));

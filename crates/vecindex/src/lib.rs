@@ -63,12 +63,20 @@ impl VectorIndex {
     /// Create an empty index with explicit hyper-parameters.
     pub fn new(embedder: Embedder, chunk_size: usize, overlap: usize) -> Self {
         assert!(chunk_size > overlap, "chunk size must exceed overlap");
-        VectorIndex { embedder, chunk_size, overlap, entries: Vec::new() }
+        VectorIndex {
+            embedder,
+            chunk_size,
+            overlap,
+            entries: Vec::new(),
+        }
     }
 
     /// Chunk, embed, and add a document.
     pub fn add_document(&mut self, doc_id: &str, citation: &str, text: &str) {
-        for (i, chunk) in chunk_text(text, self.chunk_size, self.overlap).into_iter().enumerate() {
+        for (i, chunk) in chunk_text(text, self.chunk_size, self.overlap)
+            .into_iter()
+            .enumerate()
+        {
             let vector = self.embedder.embed(&chunk.text);
             self.entries.push(IndexEntry {
                 doc_id: doc_id.to_string(),
@@ -103,10 +111,21 @@ impl VectorIndex {
             .entries
             .par_iter()
             .enumerate()
-            .map(|(i, e)| SearchHit { score: ioembed::cosine(&qv, &e.vector), entry_idx: i })
+            .map(|(i, e)| SearchHit {
+                score: ioembed::cosine(&qv, &e.vector),
+                entry_idx: i,
+            })
             .collect();
+        // NaN-safe ordering: `partial_cmp().unwrap()` would panic mid-search
+        // on a NaN score. `total_cmp` imposes a deterministic total order
+        // instead (in this descending comparator +NaN sorts first, -NaN
+        // last); `ioembed::cosine` returns 0.0 for degenerate vectors, so
+        // NaN should be unreachable — the point is that a scoring bug
+        // degrades ranking rather than panicking the service.
         scored.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap().then(a.entry_idx.cmp(&b.entry_idx))
+            b.score
+                .total_cmp(&a.score)
+                .then(a.entry_idx.cmp(&b.entry_idx))
         });
         scored.truncate(k);
         scored
@@ -164,8 +183,10 @@ mod tests {
     #[test]
     fn batch_matches_individual_searches() {
         let ix = small_index();
-        let queries =
-            vec!["collective aggregation of small writes".to_string(), "stat storm".to_string()];
+        let queries = vec![
+            "collective aggregation of small writes".to_string(),
+            "stat storm".to_string(),
+        ];
         let batch = ix.search_batch(&queries, 2);
         for (q, hits) in queries.iter().zip(&batch) {
             let single = ix.search(q, 2);

@@ -33,8 +33,11 @@ fn main() {
     let plain = ion.diagnose(&amrex.trace);
     println!("{}", plain.text);
     let found = plain.issue_set();
-    let missed: Vec<_> =
-        amrex.labels().into_iter().filter(|l| !found.contains(l)).collect();
+    let missed: Vec<_> = amrex
+        .labels()
+        .into_iter()
+        .filter(|l| !found.contains(l))
+        .collect();
     println!("missed: {missed:?}");
     if plain.text.contains("optimal for minimizing") {
         println!("note: repeated the '1 MB stripe is optimal' misconception");
@@ -45,8 +48,11 @@ fn main() {
     let d = agent.diagnose(&amrex.trace);
     println!("{}", d.text);
     let found = d.issue_set();
-    let missed: Vec<_> =
-        amrex.labels().into_iter().filter(|l| !found.contains(l)).collect();
+    let missed: Vec<_> = amrex
+        .labels()
+        .into_iter()
+        .filter(|l| !found.contains(l))
+        .collect();
     println!("missed: {missed:?}");
     println!("references cited: {}", d.references.len());
 }

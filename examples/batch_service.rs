@@ -1,0 +1,75 @@
+//! `ioagentd` quickstart: diagnose a batch of traces concurrently through
+//! the long-lived service, then watch the result cache absorb a repeat.
+//!
+//! ```sh
+//! cargo run --release --example batch_service
+//! ```
+//!
+//! The service builds the 66-document knowledge index once, fans the batch
+//! out across a worker pool, and returns per-job diagnoses with token/cost
+//! accounting. Results are byte-identical to running each trace through
+//! `IoAgent` sequentially — the service adds throughput, not noise.
+
+use ioagentd::{DiagnosisService, JobRequest, ServiceConfig};
+use tracebench::TraceBench;
+
+fn main() {
+    // 1. A labelled workload (in production: darshan-parser text via the
+    //    `ioagentd` binary's NDJSON protocol, one trace per line).
+    let suite = TraceBench::generate();
+    let jobs: Vec<JobRequest> = suite
+        .entries
+        .iter()
+        .take(8)
+        .map(|e| JobRequest::new(e.spec.id, e.trace.clone(), "gpt-4o"))
+        .collect();
+
+    // 2. Start the service: N workers over one shared knowledge index.
+    let config = ServiceConfig::default();
+    println!(
+        "starting ioagentd: {} workers, queue bound {}, cache {} entries",
+        config.workers, config.queue_capacity, config.cache_capacity
+    );
+    let service = DiagnosisService::start(config);
+
+    // 3. Submit the whole batch; tickets resolve in submission order.
+    let start = std::time::Instant::now();
+    let results = service.run_batch(jobs.clone()).expect("valid batch");
+    println!(
+        "\nbatch of {} diagnosed in {:?}\n",
+        results.len(),
+        start.elapsed()
+    );
+    for r in &results {
+        println!(
+            "  {:28} worker {}  {:3} LLM calls  ${:.4}  issues: {:?}",
+            r.id,
+            r.worker,
+            r.metrics.llm_calls,
+            r.metrics.cost_usd,
+            r.diagnosis
+                .issues
+                .iter()
+                .map(|i| i.key())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    // 4. Resubmit: every job is answered from the LRU cache, zero LLM calls.
+    let start = std::time::Instant::now();
+    let repeat = service.run_batch(jobs).expect("valid batch");
+    println!(
+        "\nrepeat batch in {:?}: {} cache hits, {} LLM calls",
+        start.elapsed(),
+        repeat.iter().filter(|r| r.cached).count(),
+        repeat.iter().map(|r| r.metrics.llm_calls).sum::<usize>(),
+    );
+
+    // 5. Aggregate accounting, then drain gracefully.
+    let stats = service.stats();
+    println!(
+        "\nservice totals: {} jobs ({} cached), {} LLM calls, {} input tokens, ${:.4}",
+        stats.jobs_completed, stats.cache_hits, stats.llm_calls, stats.input_tokens, stats.cost_usd
+    );
+    service.shutdown();
+}

@@ -14,7 +14,9 @@ use simllm::SimLlm;
 use tracebench::TraceBench;
 
 fn main() {
-    let id = std::env::args().nth(1).unwrap_or_else(|| "ra_hacc_io".to_string());
+    let id = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ra_hacc_io".to_string());
     let suite = TraceBench::generate();
     let Some(entry) = suite.get(&id) else {
         eprintln!("unknown trace id {id:?}; available ids:");

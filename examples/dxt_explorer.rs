@@ -10,13 +10,18 @@ use darshan::dxt::{file_stats, write_dxt_text};
 use tracebench::{synthesize_dxt, TraceBench};
 
 fn main() {
-    let id = std::env::args().nth(1).unwrap_or_else(|| "ra_hacc_io".to_string());
+    let id = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ra_hacc_io".to_string());
     let suite = TraceBench::generate();
     let Some(entry) = suite.get(&id) else {
         eprintln!("unknown trace id {id:?}");
         std::process::exit(1);
     };
-    println!("DXT analysis of {} — {}\n", entry.spec.id, entry.spec.description);
+    println!(
+        "DXT analysis of {} — {}\n",
+        entry.spec.id, entry.spec.description
+    );
 
     let dxt = synthesize_dxt(&entry.spec);
     println!("{} events across {} files\n", dxt.len(), dxt.files.len());

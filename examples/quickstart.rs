@@ -18,7 +18,10 @@ fn main() {
     //    use you would `darshan::parse::parse_text(&darshan_parser_output)`.
     let suite = TraceBench::generate();
     let entry = suite.get("sb01_small_io").expect("trace");
-    println!("trace: {} ({} ranks, {:.0}s)", entry.spec.id, entry.spec.nprocs, entry.spec.run_time);
+    println!(
+        "trace: {} ({} ranks, {:.0}s)",
+        entry.spec.id, entry.spec.nprocs, entry.spec.run_time
+    );
     println!("ground-truth issues: {:?}\n", entry.labels());
 
     // The text format round-trips through the darshan crate.
@@ -27,7 +30,10 @@ fn main() {
 
     // 2. Peek at the pre-processor output (module-based summary fragments).
     let fragments = preprocessor::extract_fragments(&trace);
-    println!("pre-processor produced {} summary fragments:", fragments.len());
+    println!(
+        "pre-processor produced {} summary fragments:",
+        fragments.len()
+    );
     for f in &fragments {
         println!("  - {}", f.title);
     }
@@ -35,8 +41,15 @@ fn main() {
     // 3. The Fig. 3 step: one fragment's JSON and its natural-language
     //    transformation (the RAG query).
     let model = SimLlm::new("gpt-4o");
-    let io_size = fragments.iter().find(|f| f.title == "POSIX I/O Size").unwrap();
-    println!("\nJSON fragment ({}):\n{}", io_size.title, io_size.json_text());
+    let io_size = fragments
+        .iter()
+        .find(|f| f.title == "POSIX I/O Size")
+        .unwrap();
+    println!(
+        "\nJSON fragment ({}):\n{}",
+        io_size.title,
+        io_size.json_text()
+    );
     let nl = ioagent_core::transform::to_natural_language(&model, io_size);
     println!("\nnatural-language form:\n{nl}\n");
 

@@ -1,0 +1,4 @@
+//! Workspace umbrella crate. The library is intentionally empty: this
+//! package exists to own the cross-crate integration tests in `tests/` and
+//! the runnable walkthroughs in `examples/`. The actual functionality
+//! lives in the `crates/` members (see the README for the map).

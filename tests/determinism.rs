@@ -29,14 +29,20 @@ fn agent_diagnosis_is_parallelism_invariant() {
     let suite = TraceBench::generate();
     let entry = suite.get("ra_vpic_io").unwrap();
 
-    let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
     let text_single = single.install(|| {
         let model = SimLlm::new("gpt-4o");
         let agent = IoAgent::new(&model);
         agent.diagnose(&entry.trace).text
     });
 
-    let wide = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+    let wide = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap();
     let text_wide = wide.install(|| {
         let model = SimLlm::new("gpt-4o");
         let agent = IoAgent::new(&model);
@@ -52,8 +58,16 @@ fn ion_and_judge_are_repeatable() {
     suite.entries.truncate(3);
     let model = SimLlm::new("llama-3.1-70b");
     let ion = Ion::new(&model);
-    let first: Vec<String> = suite.entries.iter().map(|e| ion.diagnose(&e.trace).text).collect();
-    let second: Vec<String> = suite.entries.iter().map(|e| ion.diagnose(&e.trace).text).collect();
+    let first: Vec<String> = suite
+        .entries
+        .iter()
+        .map(|e| ion.diagnose(&e.trace).text)
+        .collect();
+    let second: Vec<String> = suite
+        .entries
+        .iter()
+        .map(|e| ion.diagnose(&e.trace).text)
+        .collect();
     assert_eq!(first, second);
 }
 

@@ -39,19 +39,35 @@ fn all_runs(suite: &TraceBench) -> Vec<ToolRun> {
     vec![
         ToolRun {
             tool: "Drishti".into(),
-            diagnoses: suite.entries.iter().map(|e| Drishti.diagnose(&e.trace)).collect(),
+            diagnoses: suite
+                .entries
+                .iter()
+                .map(|e| Drishti.diagnose(&e.trace))
+                .collect(),
         },
         ToolRun {
             tool: "ION".into(),
-            diagnoses: suite.entries.iter().map(|e| ion.diagnose(&e.trace)).collect(),
+            diagnoses: suite
+                .entries
+                .iter()
+                .map(|e| ion.diagnose(&e.trace))
+                .collect(),
         },
         ToolRun {
             tool: "IOAgent-gpt-4o".into(),
-            diagnoses: suite.entries.iter().map(|e| agent.diagnose(&e.trace)).collect(),
+            diagnoses: suite
+                .entries
+                .iter()
+                .map(|e| agent.diagnose(&e.trace))
+                .collect(),
         },
         ToolRun {
             tool: "IOAgent-llama-3.1-70B".into(),
-            diagnoses: suite.entries.iter().map(|e| agent_llama.diagnose(&e.trace)).collect(),
+            diagnoses: suite
+                .entries
+                .iter()
+                .map(|e| agent_llama.diagnose(&e.trace))
+                .collect(),
         },
     ]
 }
@@ -66,12 +82,31 @@ fn table4_shape_holds_on_subset() {
 
     // Headline shape: IOAgent variants beat both baselines on accuracy.
     let acc = |i: usize| eval.normalized(i, Criterion::Accuracy, None);
-    assert!(acc(2) > acc(0), "IOAgent-gpt-4o {} <= Drishti {}", acc(2), acc(0));
-    assert!(acc(2) > acc(1), "IOAgent-gpt-4o {} <= ION {}", acc(2), acc(1));
-    assert!(acc(3) > acc(1), "IOAgent-llama {} <= ION {}", acc(3), acc(1));
+    assert!(
+        acc(2) > acc(0),
+        "IOAgent-gpt-4o {} <= Drishti {}",
+        acc(2),
+        acc(0)
+    );
+    assert!(
+        acc(2) > acc(1),
+        "IOAgent-gpt-4o {} <= ION {}",
+        acc(2),
+        acc(1)
+    );
+    assert!(
+        acc(3) > acc(1),
+        "IOAgent-llama {} <= ION {}",
+        acc(3),
+        acc(1)
+    );
     // Average: the agent with the frontier backbone leads overall.
     let avg = |i: usize| eval.average(i, None);
-    assert!(avg(2) > avg(0) && avg(2) > avg(1), "averages: {:?}", (0..4).map(avg).collect::<Vec<_>>());
+    assert!(
+        avg(2) > avg(0) && avg(2) > avg(1),
+        "averages: {:?}",
+        (0..4).map(avg).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -124,7 +159,10 @@ fn interactive_session_after_full_pipeline() {
     let model = SimLlm::new("gpt-4o");
     let agent = IoAgent::new(&model);
     let mut session = agent.start_session(&entry.trace);
-    assert!(session.diagnosis.issues.contains(&IssueLabel::ServerLoadImbalance));
+    assert!(session
+        .diagnosis
+        .issues
+        .contains(&IssueLabel::ServerLoadImbalance));
     let answer = session.ask("how do I fix the stripe settings?");
     assert!(answer.contains("lfs setstripe"));
 }

@@ -10,10 +10,19 @@ fn all_40_traces_round_trip_text_format() {
     let suite = TraceBench::generate();
     for entry in &suite.entries {
         let text = darshan::write::write_text(&entry.trace);
-        let back = darshan::parse::parse_text(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", entry.spec.id));
-        assert_eq!(back.records.len(), entry.trace.records.len(), "{}", entry.spec.id);
-        assert_eq!(back.header.nprocs, entry.trace.header.nprocs, "{}", entry.spec.id);
+        let back =
+            darshan::parse::parse_text(&text).unwrap_or_else(|e| panic!("{}: {e}", entry.spec.id));
+        assert_eq!(
+            back.records.len(),
+            entry.trace.records.len(),
+            "{}",
+            entry.spec.id
+        );
+        assert_eq!(
+            back.header.nprocs, entry.trace.header.nprocs,
+            "{}",
+            entry.spec.id
+        );
         // Second write must be byte-identical (canonical form).
         assert_eq!(text, darshan::write::write_text(&back), "{}", entry.spec.id);
     }
@@ -45,7 +54,13 @@ fn fragments_are_invariant_under_round_trip() {
         assert_eq!(a.len(), b.len(), "{}", entry.spec.id);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.title, y.title);
-            assert_eq!(x.json_text(), y.json_text(), "{} {}", entry.spec.id, x.title);
+            assert_eq!(
+                x.json_text(),
+                y.json_text(),
+                "{} {}",
+                entry.spec.id,
+                x.title
+            );
             assert_eq!(x.evidence, y.evidence, "{} {}", entry.spec.id, x.title);
         }
     }
