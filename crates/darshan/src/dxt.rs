@@ -277,7 +277,10 @@ pub fn file_stats(file: &DxtFileTrace) -> DxtFileStats {
         edges.push((e.start, 1));
         edges.push((e.end, -1));
     }
-    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    // NaN-safe ordering: parsed timestamps can be NaN (the text format
+    // accepts any f64), and `partial_cmp().unwrap()` would panic here;
+    // `total_cmp` sorts NaNs to the ends and degrades gracefully instead.
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut live = 0i32;
     let mut peak = 0i32;
     for (_, d) in &edges {
@@ -342,6 +345,21 @@ mod tests {
             );
         }
         t
+    }
+
+    #[test]
+    fn nan_timestamps_do_not_panic_file_stats() {
+        // Regression: the concurrency edge sort used `partial_cmp().unwrap()`
+        // and panicked on NaN timestamps, which the text parser accepts.
+        let mut t = DxtTrace::default();
+        t.push(1, "/scratch/nan", event(0, DxtOp::Write, 0, 4096, 0.0));
+        let mut bad = event(1, DxtOp::Read, 4096, 4096, 0.5);
+        bad.start = f64::NAN;
+        bad.end = f64::NAN;
+        t.push(1, "/scratch/nan", bad);
+        let stats = file_stats(&t.files[&1]);
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.bytes, 8192);
     }
 
     #[test]

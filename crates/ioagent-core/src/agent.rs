@@ -106,7 +106,9 @@ impl<'m> IoAgent<'m> {
 
         // Stage 2: per-fragment knowledge integration + diagnosis, parallel
         // across fragments (each fragment's retrieval reflection is itself
-        // parallel inside the retriever).
+        // parallel inside the retriever, drawing on the same pool budget).
+        // Blocks come back in fragment order, so the merged report is
+        // byte-identical at any thread count.
         let blocks: Vec<SummaryBlock> = fragments
             .par_iter()
             .map(|fragment| self.diagnose_fragment(fragment))

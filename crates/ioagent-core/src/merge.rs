@@ -1,7 +1,9 @@
 //! Tree-based merge with pairwise LLM merging (paper §IV-C, Fig. 6).
 //!
 //! Per-fragment diagnoses are merged two at a time; merges within a tree
-//! level are independent and run in parallel. The alternative — a single
+//! level are independent and run in parallel (pair results are collected
+//! in level order, so the final merge is thread-count invariant). The
+//! alternative — a single
 //! flat merge of all summaries — is implemented too, as the ablation arm
 //! (the paper shows it loses key points and references even on frontier
 //! models once more than a couple of summaries are merged at once).

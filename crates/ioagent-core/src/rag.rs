@@ -64,7 +64,8 @@ impl Retriever {
 
     /// Retrieve top-`self.top_k` sources for a query, then self-reflect
     /// with the given (cheaper) model to drop irrelevant hits. Reflection
-    /// calls run in parallel, as in the paper.
+    /// calls run in parallel, as in the paper; verdicts are collected in
+    /// hit order, so the kept set is identical at any thread count.
     pub fn retrieve(
         &self,
         query: &str,

@@ -5,11 +5,13 @@
 //!   ioagentd [OPTIONS]
 //!
 //! OPTIONS:
-//!   --workers N       worker threads (default: available parallelism)
-//!   --queue N         job queue bound (default: 2 x workers)
-//!   --cache N         result cache entries, 0 disables (default: 256)
-//!   --listen ADDR     serve the line protocol over TCP instead of stdio
-//!   -h, --help        print this help
+//!   --workers N        worker threads (default: available parallelism)
+//!   --intra-threads N  rayon-shim pool width inside each job (default: 1;
+//!                      total thread budget = workers x intra-threads)
+//!   --queue N          job queue bound (default: 2 x workers)
+//!   --cache N          result cache entries, 0 disables (default: 256)
+//!   --listen ADDR      serve the line protocol over TCP instead of stdio
+//!   -h, --help         print this help
 //! ```
 //!
 //! In stdio mode the daemon reads newline-delimited JSON requests on stdin
@@ -29,11 +31,13 @@ fn usage() -> ! {
         "ioagentd — concurrent batch I/O-diagnosis service\n\n\
          USAGE: ioagentd [OPTIONS]\n\n\
          OPTIONS:\n\
-           --workers N       worker threads (default: available parallelism)\n\
-           --queue N         job queue bound (default: 2 x workers)\n\
-           --cache N         result cache entries, 0 disables (default: 256)\n\
-           --listen ADDR     serve over TCP (host:port) instead of stdio\n\
-           -h, --help        print this help\n\n\
+           --workers N        worker threads (default: available parallelism)\n\
+           --intra-threads N  rayon-shim pool width inside each job\n\
+                              (default: 1; budget = workers x intra-threads)\n\
+           --queue N          job queue bound (default: 2 x workers)\n\
+           --cache N          result cache entries, 0 disables (default: 256)\n\
+           --listen ADDR      serve over TCP (host:port) instead of stdio\n\
+           -h, --help         print this help\n\n\
          PROTOCOL (one JSON document per line):\n\
            request:  {{\"id\": \"j1\", \"trace\": \"<darshan-parser text>\",\n\
                       \"model\": \"gpt-4o\", \"top_k\": 15, \"use_rag\": true,\n\
@@ -63,6 +67,9 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => config.workers = parse_count(&mut args, "--workers").max(1),
+            "--intra-threads" => {
+                config.intra_threads = parse_count(&mut args, "--intra-threads").max(1)
+            }
             "--queue" => {
                 config.queue_capacity = parse_count(&mut args, "--queue").max(1);
                 explicit_queue = true;
@@ -83,8 +90,12 @@ fn main() {
     }
 
     eprintln!(
-        "[ioagentd] starting: {} workers, queue {}, cache {}",
-        config.workers, config.queue_capacity, config.cache_capacity
+        "[ioagentd] starting: {} workers x {} intra-threads ({} thread budget), queue {}, cache {}",
+        config.workers,
+        config.intra_threads,
+        config.thread_budget(),
+        config.queue_capacity,
+        config.cache_capacity
     );
     let service = Arc::new(DiagnosisService::start(config));
     eprintln!("[ioagentd] knowledge index ready");

@@ -14,6 +14,10 @@
 //! - Completed diagnoses enter an LRU cache keyed by (trace fingerprint,
 //!   model, config); resubmitting an identical job is answered from the
 //!   cache with zero LLM calls.
+//! - Each worker additionally owns a rayon-shim pool of
+//!   [`ServiceConfig::intra_threads`] threads for the hot loops *inside* a
+//!   job, so the daemon's thread budget is `workers × intra_threads` (see
+//!   the [`ServiceConfig`] docs for how to split it).
 
 use crate::cache::LruCache;
 use crate::queue::{BoundedQueue, QueueClosed};
@@ -27,21 +31,22 @@ use std::time::{Duration, Instant};
 
 pub use ioagent_core::rag::Retriever;
 
-/// Stable FNV-1a 64-bit hash (for trace fingerprints).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
 /// Service sizing knobs.
+///
+/// The daemon spends threads at two grains: `workers` jobs run
+/// concurrently, and each job may additionally split its own hot loops
+/// (per-fragment diagnosis, retrieval reflection, merge levels) across
+/// `intra_threads` rayon-shim threads. The total thread budget is therefore
+/// `workers × intra_threads`; size the product to the machine, not either
+/// factor alone. Many small jobs favour wide `workers` × `intra_threads` 1
+/// (the default); few large traces favour the opposite split.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads (diagnoses running concurrently).
     pub workers: usize,
+    /// Rayon-shim pool width *inside* each job (1 = sequential hot loops,
+    /// the pre-shim behaviour). Diagnoses are bit-identical at any width.
+    pub intra_threads: usize,
     /// Job queue bound; producers block (backpressure) when it is full.
     pub queue_capacity: usize,
     /// Result cache entries (0 disables caching).
@@ -62,6 +67,7 @@ impl Default for ServiceConfig {
             .unwrap_or(4);
         ServiceConfig {
             workers,
+            intra_threads: 1,
             queue_capacity: 2 * workers,
             cache_capacity: 256,
             simulated_rpc_latency: Duration::ZERO,
@@ -96,6 +102,17 @@ impl ServiceConfig {
     pub fn rpc_latency(mut self, latency: Duration) -> Self {
         self.simulated_rpc_latency = latency;
         self
+    }
+
+    /// Builder-style intra-job pool width override (clamped to ≥ 1).
+    pub fn intra_threads(mut self, threads: usize) -> Self {
+        self.intra_threads = threads.max(1);
+        self
+    }
+
+    /// Total thread budget this configuration can have live at once.
+    pub fn thread_budget(&self) -> usize {
+        self.workers * self.intra_threads
     }
 }
 
@@ -133,11 +150,13 @@ impl JobRequest {
         Ok(JobRequest::new(id, trace, model))
     }
 
-    /// Cache key: canonical trace bytes × model × full config.
+    /// Cache key: canonical trace bytes × model × full config. The trace
+    /// hash reuses the simulator's stable FNV-1a (`simllm::rng::stable_hash`)
+    /// rather than keeping a private copy of the same algorithm.
     fn fingerprint(&self) -> JobKey {
         let canonical = darshan::write::write_text(&self.trace);
         JobKey {
-            trace_hash: fnv1a(canonical.as_bytes()),
+            trace_hash: simllm::rng::stable_hash(&canonical),
             model: self.model.clone(),
             config: format!("{:?}", self.config),
         }
@@ -235,6 +254,7 @@ struct Shared {
     stats: Mutex<ServiceStats>,
     retriever: Arc<Retriever>,
     rpc_latency: Duration,
+    intra_threads: usize,
 }
 
 impl Shared {
@@ -296,6 +316,7 @@ impl DiagnosisService {
             stats: Mutex::new(ServiceStats::default()),
             retriever,
             rpc_latency: config.simulated_rpc_latency,
+            intra_threads: config.intra_threads.max(1),
         });
         let workers = (0..config.workers.max(1))
             .map(|worker_idx| {
@@ -428,6 +449,17 @@ impl Drop for DiagnosisService {
 }
 
 fn worker_loop(shared: &Shared, worker_idx: usize) {
+    // Every job this worker runs is pinned to a rayon-shim pool of the
+    // configured intra-job width, making the daemon's thread budget an
+    // explicit `workers × intra_threads` product: width 1 (the default)
+    // keeps hot loops sequential inside each job regardless of the global
+    // pool or `RAYON_NUM_THREADS`; wider pools split per-fragment
+    // diagnosis, retrieval reflection, and merge levels within the job.
+    // Diagnosis output is bit-identical at any width.
+    let intra_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(shared.intra_threads)
+        .build()
+        .expect("intra-job thread pool");
     while let Some(job) = shared.queue.pop() {
         let queue_wait = job.enqueued.elapsed();
         let started = Instant::now();
@@ -463,7 +495,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
                     job.request.config.clone(),
                     Arc::clone(&shared.retriever),
                 );
-                let diagnosis = agent.diagnose(&job.request.trace);
+                let diagnosis = intra_pool.install(|| agent.diagnose(&job.request.trace));
                 let backbone = model.usage();
                 let reflection = agent.reflection_usage();
                 {

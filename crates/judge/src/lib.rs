@@ -200,7 +200,9 @@ impl<'m> Judge<'m> {
     }
 
     /// Evaluate the full suite for a set of tool runs, producing the paper's
-    /// normalised scores (Table IV). Traces are judged in parallel.
+    /// normalised scores (Table IV). Traces are judged in parallel; per-trace
+    /// rows are collected in suite order and aggregated sequentially, so
+    /// scores (f64 sums included) are identical at any thread count.
     pub fn evaluate(&self, suite: &TraceBench, runs: &[ToolRun]) -> Evaluation {
         for run in runs {
             assert_eq!(

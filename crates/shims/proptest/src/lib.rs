@@ -215,6 +215,34 @@ macro_rules! proptest {
     };
 }
 
+/// Collection strategies mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    /// Strategy producing `Vec`s of `elem` values with a length drawn
+    /// uniformly from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `elem` with `size` lengths.
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec-length range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + gen.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(gen)).collect()
+        }
+    }
+}
+
 /// Prelude mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Gen, Strategy};
@@ -241,6 +269,12 @@ mod tests {
         fn macro_generates_cases(x in 0usize..10, text in "[ab]{1,3}") {
             prop_assert!(x < 10);
             prop_assert!(!text.is_empty() && text.len() <= 3);
+        }
+
+        #[test]
+        fn collection_vec_respects_bounds(xs in crate::collection::vec(0u64..100, 0..17)) {
+            prop_assert!(xs.len() < 17);
+            prop_assert!(xs.iter().all(|&x| x < 100));
         }
     }
 }

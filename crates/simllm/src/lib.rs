@@ -111,6 +111,7 @@ pub struct Usage {
 pub struct SimLlm {
     profile: &'static ModelProfile,
     usage: Mutex<Usage>,
+    latency: std::time::Duration,
 }
 
 impl SimLlm {
@@ -119,12 +120,32 @@ impl SimLlm {
         SimLlm {
             profile: profile_or_panic(model),
             usage: Mutex::new(Usage::default()),
+            latency: std::time::Duration::ZERO,
         }
     }
 
-    /// Snapshot of cumulative usage.
+    /// Charge a simulated remote round-trip per completion. A deployed
+    /// agent fronts network-hosted models whose latency — not local
+    /// compute — dominates, so benchmarks use this to reproduce the
+    /// latency-bound regime on any machine (the per-call analogue of
+    /// `ioagentd`'s per-job `simulated_rpc_latency`). Output text and
+    /// usage accounting are unaffected.
+    pub fn with_latency(mut self, latency: std::time::Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Snapshot of cumulative usage. Cost is derived here from the integer
+    /// token totals (cost is linear in tokens, so the sum of per-call costs
+    /// equals the cost of the summed tokens) rather than accumulated per
+    /// call: f64 addition is order-sensitive, and with parallel completions
+    /// an accumulated total would vary in its low bits from run to run —
+    /// this way usage snapshots are bit-identical at any thread count.
     pub fn usage(&self) -> Usage {
-        *self.usage.lock()
+        let mut usage = *self.usage.lock();
+        usage.cost_usd =
+            (usage.input_tokens + usage.output_tokens) as f64 / 1.0e6 * self.profile.cost_per_mtok;
+        usage
     }
 }
 
@@ -138,6 +159,9 @@ impl LanguageModel for SimLlm {
     }
 
     fn complete(&self, request: &CompletionRequest) -> Completion {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
         let full = format!("{}\n{}", request.system, request.user);
         let mut rng = rng::rng_for(self.profile.name, &full, request.salt);
         let attended = context::attend(self.profile, &full, &mut rng);
@@ -159,11 +183,12 @@ impl LanguageModel for SimLlm {
         let cost_usd =
             (attended.input_tokens + output_tokens) as f64 / 1.0e6 * self.profile.cost_per_mtok;
         {
+            // Integer sums only; the snapshot in [`SimLlm::usage`] derives
+            // the (order-invariant) cost from these totals.
             let mut u = self.usage.lock();
             u.calls += 1;
             u.input_tokens += attended.input_tokens;
             u.output_tokens += output_tokens;
-            u.cost_usd += cost_usd;
         }
         Completion {
             text,
@@ -219,6 +244,21 @@ mod tests {
         assert_eq!(u.calls, 2);
         assert!(u.input_tokens > 0);
         assert!(u.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn latency_knob_changes_neither_output_nor_accounting() {
+        let req = CompletionRequest::new(
+            "s",
+            "### TASK: filter\n## FRAGMENT\na b c\n## SOURCE\na b c",
+        );
+        let plain = SimLlm::new("gpt-4o-mini");
+        let slow = SimLlm::new("gpt-4o-mini").with_latency(std::time::Duration::from_millis(1));
+        let a = plain.complete(&req);
+        let b = slow.complete(&req);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.input_tokens, b.input_tokens);
+        assert_eq!(plain.usage(), slow.usage());
     }
 
     #[test]

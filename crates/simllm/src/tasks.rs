@@ -520,7 +520,9 @@ pub fn rank(profile: &ModelProfile, lines: &[String], rng: &mut ChaCha8Rng) -> S
         score += noise(rng, noise_amp);
         scored.push((tag.clone(), score));
     }
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    // NaN-safe ordering: a scoring bug must degrade the ranking, not panic
+    // a judge permutation mid-evaluation (same class as the vecindex sort).
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let ranking: Vec<&str> = scored.iter().map(|(t, _)| t.as_str()).collect();
     format!(
         "RANKING: {}\nExplanation: candidates were compared on {criterion}; the top-ranked \

@@ -103,8 +103,10 @@ impl VectorIndex {
         &self.entries[idx]
     }
 
-    /// Top-k entries by cosine similarity to `query`. Scanning is parallel;
-    /// the result is deterministic (ties broken by entry index).
+    /// Top-k entries by cosine similarity to `query`. Scanning is parallel
+    /// across index chunks; the ordered `collect` plus the total-order sort
+    /// below make the result identical at any thread count (ties broken by
+    /// entry index), pinned by `tests/parallel_equivalence.rs`.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
         let qv = self.embedder.embed(query);
         let mut scored: Vec<SearchHit> = self
