@@ -1,0 +1,154 @@
+//! Persistence benchmarks: what the `iostore` state layer buys a daemon
+//! generation.
+//!
+//! Two arms:
+//!
+//! - **index**: cold start (chunk + embed the 66-document corpus from
+//!   scratch) versus loading the versioned snapshot from disk. The loaded
+//!   index is bit-identical, so this is pure start-up latency.
+//! - **restart**: a fresh service answering a previously-seen 16-job batch
+//!   from the on-disk journal (simulating a daemon restart with a warm
+//!   `--state-dir`) versus a fresh service re-diagnosing the same batch
+//!   from nothing. Both run over one shared pre-built index so the arm
+//!   isolates result persistence from index persistence.
+//!
+//! A summary with speedups is printed after the samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ioagentd::{DiagnosisService, JobRequest, Retriever, ServiceConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tracebench::TraceBench;
+
+const N_JOBS: usize = 16;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("bench-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn workload(suite: &TraceBench) -> Vec<JobRequest> {
+    suite
+        .entries
+        .iter()
+        .take(N_JOBS)
+        .map(|e| JobRequest::new(e.spec.id, e.trace.clone(), "gpt-4o-mini"))
+        .collect()
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let suite = TraceBench::generate();
+    let jobs = workload(&suite);
+    let corpus_hash = knowledge::corpus_hash();
+    let spec = Retriever::index_spec();
+
+    // ---- Arm 1: cold index build vs snapshot load ------------------------
+    let tmp = TempDir::new("index");
+    let snapshot_path = tmp.0.join(iostore::INDEX_FILE);
+    let built = Retriever::build();
+    iostore::save_index(&snapshot_path, built.index(), corpus_hash).unwrap();
+
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(10);
+    group.bench_function("index_cold_build", |b| {
+        b.iter(|| black_box(Retriever::build().len()));
+    });
+    group.bench_function("index_snapshot_load", |b| {
+        b.iter(|| black_box(iostore::load_index(&snapshot_path, &spec).unwrap().len()));
+    });
+
+    // ---- Arm 2: cold batch vs journal-warm restart -----------------------
+    // Warm a state dir once, then repeatedly "restart": a brand-new
+    // service over the warm journal, answering the batch from disk.
+    let state = TempDir::new("restart");
+    let index = Arc::new(built);
+    {
+        let warmup = DiagnosisService::with_shared_index(
+            ServiceConfig::with_workers(2).state_dir(&state.0),
+            Arc::clone(&index),
+        );
+        warmup.run_batch(jobs.clone()).unwrap();
+        warmup.shutdown();
+    }
+    group.bench_function("restart_cold_batch16", |b| {
+        b.iter(|| {
+            let service = DiagnosisService::with_shared_index(
+                ServiceConfig::with_workers(2),
+                Arc::clone(&index),
+            );
+            let out = black_box(service.run_batch(jobs.clone()).unwrap());
+            service.shutdown();
+            out.len()
+        });
+    });
+    group.bench_function("restart_warm_batch16", |b| {
+        b.iter(|| {
+            let service = DiagnosisService::with_shared_index(
+                ServiceConfig::with_workers(2).state_dir(&state.0),
+                Arc::clone(&index),
+            );
+            let out = black_box(service.run_batch(jobs.clone()).unwrap());
+            assert!(
+                out.iter().all(|r| r.cached),
+                "warm restart must hit the journal"
+            );
+            service.shutdown();
+            out.len()
+        });
+    });
+    group.finish();
+
+    // ---- Summary ---------------------------------------------------------
+    let timed = |f: &mut dyn FnMut() -> usize| {
+        let start = Instant::now();
+        black_box(f());
+        start.elapsed()
+    };
+    let cold_index = timed(&mut || Retriever::build().len());
+    let warm_index = timed(&mut || iostore::load_index(&snapshot_path, &spec).unwrap().len());
+    let cold_batch = timed(&mut || {
+        let s =
+            DiagnosisService::with_shared_index(ServiceConfig::with_workers(2), Arc::clone(&index));
+        let n = s.run_batch(jobs.clone()).unwrap().len();
+        s.shutdown();
+        n
+    });
+    let warm_batch = timed(&mut || {
+        let s = DiagnosisService::with_shared_index(
+            ServiceConfig::with_workers(2).state_dir(&state.0),
+            Arc::clone(&index),
+        );
+        let n = s.run_batch(jobs.clone()).unwrap().len();
+        s.shutdown();
+        n
+    });
+    let ratio = |cold: Duration, warm: Duration| cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    println!("\npersistence summary:");
+    println!("  index  cold build     {cold_index:>12.3?}");
+    println!(
+        "  index  snapshot load  {warm_index:>12.3?}  ({:.1}x faster)",
+        ratio(cold_index, warm_index)
+    );
+    println!("  batch16 cold          {cold_batch:>12.3?}");
+    println!(
+        "  batch16 warm restart  {warm_batch:>12.3?}  ({:.1}x faster)",
+        ratio(cold_batch, warm_batch)
+    );
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

@@ -13,6 +13,8 @@
 //!   --json            emit the diagnosis as JSON instead of text
 //!   --flat-merge      use the 1-step merge ablation instead of the tree
 //!   --no-rag          disable domain-knowledge retrieval
+//!   --state-dir DIR   reuse/write the knowledge-index snapshot in DIR
+//!                     (the same snapshot `ioagentd --state-dir` maintains)
 //!   --list-models     print available model profiles and exit
 //!   -h, --help        print this help
 //! ```
@@ -39,6 +41,7 @@ fn usage() -> ! {
            --json            emit the diagnosis as JSON\n\
            --flat-merge      use the 1-step merge ablation\n\
            --no-rag          disable domain-knowledge retrieval\n\
+           --state-dir DIR   reuse/write the knowledge-index snapshot in DIR\n\
            --list-models     print available model profiles and exit\n\
            -h, --help        print this help"
     );
@@ -51,6 +54,7 @@ fn main() {
     let mut json = false;
     let mut config = AgentConfig::default();
     let mut trace_path: Option<String> = None;
+    let mut state_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +64,7 @@ fn main() {
             "--json" => json = true,
             "--flat-merge" => config.merge = MergeStrategy::Flat,
             "--no-rag" => config.use_rag = false,
+            "--state-dir" => state_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--list-models" => {
                 println!(
                     "{:<16} {:>8} {:>12} {:>12}",
@@ -108,7 +113,28 @@ fn main() {
         std::process::exit(2);
     }
     let model = SimLlm::new(&model_name);
-    let agent = IoAgent::with_config(&model, config);
+    // With --state-dir, the knowledge index is loaded from (or saved to)
+    // the same snapshot `ioagentd` maintains, skipping the per-invocation
+    // re-embedding of the corpus. Diagnoses are byte-identical either way.
+    let agent = match &state_dir {
+        Some(dir) => {
+            let state = iostore::StateDir::new(dir).unwrap_or_else(|e| {
+                eprintln!("cannot open state dir {dir:?}: {e}");
+                std::process::exit(1);
+            });
+            let (retriever, provenance) = ioagent_core::Retriever::build_or_load(&state);
+            match provenance {
+                ioagent_core::IndexProvenance::Snapshot => {
+                    eprintln!("[ioagent] knowledge index loaded from snapshot")
+                }
+                ioagent_core::IndexProvenance::Rebuilt(reason) => {
+                    eprintln!("[ioagent] knowledge index rebuilt ({reason})")
+                }
+            }
+            IoAgent::with_shared_retriever(&model, config, std::sync::Arc::new(retriever))
+        }
+        None => IoAgent::with_config(&model, config),
+    };
 
     if questions.is_empty() {
         let diagnosis = agent.diagnose(&trace);

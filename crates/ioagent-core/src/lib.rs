@@ -28,4 +28,5 @@ pub mod transform;
 
 pub use agent::{AgentConfig, IoAgent};
 pub use merge::{MergeStrategy, SummaryBlock};
+pub use rag::{IndexProvenance, Retriever};
 pub use session::AgentSession;

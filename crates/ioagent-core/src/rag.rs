@@ -34,6 +34,16 @@ impl GroundedSource {
     }
 }
 
+/// Where a retriever's index came from (see [`Retriever::build_or_load`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexProvenance {
+    /// Served from an on-disk snapshot — no re-embedding happened.
+    Snapshot,
+    /// Built fresh from the corpus; the string says why the snapshot was
+    /// not usable (missing, stale corpus, config mismatch, corruption, …).
+    Rebuilt(String),
+}
+
 /// The knowledge retriever.
 pub struct Retriever {
     index: VectorIndex,
@@ -50,6 +60,56 @@ impl Retriever {
             index.add_document(doc.id, &doc.citation(), &text);
         }
         Retriever { index, top_k: 15 }
+    }
+
+    /// Wrap an already-built index (e.g. loaded from an `iostore`
+    /// snapshot) with the paper's retrieval configuration.
+    pub fn from_index(index: VectorIndex) -> Self {
+        Retriever { index, top_k: 15 }
+    }
+
+    /// The underlying vector index (read-only; used for snapshotting).
+    pub fn index(&self) -> &VectorIndex {
+        &self.index
+    }
+
+    /// What an index snapshot must match to stand in for [`Retriever::build`]:
+    /// the default embedder/chunking configuration plus the content hash of
+    /// the live corpus.
+    pub fn index_spec() -> iostore::IndexSpec {
+        iostore::IndexSpec {
+            embedder_dim: Embedder::default().dim,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            overlap: DEFAULT_OVERLAP,
+            corpus_hash: knowledge::corpus_hash(),
+        }
+    }
+
+    /// Load the index from `state`'s snapshot when it matches the live
+    /// corpus and embedder configuration; otherwise build it fresh and
+    /// (re)write the snapshot so the *next* start is instant. The returned
+    /// [`IndexProvenance`] says which path was taken and why.
+    ///
+    /// A snapshot-loaded retriever is bit-identical to a built one — same
+    /// entries, same vectors — so retrievals and downstream diagnoses do
+    /// not depend on which path ran. A failure to *write* the snapshot is
+    /// reported in the provenance but never fails the build.
+    pub fn build_or_load(state: &iostore::StateDir) -> (Self, IndexProvenance) {
+        let spec = Self::index_spec();
+        let path = state.index_path();
+        match iostore::load_index(&path, &spec) {
+            Ok(index) => (Retriever::from_index(index), IndexProvenance::Snapshot),
+            Err(err) => {
+                let retriever = Retriever::build();
+                let mut reason = err.to_string();
+                if let Err(save_err) =
+                    iostore::save_index(&path, retriever.index(), spec.corpus_hash)
+                {
+                    reason = format!("{reason}; snapshot save failed: {save_err}");
+                }
+                (retriever, IndexProvenance::Rebuilt(reason))
+            }
+        }
     }
 
     /// Number of indexed chunks.
@@ -177,6 +237,69 @@ mod tests {
             s.reference_lines(),
             "REFERENCE claim=stripe_width_parallelism cite=[T, V 2021]\n"
         );
+    }
+
+    struct TempState(std::path::PathBuf);
+
+    impl TempState {
+        fn new(tag: &str) -> (Self, iostore::StateDir) {
+            let dir = std::env::temp_dir().join(format!("rag-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let state = iostore::StateDir::new(&dir).unwrap();
+            (TempState(dir), state)
+        }
+    }
+
+    impl Drop for TempState {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn build_or_load_round_trips_through_the_snapshot() {
+        let (_guard, state) = TempState::new("round-trip");
+        // First call: no snapshot yet — builds fresh and writes one.
+        let (first, provenance) = Retriever::build_or_load(&state);
+        assert!(
+            matches!(provenance, IndexProvenance::Rebuilt(_)),
+            "{provenance:?}"
+        );
+        assert!(state.index_path().is_file(), "rebuild must save a snapshot");
+        // Second call: served from the snapshot, bit-identical entries.
+        let (second, provenance) = Retriever::build_or_load(&state);
+        assert_eq!(provenance, IndexProvenance::Snapshot);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.index().entries().iter().zip(second.index().entries()) {
+            assert_eq!(a.text, b.text);
+            let bits_a: Vec<u32> = a.vector.iter().map(|f| f.to_bits()).collect();
+            let bits_b: Vec<u32> = b.vector.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+        }
+    }
+
+    #[test]
+    fn stale_snapshot_triggers_rebuild_and_resave() {
+        let (_guard, state) = TempState::new("stale");
+        let built = Retriever::build();
+        // A snapshot recorded against a *different* corpus hash must not be
+        // served — this is what a corpus edit between releases looks like.
+        iostore::save_index(
+            &state.index_path(),
+            built.index(),
+            knowledge::corpus_hash() ^ 0xdead,
+        )
+        .unwrap();
+        let (_retriever, provenance) = Retriever::build_or_load(&state);
+        match provenance {
+            IndexProvenance::Rebuilt(reason) => {
+                assert!(reason.contains("corpus"), "reason: {reason}")
+            }
+            other => panic!("expected rebuild, got {other:?}"),
+        }
+        // The rebuild healed the snapshot in place.
+        let (_retriever, provenance) = Retriever::build_or_load(&state);
+        assert_eq!(provenance, IndexProvenance::Snapshot);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!                      total thread budget = workers x intra-threads)
 //!   --queue N          job queue bound (default: 2 x workers)
 //!   --cache N          result cache entries, 0 disables (default: 256)
+//!   --state-dir DIR    persist results + the knowledge-index snapshot in
+//!                      DIR and serve them across restarts (default: off)
 //!   --listen ADDR      serve the line protocol over TCP instead of stdio
 //!   -h, --help         print this help
 //! ```
@@ -20,6 +22,14 @@
 //! TCP connections, each speaking the same protocol. Either way, all
 //! connections share one knowledge index, one worker pool, and one result
 //! cache; the bounded queue applies backpressure by pausing reads.
+//!
+//! Input hardening: request lines are capped at
+//! [`protocol::MAX_REQUEST_LINE_BYTES`]; an oversized or malformed line is
+//! answered with a structured `{"id": …, "error": …}` line (echoing the
+//! request's own `id` whenever the JSON parsed far enough to reveal one)
+//! and the stream keeps serving. A `{"stats": true}` line returns the
+//! service's aggregate counters — including cache hit/miss and, with
+//! `--state-dir`, journal size and persisted-entry counts — in-band.
 
 use ioagentd::{protocol, DiagnosisService, ServiceConfig};
 use std::io::{BufRead, BufReader, Write};
@@ -36,6 +46,7 @@ fn usage() -> ! {
                               (default: 1; budget = workers x intra-threads)\n\
            --queue N          job queue bound (default: 2 x workers)\n\
            --cache N          result cache entries, 0 disables (default: 256)\n\
+           --state-dir DIR    persist results + index snapshot in DIR\n\
            --listen ADDR      serve over TCP (host:port) instead of stdio\n\
            -h, --help         print this help\n\n\
          PROTOCOL (one JSON document per line):\n\
@@ -75,6 +86,7 @@ fn main() {
                 explicit_queue = true;
             }
             "--cache" => config.cache_capacity = parse_count(&mut args, "--cache"),
+            "--state-dir" => config.state_dir = Some(args.next().unwrap_or_else(|| usage()).into()),
             "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),
             other => {
@@ -98,7 +110,22 @@ fn main() {
         config.cache_capacity
     );
     let service = Arc::new(DiagnosisService::start(config));
-    eprintln!("[ioagentd] knowledge index ready");
+    match service.index_provenance() {
+        Some(ioagentd::IndexProvenance::Snapshot) => {
+            eprintln!("[ioagentd] knowledge index loaded from snapshot")
+        }
+        Some(ioagentd::IndexProvenance::Rebuilt(reason)) => {
+            eprintln!("[ioagentd] knowledge index rebuilt ({reason})")
+        }
+        None => eprintln!("[ioagentd] knowledge index ready"),
+    }
+    if service.persistence_active() {
+        let stats = service.stats();
+        eprintln!(
+            "[ioagentd] persistence on: {} journalled results ({} bytes)",
+            stats.persisted_entries, stats.journal_bytes
+        );
+    }
 
     match listen {
         None => {
@@ -149,13 +176,17 @@ fn main() {
 /// bounded queue for backpressure), while a writer thread emits responses
 /// in request order as they complete.
 fn serve_stream<R: BufRead, W: Write + Send + 'static>(
-    service: &DiagnosisService,
-    reader: R,
+    service: &Arc<DiagnosisService>,
+    mut reader: R,
     mut writer: W,
 ) {
     enum Outcome {
         Ticket(ioagentd::JobTicket),
-        Error(String),
+        Line(String),
+        // Rendered by the printer thread, *after* every earlier ticket in
+        // the stream has resolved, so a serial client sees counters that
+        // include all of its own preceding jobs.
+        Stats { id: String },
     }
 
     // Bounded: if the peer stops reading responses, the printer thread
@@ -163,12 +194,18 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
     // reader — backpressure holds even for cache hits, which bypass the
     // service's own bounded queue.
     let (tx, rx) = mpsc::sync_channel::<Outcome>(64);
+    let printer_service = Arc::clone(service);
     let printer = std::thread::spawn(move || {
         let mut served = 0u64;
         for outcome in rx {
             let line = match outcome {
                 Outcome::Ticket(ticket) => protocol::render_result(&ticket.wait()),
-                Outcome::Error(line) => line,
+                Outcome::Line(line) => line,
+                Outcome::Stats { id } => protocol::render_stats(
+                    &id,
+                    &printer_service.stats(),
+                    printer_service.persistence_active(),
+                ),
             };
             if writeln!(writer, "{line}").is_err() {
                 break; // peer went away; drain remaining tickets silently
@@ -179,21 +216,44 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
         served
     });
 
-    for (line_no, line) in reader.lines().enumerate() {
-        let Ok(line) = line else { break };
+    let mut line_no = 0u64;
+    loop {
+        line_no += 1;
+        let default_id = format!("line-{line_no}");
+        let line = match protocol::read_bounded_line(&mut reader, protocol::MAX_REQUEST_LINE_BYTES)
+        {
+            Ok(protocol::InputLine::Line(line)) => line,
+            Ok(protocol::InputLine::Oversized { bytes }) => {
+                // The oversized line was drained, so the stream is intact;
+                // answer it with a structured error and keep serving.
+                let message = format!(
+                    "request line of {bytes} bytes exceeds the {} byte limit",
+                    protocol::MAX_REQUEST_LINE_BYTES
+                );
+                if tx
+                    .send(Outcome::Line(protocol::render_error(&default_id, &message)))
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            Ok(protocol::InputLine::Eof) | Err(_) => break,
+        };
         if line.trim().is_empty() {
+            line_no -= 1;
             continue;
         }
-        let default_id = format!("line-{}", line_no + 1);
-        let outcome = match protocol::parse_request(&line, &default_id) {
-            Ok(request) => {
+        let outcome = match protocol::parse_line(&line, &default_id) {
+            Ok(protocol::Request::Stats { id }) => Outcome::Stats { id },
+            Ok(protocol::Request::Job(request)) => {
                 let id = request.id.clone();
-                match service.submit(request) {
+                match service.submit(*request) {
                     Ok(ticket) => Outcome::Ticket(ticket),
-                    Err(e) => Outcome::Error(protocol::render_error(&id, &e.to_string())),
+                    Err(e) => Outcome::Line(protocol::render_error(&id, &e.to_string())),
                 }
             }
-            Err(e) => Outcome::Error(protocol::render_error(&e.id, &e.message)),
+            Err(e) => Outcome::Line(protocol::render_error(&e.id, &e.message)),
         };
         if tx.send(outcome).is_err() {
             break;

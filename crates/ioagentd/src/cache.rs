@@ -134,4 +134,67 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&"a"), Some(2));
     }
+
+    #[test]
+    fn zero_capacity_still_accounts_misses() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_newest_entry() {
+        let mut c = LruCache::new(1);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), Some(1));
+        c.insert("b", 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a"), None, "a must have been evicted");
+        assert_eq!(c.get(&"b"), Some(2));
+        // Re-inserting the resident key must not evict it.
+        c.insert("b", 3);
+        assert_eq!(c.get(&"b"), Some(3));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Re-inserting `a` (no intervening get) must refresh its recency,
+        // making `b` the eviction victim.
+        c.insert("a", 10);
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(10));
+        assert_eq!(c.get(&"c"), Some(3));
+    }
+
+    #[test]
+    fn eviction_order_tracks_interleaved_hits() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        // Recency after this sequence (stalest first): c, a, b.
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"b"), Some(2));
+        c.insert("d", 4); // evicts c
+        assert_eq!(c.get(&"c"), None);
+        // Now stalest first: a, b, d.
+        assert_eq!(c.get(&"a"), Some(1));
+        c.insert("e", 5); // evicts b
+        assert_eq!(c.get(&"b"), None);
+        let survivors: Vec<_> = [("a", 1), ("d", 4), ("e", 5)]
+            .into_iter()
+            .map(|(k, v)| (c.get(&k), v))
+            .collect();
+        for (got, want) in survivors {
+            assert_eq!(got, Some(want));
+        }
+        assert_eq!(c.len(), 3);
+    }
 }

@@ -15,9 +15,16 @@
 //!   strictly per job.
 //! - **LRU result cache** ([`cache::LruCache`]): repeated submissions of
 //!   the same (trace, model, config) are answered with zero LLM calls.
+//! - **Persistence** (`iostore` via [`ServiceConfig::state_dir`]): the
+//!   LRU reads through to a disk-backed result journal and the knowledge
+//!   index loads from a versioned snapshot, so restarts answer
+//!   previously-seen jobs with zero LLM calls too. Off by default;
+//!   byte-identical results either way.
 //! - **NDJSON front end** ([`protocol`] + the `ioagentd` binary): newline
 //!   delimited JSON requests on stdin or TCP, responses in order on the
-//!   same transport.
+//!   same transport. Request lines are size-capped and malformed lines
+//!   are answered with structured errors instead of poisoning the
+//!   stream; `{"stats": true}` probes the service counters in-band.
 
 pub mod cache;
 pub mod protocol;
@@ -27,8 +34,8 @@ pub mod service;
 pub use cache::LruCache;
 pub use queue::BoundedQueue;
 pub use service::{
-    DiagnosisService, JobMetrics, JobRequest, JobResult, JobTicket, Retriever, ServiceConfig,
-    ServiceStats, SubmitError,
+    DiagnosisService, IndexProvenance, JobMetrics, JobRequest, JobResult, JobTicket, Retriever,
+    ServiceConfig, ServiceStats, SubmitError,
 };
 
 #[cfg(test)]

@@ -19,9 +19,18 @@
 //!  "queue_wait_ms": 0.1, "exec_ms": 42.0, "worker": 3}
 //! ```
 
-use crate::service::{JobRequest, JobResult};
+use crate::service::{JobRequest, JobResult, ServiceStats};
 use ioagent_core::{AgentConfig, MergeStrategy};
 use serde_json::{json, Value};
+use std::io::{self, BufRead};
+
+/// Hard cap on one request line. A single darshan-parser text trace is
+/// typically tens of kilobytes; 4 MiB leaves two orders of magnitude of
+/// headroom while bounding per-connection memory, so one hostile or
+/// corrupted line cannot balloon the daemon. Oversized lines are consumed
+/// (to resynchronise on the next newline) and answered with a structured
+/// per-line error instead of poisoning the stream.
+pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024 * 1024;
 
 /// A rejected request line: the id to answer under (the request's own
 /// `id` whenever the JSON parsed far enough to reveal one) plus the
@@ -34,19 +43,47 @@ pub struct RequestError {
     pub message: String,
 }
 
-/// Parse one NDJSON request line into a [`JobRequest`].
-pub fn parse_request(line: &str, default_id: &str) -> Result<JobRequest, RequestError> {
+/// One parsed protocol line.
+#[derive(Debug)]
+pub enum Request {
+    /// A diagnosis job (boxed: a parsed trace is large).
+    Job(Box<JobRequest>),
+    /// A stats probe: `{"stats": true}` — answered inline with the
+    /// service's aggregate counters, never enqueued.
+    Stats {
+        /// Identifier to echo in the stats response.
+        id: String,
+    },
+}
+
+/// Parse one NDJSON line into a [`Request`] (job or stats probe).
+pub fn parse_line(line: &str, default_id: &str) -> Result<Request, RequestError> {
+    let value: Value = serde_json::from_str(line).map_err(|e| RequestError {
+        id: default_id.to_string(),
+        message: e.to_string(),
+    })?;
+    let id = resolve_id(&value, default_id);
+    if value.get("stats").and_then(Value::as_bool) == Some(true) {
+        return Ok(Request::Stats { id });
+    }
+    parse_request_value(value, id).map(|job| Request::Job(Box::new(job)))
+}
+
+// Resolved before field validation so later rejections are attributable
+// to the request's own id.
+fn resolve_id(value: &Value, default_id: &str) -> String {
+    value
+        .get("id")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| default_id.to_string())
+}
+
+fn parse_request_value(value: Value, id: String) -> Result<JobRequest, RequestError> {
     let fail = |id: &str, message: String| RequestError {
         id: id.to_string(),
         message,
     };
-    let value: Value = serde_json::from_str(line).map_err(|e| fail(default_id, e.to_string()))?;
-    // Resolve the id first so later rejections are attributable.
-    let id = value
-        .get("id")
-        .and_then(Value::as_str)
-        .map(str::to_string)
-        .unwrap_or_else(|| default_id.to_string());
     let trace_text = value
         .get("trace")
         .and_then(Value::as_str)
@@ -123,11 +160,103 @@ pub fn render_error(id: &str, message: &str) -> String {
     serde_json::to_string(&json!({ "id": id, "error": message })).expect("serialize error")
 }
 
+/// Render the service's aggregate counters as one compact JSON line
+/// (the response to a `{"stats": true}` request).
+pub fn render_stats(id: &str, stats: &ServiceStats, persistence: bool) -> String {
+    let response = json!({
+        "id": id,
+        "stats": json!({
+            "jobs_completed": stats.jobs_completed,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "llm_calls": stats.llm_calls,
+            "input_tokens": stats.input_tokens,
+            "output_tokens": stats.output_tokens,
+            "cost_usd": stats.cost_usd,
+            "persistence": persistence,
+            "persisted_entries": stats.persisted_entries,
+            "journal_bytes": stats.journal_bytes,
+        }),
+    });
+    serde_json::to_string(&response).expect("serialize stats")
+}
+
+/// One read from a bounded request stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum InputLine {
+    /// A complete line within the size limit (newline stripped).
+    Line(String),
+    /// A line longer than the limit. The excess has been consumed up to
+    /// (and including) the next newline, so the stream is resynchronised;
+    /// `bytes` is the total length of the discarded line.
+    Oversized {
+        /// Length of the oversized line in bytes.
+        bytes: usize,
+    },
+    /// End of stream.
+    Eof,
+}
+
+/// Read one `\n`-terminated line, holding at most `max` bytes in memory.
+/// Unlike `BufRead::lines`, a gigantic line neither allocates unboundedly
+/// nor kills the connection: it is drained and reported as
+/// [`InputLine::Oversized`] so the caller can answer with a structured
+/// error and keep serving subsequent lines.
+pub fn read_bounded_line(reader: &mut impl BufRead, max: usize) -> io::Result<InputLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let mut discarded = 0usize;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            // EOF. A final unterminated line still counts as a line.
+            return Ok(if discarding {
+                InputLine::Oversized {
+                    bytes: discarded + buf.len(),
+                }
+            } else if buf.is_empty() {
+                InputLine::Eof
+            } else {
+                InputLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        if discarding {
+            discarded += newline.map_or(take, |i| i);
+        } else {
+            let content = newline.map_or(take, |i| i);
+            buf.extend_from_slice(&available[..content]);
+            if buf.len() > max {
+                discarding = true;
+                discarded = buf.len();
+                buf.clear();
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(if discarding {
+                InputLine::Oversized { bytes: discarded }
+            } else {
+                InputLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use simllm::Diagnosis;
     use std::time::Duration;
+
+    /// Parse a line that must be a job request.
+    fn parse_job(line: &str, default_id: &str) -> Result<JobRequest, RequestError> {
+        match parse_line(line, default_id)? {
+            Request::Job(job) => Ok(*job),
+            other => panic!("expected a job request, got {other:?}"),
+        }
+    }
 
     fn trace_json_line() -> String {
         let suite = tracebench::TraceBench::generate();
@@ -146,7 +275,7 @@ mod tests {
     #[test]
     fn request_round_trip() {
         let line = trace_json_line();
-        let req = parse_request(&line, "fallback").unwrap();
+        let req = parse_job(&line, "fallback").unwrap();
         assert_eq!(req.id, "t1");
         assert_eq!(req.model, "gpt-4o-mini");
         assert_eq!(req.config.top_k, 5);
@@ -157,7 +286,7 @@ mod tests {
 
     #[test]
     fn missing_trace_is_an_error() {
-        let err = parse_request(r#"{"id": "x"}"#, "d").unwrap_err();
+        let err = parse_job(r#"{"id": "x"}"#, "d").unwrap_err();
         assert_eq!(err.id, "x", "error must carry the request's own id");
         assert!(err.message.contains("trace"), "{}", err.message);
     }
@@ -165,7 +294,7 @@ mod tests {
     #[test]
     fn bad_merge_is_an_error() {
         let line = r#"{"trace": "", "merge": "diagonal"}"#;
-        let err = parse_request(line, "d").unwrap_err();
+        let err = parse_job(line, "d").unwrap_err();
         assert_eq!(err.id, "d", "no id in the request, so the fallback applies");
         assert!(err.message.contains("diagonal"), "{}", err.message);
     }
@@ -175,10 +304,82 @@ mod tests {
         let suite = tracebench::TraceBench::generate();
         let text = darshan::write::write_text(&suite.entries[0].trace);
         let line = serde_json::to_string(&json!({ "trace": text })).unwrap();
-        let req = parse_request(&line, "line-7").unwrap();
+        let req = parse_job(&line, "line-7").unwrap();
         assert_eq!(req.id, "line-7");
         assert_eq!(req.model, "gpt-4o");
         assert_eq!(req.config.top_k, AgentConfig::default().top_k);
+    }
+
+    #[test]
+    fn stats_request_parses_and_renders() {
+        match parse_line(r#"{"id": "probe-1", "stats": true}"#, "d").unwrap() {
+            Request::Stats { id } => assert_eq!(id, "probe-1"),
+            other => panic!("expected stats request, got {other:?}"),
+        }
+        // A job line still parses as a job through the same entry point.
+        match parse_line(&trace_json_line(), "d").unwrap() {
+            Request::Job(job) => assert_eq!(job.id, "t1"),
+            other => panic!("expected job, got {other:?}"),
+        }
+        let stats = ServiceStats {
+            jobs_completed: 7,
+            cache_hits: 3,
+            cache_misses: 4,
+            persisted_entries: 5,
+            journal_bytes: 1234,
+            ..Default::default()
+        };
+        let line = render_stats("probe-1", &stats, true);
+        let back: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.get("id").and_then(Value::as_str), Some("probe-1"));
+        let s = back.get("stats").unwrap();
+        assert_eq!(s.get("cache_hits").and_then(Value::as_i64), Some(3));
+        assert_eq!(s.get("cache_misses").and_then(Value::as_i64), Some(4));
+        assert_eq!(s.get("persisted_entries").and_then(Value::as_i64), Some(5));
+        assert_eq!(s.get("journal_bytes").and_then(Value::as_i64), Some(1234));
+        assert_eq!(s.get("persistence").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn bounded_reader_passes_normal_lines() {
+        let mut input = io::Cursor::new(b"one\ntwo\nthree".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut input, 16).unwrap(),
+            InputLine::Line("one".into())
+        );
+        assert_eq!(
+            read_bounded_line(&mut input, 16).unwrap(),
+            InputLine::Line("two".into())
+        );
+        // Unterminated final line still delivered, then EOF.
+        assert_eq!(
+            read_bounded_line(&mut input, 16).unwrap(),
+            InputLine::Line("three".into())
+        );
+        assert_eq!(read_bounded_line(&mut input, 16).unwrap(), InputLine::Eof);
+    }
+
+    #[test]
+    fn bounded_reader_drains_oversized_line_and_resynchronises() {
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"after\n");
+        let mut input = io::Cursor::new(data);
+        assert_eq!(
+            read_bounded_line(&mut input, 10).unwrap(),
+            InputLine::Oversized { bytes: 100 }
+        );
+        // The stream survives: the next line parses normally.
+        assert_eq!(
+            read_bounded_line(&mut input, 10).unwrap(),
+            InputLine::Line("after".into())
+        );
+        // Oversized line at EOF without a trailing newline.
+        let mut input = io::Cursor::new(vec![b'y'; 50]);
+        assert_eq!(
+            read_bounded_line(&mut input, 10).unwrap(),
+            InputLine::Oversized { bytes: 50 }
+        );
     }
 
     #[test]

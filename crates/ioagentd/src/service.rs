@@ -23,13 +23,15 @@ use crate::cache::LruCache;
 use crate::queue::{BoundedQueue, QueueClosed};
 use darshan::DarshanTrace;
 use ioagent_core::{AgentConfig, IoAgent};
+use iostore::{ResultKey, ResultStore, StateDir};
 use simllm::{Diagnosis, SimLlm};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-pub use ioagent_core::rag::Retriever;
+pub use ioagent_core::rag::{IndexProvenance, Retriever};
 
 /// Service sizing knobs.
 ///
@@ -58,6 +60,13 @@ pub struct ServiceConfig {
     /// latency-bound regime on any machine. Never applied to cache hits
     /// and never affects diagnosis content.
     pub simulated_rpc_latency: Duration,
+    /// Persistent state directory (`None` — the default — keeps the
+    /// pre-existing in-memory-only behaviour). When set, completed
+    /// diagnoses are journalled to disk and served across restarts, and
+    /// the knowledge index is snapshot-loaded instead of rebuilt when the
+    /// snapshot matches the live corpus and embedder configuration.
+    /// Results are byte-identical either way.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +80,7 @@ impl Default for ServiceConfig {
             queue_capacity: 2 * workers,
             cache_capacity: 256,
             simulated_rpc_latency: Duration::ZERO,
+            state_dir: None,
         }
     }
 }
@@ -107,6 +117,12 @@ impl ServiceConfig {
     /// Builder-style intra-job pool width override (clamped to ≥ 1).
     pub fn intra_threads(mut self, threads: usize) -> Self {
         self.intra_threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style persistent state directory override.
+    pub fn state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
         self
     }
 
@@ -152,23 +168,17 @@ impl JobRequest {
 
     /// Cache key: canonical trace bytes × model × full config. The trace
     /// hash reuses the simulator's stable FNV-1a (`simllm::rng::stable_hash`)
-    /// rather than keeping a private copy of the same algorithm.
-    fn fingerprint(&self) -> JobKey {
+    /// rather than keeping a private copy of the same algorithm. The key
+    /// type is `iostore`'s [`ResultKey`], so the in-memory LRU and the
+    /// on-disk journal index results identically.
+    fn fingerprint(&self) -> ResultKey {
         let canonical = darshan::write::write_text(&self.trace);
-        JobKey {
+        ResultKey {
             trace_hash: simllm::rng::stable_hash(&canonical),
             model: self.model.clone(),
             config: format!("{:?}", self.config),
         }
     }
-}
-
-/// Cache key for one job.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct JobKey {
-    trace_hash: u64,
-    model: String,
-    config: String,
 }
 
 /// Per-job token/cost accounting (backbone + reflection models combined).
@@ -224,13 +234,17 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Aggregate service counters (monotonic over the service lifetime).
+/// Aggregate service counters (monotonic over the service lifetime,
+/// except the two persistence gauges, which snapshot the journal's state
+/// at [`DiagnosisService::stats`] time and stay 0 with persistence off).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServiceStats {
     /// Jobs completed (including cache hits).
     pub jobs_completed: u64,
-    /// Jobs answered from the result cache.
+    /// Jobs answered from the result cache (in-memory LRU or journal).
     pub cache_hits: u64,
+    /// Jobs that missed every cache layer and ran a fresh diagnosis.
+    pub cache_misses: u64,
     /// Total LLM completions across all jobs.
     pub llm_calls: u64,
     /// Total input tokens across all jobs.
@@ -239,20 +253,26 @@ pub struct ServiceStats {
     pub output_tokens: u64,
     /// Total simulated spend.
     pub cost_usd: f64,
+    /// Distinct results in the on-disk journal (0 with persistence off).
+    pub persisted_entries: u64,
+    /// Journal file size in bytes (0 with persistence off).
+    pub journal_bytes: u64,
 }
 
 struct QueuedJob {
     request: JobRequest,
-    key: JobKey,
+    key: ResultKey,
     enqueued: Instant,
     reply: mpsc::Sender<JobResult>,
 }
 
 struct Shared {
     queue: BoundedQueue<QueuedJob>,
-    cache: Mutex<LruCache<JobKey, Diagnosis>>,
+    cache: Mutex<LruCache<ResultKey, Diagnosis>>,
     stats: Mutex<ServiceStats>,
     retriever: Arc<Retriever>,
+    /// Disk-backed result journal (`None` with persistence off).
+    store: Option<Mutex<ResultStore>>,
     rpc_latency: Duration,
     intra_threads: usize,
 }
@@ -266,11 +286,55 @@ impl Shared {
         stats.jobs_completed += 1;
         if result.cached {
             stats.cache_hits += 1;
+        } else {
+            stats.cache_misses += 1;
         }
         stats.llm_calls += result.metrics.llm_calls as u64;
         stats.input_tokens += result.metrics.input_tokens as u64;
         stats.output_tokens += result.metrics.output_tokens as u64;
         stats.cost_usd += result.metrics.cost_usd;
+    }
+
+    /// LRU lookup with journal read-through: a miss in the in-memory layer
+    /// falls back to the persistent store, promoting any hit into the LRU
+    /// so subsequent lookups stay memory-speed.
+    fn lookup(&self, key: &ResultKey) -> Option<Diagnosis> {
+        let mut cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(diagnosis) = cache.get(key) {
+            return Some(diagnosis);
+        }
+        let store = self.store.as_ref()?;
+        let persisted = store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .cloned()?;
+        cache.insert(key.clone(), persisted.clone());
+        Some(persisted)
+    }
+
+    /// Record a fresh diagnosis in the LRU and (when persistence is on)
+    /// the journal. Journal write failures are reported, not fatal — the
+    /// daemon keeps serving from memory.
+    fn remember(&self, key: &ResultKey, diagnosis: &Diagnosis) {
+        {
+            let mut cache = self
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.insert(key.clone(), diagnosis.clone());
+        }
+        if let Some(store) = &self.store {
+            let mut store = store
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Err(e) = store.insert(key.clone(), diagnosis.clone()) {
+                eprintln!("[ioagentd] journal append failed: {e}");
+            }
+        }
     }
 }
 
@@ -299,22 +363,74 @@ impl JobTicket {
 pub struct DiagnosisService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    index_provenance: Option<IndexProvenance>,
 }
 
 impl DiagnosisService {
-    /// Start a service, building the knowledge index once.
+    /// Start a service, building the knowledge index once. With
+    /// [`ServiceConfig::state_dir`] set, the index is snapshot-loaded when
+    /// possible and the result journal is replayed, so previously-seen
+    /// jobs are answered across restarts with zero LLM calls. A state
+    /// directory that cannot be opened degrades to in-memory-only
+    /// operation (reported on stderr and via
+    /// [`DiagnosisService::persistence_active`]) rather than refusing to
+    /// start.
     pub fn start(config: ServiceConfig) -> Self {
-        Self::with_shared_index(config, Arc::new(Retriever::build()))
+        let Some(dir) = config.state_dir.clone() else {
+            return Self::with_shared_index(config, Arc::new(Retriever::build()));
+        };
+        match Self::open_state(&dir) {
+            Ok((retriever, provenance, store)) => {
+                let mut service = Self::build(config, Arc::new(retriever), Some(store));
+                service.index_provenance = Some(provenance);
+                service
+            }
+            Err(e) => {
+                eprintln!(
+                    "[ioagentd] state dir {dir:?} unusable ({e}); running without persistence"
+                );
+                Self::with_shared_index(config, Arc::new(Retriever::build()))
+            }
+        }
+    }
+
+    fn open_state(
+        dir: &std::path::Path,
+    ) -> std::io::Result<(Retriever, IndexProvenance, ResultStore)> {
+        let state = StateDir::new(dir)?;
+        // Open the (cheap, fallible) journal before building the index, so
+        // an unusable journal cannot waste a corpus build that the fallback
+        // path would immediately redo.
+        let store = state.open_results()?;
+        let (retriever, provenance) = Retriever::build_or_load(&state);
+        Ok((retriever, provenance, store))
     }
 
     /// Start a service over an existing index (lets several services — or
-    /// benchmarks comparing worker counts — share one build).
+    /// benchmarks comparing worker counts — share one build). Ignores
+    /// [`ServiceConfig::state_dir`]'s index snapshot (the index is given),
+    /// but still opens the result journal when the field is set.
     pub fn with_shared_index(config: ServiceConfig, retriever: Arc<Retriever>) -> Self {
+        let store = config.state_dir.as_ref().and_then(|dir| {
+            StateDir::new(dir)
+                .and_then(|s| s.open_results())
+                .map_err(|e| {
+                    eprintln!(
+                        "[ioagentd] state dir {dir:?} unusable ({e}); running without persistence"
+                    )
+                })
+                .ok()
+        });
+        Self::build(config, retriever, store)
+    }
+
+    fn build(config: ServiceConfig, retriever: Arc<Retriever>, store: Option<ResultStore>) -> Self {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             stats: Mutex::new(ServiceStats::default()),
             retriever,
+            store: store.map(Mutex::new),
             rpc_latency: config.simulated_rpc_latency,
             intra_threads: config.intra_threads.max(1),
         });
@@ -327,7 +443,22 @@ impl DiagnosisService {
                     .expect("spawn worker thread")
             })
             .collect();
-        DiagnosisService { shared, workers }
+        DiagnosisService {
+            shared,
+            workers,
+            index_provenance: None,
+        }
+    }
+
+    /// Whether a disk-backed result journal is attached.
+    pub fn persistence_active(&self) -> bool {
+        self.shared.store.is_some()
+    }
+
+    /// How the knowledge index was obtained (`None` when the index was
+    /// supplied by the caller or persistence is off).
+    pub fn index_provenance(&self) -> Option<&IndexProvenance> {
+        self.index_provenance.as_ref()
     }
 
     /// Both model names a job would instantiate inside a worker. Checked
@@ -356,16 +487,9 @@ impl DiagnosisService {
             receiver,
         };
 
-        // Fast path: answer from the cache without touching the queue.
-        let cached = {
-            let mut cache = self
-                .shared
-                .cache
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            cache.get(&key)
-        };
-        if let Some(diagnosis) = cached {
+        // Fast path: answer from the cache (LRU, then journal
+        // read-through) without touching the queue.
+        if let Some(diagnosis) = self.shared.lookup(&key) {
             let result = JobResult {
                 id: request.id,
                 diagnosis,
@@ -410,13 +534,22 @@ impl DiagnosisService {
         Ok(Self::drain(self.submit_batch(requests)?))
     }
 
-    /// Snapshot of the aggregate counters.
+    /// Snapshot of the aggregate counters, with the persistence gauges
+    /// (journal entry count and file size) read live from the store.
     pub fn stats(&self) -> ServiceStats {
-        *self
+        let mut stats = *self
             .shared
             .stats
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(store) = &self.shared.store {
+            let store = store
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            stats.persisted_entries = store.len() as u64;
+            stats.journal_bytes = store.journal_bytes();
+        }
+        stats
     }
 
     /// Jobs currently waiting in the queue.
@@ -465,14 +598,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         let started = Instant::now();
 
         // A duplicate may have completed while this job sat in the queue.
-        let cached = {
-            let mut cache = shared
-                .cache
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            cache.get(&job.key)
-        };
-        let result = match cached {
+        let result = match shared.lookup(&job.key) {
             Some(diagnosis) => JobResult {
                 id: job.request.id,
                 diagnosis,
@@ -498,13 +624,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
                 let diagnosis = intra_pool.install(|| agent.diagnose(&job.request.trace));
                 let backbone = model.usage();
                 let reflection = agent.reflection_usage();
-                {
-                    let mut cache = shared
-                        .cache
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    cache.insert(job.key, diagnosis.clone());
-                }
+                shared.remember(&job.key, &diagnosis);
                 JobResult {
                     id: job.request.id,
                     diagnosis,

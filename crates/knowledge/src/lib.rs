@@ -49,6 +49,40 @@ pub fn get(id: &str) -> Option<&'static KnowledgeDoc> {
     CORPUS.iter().find(|d| d.id == id)
 }
 
+/// Stable FNV-1a content hash over a set of documents (every field,
+/// separator-delimited). Used by persistence layers to fingerprint what an
+/// on-disk knowledge-index snapshot was built from.
+pub fn hash_docs(docs: &[KnowledgeDoc]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Field separator so ("ab","c") never collides with ("a","bc").
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for d in docs {
+        feed(d.id.as_bytes());
+        feed(d.title.as_bytes());
+        feed(d.venue.as_bytes());
+        feed(&d.year.to_le_bytes());
+        for c in d.claims {
+            feed(c.as_bytes());
+        }
+        feed(d.body.as_bytes());
+    }
+    h
+}
+
+/// Content hash of the built-in corpus. Any edit to any document — body,
+/// citation metadata, or claim set — changes this value, invalidating
+/// index snapshots built from the previous corpus.
+pub fn corpus_hash() -> u64 {
+    hash_docs(CORPUS)
+}
+
 /// All documents asserting a claim.
 pub fn docs_for_claim(claim: &str) -> Vec<&'static KnowledgeDoc> {
     CORPUS
@@ -887,5 +921,20 @@ mod tests {
     #[test]
     fn lookup_miss_returns_none() {
         assert!(get("k99").is_none());
+    }
+
+    #[test]
+    fn corpus_hash_is_stable_and_content_sensitive() {
+        assert_eq!(corpus_hash(), corpus_hash());
+        // Dropping a document, or editing any field of one, moves the hash.
+        let truncated = hash_docs(&CORPUS[..65]);
+        assert_ne!(corpus_hash(), truncated);
+        let mut edited = CORPUS.to_vec();
+        edited[0].year += 1;
+        assert_ne!(corpus_hash(), hash_docs(&edited));
+        let mut edited = CORPUS.to_vec();
+        edited[0].body =
+            "replaced body text for hash sensitivity check xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx";
+        assert_ne!(corpus_hash(), hash_docs(&edited));
     }
 }

@@ -314,11 +314,38 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // Bulk-copy the whole run of plain ASCII bytes up to
+                    // the next quote, escape, or non-ASCII byte. One O(run)
+                    // copy instead of per-character re-validation keeps
+                    // parsing large embedded documents (traces, snapshot
+                    // vectors) linear in the input size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("ASCII run is valid UTF-8"),
+                    );
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    // Non-ASCII: decode one UTF-8 scalar from a 4-byte
+                    // window (the maximum scalar length), so validation
+                    // cost does not scale with the rest of the document.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    };
+                    let c = valid.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

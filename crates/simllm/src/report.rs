@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use tracebench::IssueLabel;
 
 /// A complete diagnosis produced by one tool for one trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Diagnosis {
     /// Producing tool (`drishti`, `ion`, `ioagent-gpt-4o`, ...).
     pub tool: String,

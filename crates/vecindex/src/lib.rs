@@ -71,6 +71,46 @@ impl VectorIndex {
         }
     }
 
+    /// Reassemble an index from previously serialized parts (e.g. an
+    /// `iostore` snapshot). The entries are taken as-is — vectors are NOT
+    /// re-embedded — so the caller is responsible for checking that the
+    /// embedder configuration matches the one the entries were built with
+    /// (the snapshot header carries exactly that fingerprint).
+    pub fn from_parts(
+        embedder: Embedder,
+        chunk_size: usize,
+        overlap: usize,
+        entries: Vec<IndexEntry>,
+    ) -> Self {
+        assert!(chunk_size > overlap, "chunk size must exceed overlap");
+        VectorIndex {
+            embedder,
+            chunk_size,
+            overlap,
+            entries,
+        }
+    }
+
+    /// The embedder this index embeds queries (and documents) with.
+    pub fn embedder(&self) -> &Embedder {
+        &self.embedder
+    }
+
+    /// Chunk size in tokens.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Chunk overlap in tokens.
+    pub fn overlap(&self) -> usize {
+        self.overlap
+    }
+
+    /// All indexed entries, in insertion order.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
     /// Chunk, embed, and add a document.
     pub fn add_document(&mut self, doc_id: &str, citation: &str, text: &str) {
         for (i, chunk) in chunk_text(text, self.chunk_size, self.overlap)
@@ -217,5 +257,21 @@ mod tests {
     #[should_panic(expected = "chunk size must exceed overlap")]
     fn bad_hyperparameters_panic() {
         VectorIndex::new(Embedder::default(), 10, 10);
+    }
+
+    #[test]
+    fn from_parts_reconstructs_an_equivalent_index() {
+        let ix = small_index();
+        let rebuilt = VectorIndex::from_parts(
+            ix.embedder().clone(),
+            ix.chunk_size(),
+            ix.overlap(),
+            ix.entries().to_vec(),
+        );
+        assert_eq!(rebuilt.len(), ix.len());
+        let q = "collective aggregation of small writes";
+        let a: Vec<usize> = ix.search(q, 3).iter().map(|h| h.entry_idx).collect();
+        let b: Vec<usize> = rebuilt.search(q, 3).iter().map(|h| h.entry_idx).collect();
+        assert_eq!(a, b);
     }
 }

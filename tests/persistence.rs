@@ -1,0 +1,199 @@
+//! Acceptance tests for the `iostore` persistence layer (ISSUE 3):
+//!
+//! - restarting the service with the same `--state-dir` answers a
+//!   previously-seen batch with **zero** LLM calls;
+//! - a snapshot-loaded `VectorIndex` produces **byte-identical** diagnoses
+//!   to a freshly built one;
+//! - a corpus or embedder-config change invalidates the snapshot and
+//!   triggers a rebuild instead of silently serving stale retrievals.
+
+use ioagent_core::{AgentConfig, IndexProvenance, IoAgent, Retriever};
+use ioagentd::{DiagnosisService, JobRequest, ServiceConfig};
+use simllm::SimLlm;
+use std::path::PathBuf;
+use std::sync::Arc;
+use tracebench::TraceBench;
+
+/// Unique self-cleaning temp directory (no tempfile crate offline).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("persistence-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn jobs(suite: &TraceBench, n: usize) -> Vec<JobRequest> {
+    suite
+        .entries
+        .iter()
+        .take(n)
+        .map(|e| JobRequest::new(e.spec.id, e.trace.clone(), "gpt-4o-mini"))
+        .collect()
+}
+
+#[test]
+fn restarted_service_answers_previous_batch_with_zero_llm_calls() {
+    let tmp = TempDir::new("restart");
+    let suite = TraceBench::generate();
+
+    // Generation 1: fresh state dir, every job does real work.
+    let first_results = {
+        let service = DiagnosisService::start(ServiceConfig::with_workers(2).state_dir(&tmp.0));
+        assert!(service.persistence_active());
+        let results = service.run_batch(jobs(&suite, 3)).unwrap();
+        assert!(results.iter().all(|r| !r.cached));
+        assert!(results.iter().all(|r| r.metrics.llm_calls > 0));
+        let stats = service.stats();
+        assert_eq!(stats.cache_misses, 3);
+        assert_eq!(stats.persisted_entries, 3);
+        assert!(stats.journal_bytes > 0);
+        service.shutdown();
+        results
+    };
+
+    // Generation 2: a brand-new process-equivalent service over the same
+    // state dir. The knowledge index loads from the snapshot and the
+    // repeat batch is answered entirely from the journal.
+    let service = DiagnosisService::start(ServiceConfig::with_workers(2).state_dir(&tmp.0));
+    assert_eq!(service.index_provenance(), Some(&IndexProvenance::Snapshot));
+    let repeat = service.run_batch(jobs(&suite, 3)).unwrap();
+    let total_calls: usize = repeat.iter().map(|r| r.metrics.llm_calls).sum();
+    assert_eq!(
+        total_calls, 0,
+        "restart must serve the repeat batch for free"
+    );
+    assert!(repeat.iter().all(|r| r.cached));
+    for (a, b) in first_results.iter().zip(&repeat) {
+        assert_eq!(a.diagnosis, b.diagnosis, "persisted diagnosis must match");
+    }
+    let stats = service.stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (3, 0));
+    service.shutdown();
+}
+
+#[test]
+fn snapshot_loaded_index_diagnoses_byte_identically() {
+    let tmp = TempDir::new("snapshot-identical");
+    let suite = TraceBench::generate();
+    let state = iostore::StateDir::new(&tmp.0).unwrap();
+
+    let (fresh, provenance) = Retriever::build_or_load(&state);
+    assert!(matches!(provenance, IndexProvenance::Rebuilt(_)));
+    let (loaded, provenance) = Retriever::build_or_load(&state);
+    assert_eq!(provenance, IndexProvenance::Snapshot);
+
+    let fresh = Arc::new(fresh);
+    let loaded = Arc::new(loaded);
+    for entry in suite.entries.iter().take(3) {
+        let model_a = SimLlm::new("gpt-4o");
+        let agent_a =
+            IoAgent::with_shared_retriever(&model_a, AgentConfig::default(), Arc::clone(&fresh));
+        let model_b = SimLlm::new("gpt-4o");
+        let agent_b =
+            IoAgent::with_shared_retriever(&model_b, AgentConfig::default(), Arc::clone(&loaded));
+        let a = agent_a.diagnose(&entry.trace);
+        let b = agent_b.diagnose(&entry.trace);
+        assert_eq!(
+            a, b,
+            "trace {}: snapshot-loaded index must not change output",
+            entry.spec.id
+        );
+        assert_eq!(
+            model_a.usage().calls,
+            model_b.usage().calls,
+            "identical call pattern expected"
+        );
+    }
+}
+
+#[test]
+fn corpus_change_invalidates_snapshot_and_rebuilds() {
+    let tmp = TempDir::new("corpus-invalidation");
+    let state = iostore::StateDir::new(&tmp.0).unwrap();
+
+    // Write a snapshot that claims a different corpus hash — what a
+    // corpus edit between deployments looks like from the new binary.
+    let built = Retriever::build();
+    iostore::save_index(
+        &state.index_path(),
+        built.index(),
+        knowledge::corpus_hash().wrapping_add(1),
+    )
+    .unwrap();
+
+    let (_retriever, provenance) = Retriever::build_or_load(&state);
+    let IndexProvenance::Rebuilt(reason) = provenance else {
+        panic!("stale snapshot must trigger a rebuild");
+    };
+    assert!(reason.contains("corpus"), "reason: {reason}");
+
+    // The rebuild re-saved a valid snapshot.
+    let (_retriever, provenance) = Retriever::build_or_load(&state);
+    assert_eq!(provenance, IndexProvenance::Snapshot);
+}
+
+#[test]
+fn embedder_config_change_invalidates_snapshot() {
+    let tmp = TempDir::new("embedder-invalidation");
+    let state = iostore::StateDir::new(&tmp.0).unwrap();
+    let built = Retriever::build();
+    iostore::save_index(&state.index_path(), built.index(), knowledge::corpus_hash()).unwrap();
+
+    // The snapshot is valid for the current embedder…
+    let spec = Retriever::index_spec();
+    assert!(iostore::load_index(&state.index_path(), &spec).is_ok());
+
+    // …but a binary compiled with different retrieval hyper-parameters
+    // must reject it rather than serve vectors from another geometry.
+    let mut other = Retriever::index_spec();
+    other.embedder_dim = 512;
+    assert!(matches!(
+        iostore::load_index(&state.index_path(), &other).unwrap_err(),
+        iostore::SnapshotError::ConfigMismatch(_)
+    ));
+    let mut other = Retriever::index_spec();
+    other.chunk_size = 256;
+    assert!(matches!(
+        iostore::load_index(&state.index_path(), &other).unwrap_err(),
+        iostore::SnapshotError::ConfigMismatch(_)
+    ));
+}
+
+#[test]
+fn journal_survives_torn_tail_across_service_generations() {
+    let tmp = TempDir::new("torn-service");
+    let suite = TraceBench::generate();
+
+    let service = DiagnosisService::start(ServiceConfig::with_workers(1).state_dir(&tmp.0));
+    service.run_batch(jobs(&suite, 2)).unwrap();
+    service.shutdown();
+
+    // Tear the journal mid-record, as a crash during append would. Byte
+    // slicing on purpose: a real torn write does not respect UTF-8
+    // character boundaries, and the journal must tolerate that too.
+    let journal = tmp.0.join(iostore::RESULTS_FILE);
+    let raw = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &raw[..raw.len() - 30]).unwrap();
+
+    // The next generation starts, keeps the intact record, and re-runs
+    // only the torn one.
+    let service = DiagnosisService::start(ServiceConfig::with_workers(1).state_dir(&tmp.0));
+    assert!(service.persistence_active());
+    let results = service.run_batch(jobs(&suite, 2)).unwrap();
+    let cached = results.iter().filter(|r| r.cached).count();
+    assert_eq!(
+        cached, 1,
+        "the un-torn record must still be served from disk"
+    );
+    service.shutdown();
+}
