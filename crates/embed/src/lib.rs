@@ -5,14 +5,27 @@
 //! L2-normalised, under which lexically/semantically related HPC-I/O text
 //! lands close in cosine space. Fully deterministic — no model weights, no
 //! network — which keeps the whole RAG pipeline reproducible.
+//!
+//! The hot path ([`Embedder::embed_into`]) performs **zero per-token heap
+//! allocations**: tokens are lowercased into a reused thread-local scratch
+//! buffer, term frequencies are counted by sorting the token spans in
+//! place (no `HashMap`), and the caller supplies (and can reuse) the
+//! output vector. Sorting also fixes a subtle seed-era bug: the original
+//! implementation iterated a `std::collections::HashMap` whose order
+//! varies per *instance*, so on texts long enough for several tokens to
+//! hash into one slot the f32 accumulation order — and therefore the last
+//! ulps of the embedding — changed from call to call. Distinct tokens are
+//! now always folded in lexicographic order, making embeddings bit-stable
+//! across calls, threads, and processes.
 
 pub mod tokenize;
 pub mod vector;
 
-pub use tokenize::tokenize;
-pub use vector::{cosine, l2_normalize, norm};
+pub use tokenize::{token_count, token_slices, tokenize};
+pub use vector::{cosine, cosine_with_norms, dot, l2_normalize, norm};
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Default embedding dimensionality.
 pub const DEFAULT_DIM: usize = 256;
@@ -40,6 +53,20 @@ fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
     h
 }
 
+/// Reused per-thread tokenisation state: the lowercased concatenation of
+/// the input's tokens plus the (start, end) span of each token within it.
+/// Living in a thread-local, the buffers are allocated once per thread and
+/// amortise to zero allocations per embed.
+#[derive(Default)]
+struct EmbedScratch {
+    lower: String,
+    spans: Vec<(u32, u32)>,
+}
+
+thread_local! {
+    static EMBED_SCRATCH: RefCell<EmbedScratch> = RefCell::new(EmbedScratch::default());
+}
+
 impl Embedder {
     /// Create an embedder with a custom dimensionality (≥ 8).
     pub fn new(dim: usize) -> Self {
@@ -53,26 +80,68 @@ impl Embedder {
     /// hashing), as do its character trigrams (at 0.4 weight); counts are
     /// squashed with `ln(1+tf)`.
     pub fn embed(&self, text: &str) -> Vec<f32> {
-        let mut v = vec![0f32; self.dim];
-        let tokens = tokenize(text);
-        // Term frequencies first, so weighting is ln(1+tf), not per-instance.
-        let mut tf: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
-        for t in &tokens {
-            *tf.entry(t.as_str()).or_insert(0) += 1;
-        }
-        for (tok, count) in tf {
-            let w = (1.0 + count as f32).ln();
-            self.bump(&mut v, tok.as_bytes(), 0, w);
-            self.bump(&mut v, tok.as_bytes(), 1, w);
-            let bytes = tok.as_bytes();
-            if bytes.len() >= 3 {
-                for tri in bytes.windows(3) {
-                    self.bump(&mut v, tri, 2, w * 0.4);
-                }
-            }
-        }
-        l2_normalize(&mut v);
+        let mut v = Vec::new();
+        self.embed_into(text, &mut v);
         v
+    }
+
+    /// [`Embedder::embed`] into a caller-owned buffer, the allocation-free
+    /// hot path: `out` is cleared and refilled (its capacity is reused on
+    /// repeat calls), and all intermediate state lives in reused
+    /// thread-local scratch. `vecindex` drives every query embedding in
+    /// `search` / `search_batch` through this.
+    pub fn embed_into(&self, text: &str, out: &mut Vec<f32>) {
+        assert!(
+            text.len() <= u32::MAX as usize,
+            "text too large to embed in one call"
+        );
+        out.clear();
+        out.resize(self.dim, 0.0);
+        EMBED_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.lower.clear();
+            scratch.spans.clear();
+
+            // Tokenise through the shared borrowed iterator (one token
+            // definition for the whole crate), lowercasing each slice
+            // into the scratch string and recording its span. Tokens are
+            // ASCII-only, so per-byte lowercasing is UTF-8 safe.
+            for tok in tokenize::token_slices(text) {
+                let start = scratch.lower.len() as u32;
+                for &b in tok.as_bytes() {
+                    scratch.lower.push(b.to_ascii_lowercase() as char);
+                }
+                scratch.spans.push((start, scratch.lower.len() as u32));
+            }
+
+            // Term frequencies without a map: sort the spans by token
+            // bytes (in place, no allocation) and fold runs of equal
+            // tokens. Lexicographic order makes the f32 accumulation
+            // order — and thus the embedding — bit-stable call to call.
+            let lower = scratch.lower.as_bytes();
+            let tok = |&(s, e): &(u32, u32)| &lower[s as usize..e as usize];
+            scratch.spans.sort_unstable_by(|a, b| tok(a).cmp(tok(b)));
+
+            let spans = &scratch.spans;
+            let mut i = 0;
+            while i < spans.len() {
+                let bytes = tok(&spans[i]);
+                let mut j = i + 1;
+                while j < spans.len() && tok(&spans[j]) == bytes {
+                    j += 1;
+                }
+                let w = (1.0 + (j - i) as f32).ln();
+                self.bump(out, bytes, 0, w);
+                self.bump(out, bytes, 1, w);
+                if bytes.len() >= 3 {
+                    for tri in bytes.windows(3) {
+                        self.bump(out, tri, 2, w * 0.4);
+                    }
+                }
+                i = j;
+            }
+        });
+        l2_normalize(out);
     }
 
     fn bump(&self, v: &mut [f32], bytes: &[u8], seed: u64, weight: f32) {
@@ -101,6 +170,50 @@ mod tests {
         );
     }
 
+    /// The regression the sorted tf-fold fixes: long texts (many slot
+    /// collisions) must embed bit-identically on every call. The HashMap
+    /// iteration of the original implementation failed this on effectively
+    /// every call for 400-token texts.
+    #[test]
+    fn long_text_embedding_is_bit_stable_across_calls() {
+        let e = Embedder::default();
+        let mut text = String::new();
+        for i in 0..400 {
+            text.push_str(&format!("tok{i} stripe{i} write {i} "));
+        }
+        let a = e.embed(&text);
+        for _ in 0..10 {
+            let b = e.embed(&text);
+            let bits_a: Vec<u32> = a.iter().map(|f| f.to_bits()).collect();
+            let bits_b: Vec<u32> = b.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+        }
+    }
+
+    #[test]
+    fn embed_into_matches_embed_and_reuses_the_buffer() {
+        let e = Embedder::default();
+        let texts = [
+            "collective MPI-IO aggregates small requests",
+            "",
+            "stripe count one serialises onto a single OST",
+        ];
+        let mut buf = Vec::new();
+        for t in texts {
+            e.embed_into(t, &mut buf);
+            let fresh = e.embed(t);
+            assert_eq!(buf.len(), e.dim);
+            let bits_a: Vec<u32> = buf.iter().map(|f| f.to_bits()).collect();
+            let bits_b: Vec<u32> = fresh.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "embed_into diverged on {t:?}");
+        }
+        // A dirty, over-sized buffer is fully overwritten.
+        let mut dirty = vec![7.0f32; 1024];
+        e.embed_into("metadata stat storm", &mut dirty);
+        assert_eq!(dirty.len(), e.dim);
+        assert_eq!(dirty, e.embed("metadata stat storm"));
+    }
+
     #[test]
     fn embedding_is_normalised() {
         let e = Embedder::default();
@@ -113,6 +226,7 @@ mod tests {
         let e = Embedder::default();
         let v = e.embed("");
         assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.len(), e.dim);
     }
 
     #[test]
@@ -153,5 +267,18 @@ mod tests {
     #[should_panic(expected = "dimension too small")]
     fn tiny_dim_panics() {
         Embedder::new(4);
+    }
+
+    /// Token case must not matter for tf grouping: "WRITE write Write"
+    /// counts one token with tf 3, exactly as the old lowercase-then-count
+    /// path did.
+    #[test]
+    fn tf_grouping_is_case_insensitive() {
+        let e = Embedder::default();
+        let a = e.embed("WRITE write Write");
+        let b = e.embed("write write write");
+        let bits_a: Vec<u32> = a.iter().map(|f| f.to_bits()).collect();
+        let bits_b: Vec<u32> = b.iter().map(|f| f.to_bits()).collect();
+        assert_eq!(bits_a, bits_b);
     }
 }

@@ -4,25 +4,55 @@
 /// else is a separator. Numbers are kept (sizes like `47008` matter in this
 /// domain).
 pub fn tokenize(text: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    for c in text.chars() {
-        if c.is_ascii_alphanumeric() {
-            cur.push(c.to_ascii_lowercase());
-        } else if !cur.is_empty() {
-            out.push(std::mem::take(&mut cur));
+    token_slices(text).map(|t| t.to_ascii_lowercase()).collect()
+}
+
+/// Borrowed tokens: `&str` slices of `text` covering each maximal run of
+/// ASCII alphanumerics, in order, **without lowercasing** (and therefore
+/// without allocating). [`tokenize`] is `token_slices(..).map(lowercase)`;
+/// the embedder hot path lowercases into a reused scratch buffer instead.
+pub fn token_slices(text: &str) -> TokenSlices<'_> {
+    TokenSlices { text, pos: 0 }
+}
+
+/// Iterator returned by [`token_slices`].
+#[derive(Debug, Clone)]
+pub struct TokenSlices<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Iterator for TokenSlices<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let bytes = self.text.as_bytes();
+        // Tokens are ASCII-only, so byte scanning is UTF-8 safe: every
+        // non-ASCII byte is ≥ 0x80 and acts as a separator.
+        while self.pos < bytes.len() && !bytes[self.pos].is_ascii_alphanumeric() {
+            self.pos += 1;
         }
+        if self.pos >= bytes.len() {
+            return None;
+        }
+        let start = self.pos;
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_alphanumeric() {
+            self.pos += 1;
+        }
+        Some(&self.text[start..self.pos])
     }
-    if !cur.is_empty() {
-        out.push(cur);
-    }
-    out
 }
 
 /// Approximate token count of a text (whitespace/punctuation-delimited
 /// words); the unit in which simulated context windows are measured.
+///
+/// A pure counting scan — no per-token `String`s, no `Vec` — over the
+/// same borrowed iterator every other tokenisation consumer uses, so the
+/// token definition lives in exactly one place. Always equals
+/// `tokenize(text).len()` (pinned by tests here and a property test in
+/// `tests/properties.rs`).
 pub fn token_count(text: &str) -> usize {
-    tokenize(text).len()
+    token_slices(text).count()
 }
 
 #[cfg(test)]
@@ -59,5 +89,34 @@ mod tests {
     #[test]
     fn unicode_is_separator() {
         assert_eq!(tokenize("café"), vec!["caf"]);
+    }
+
+    #[test]
+    fn slices_borrow_the_original_case() {
+        let toks: Vec<&str> = token_slices("Small, WRITES (8KB)!").collect();
+        assert_eq!(toks, vec!["Small", "WRITES", "8KB"]);
+    }
+
+    #[test]
+    fn token_count_matches_tokenize_on_edge_cases() {
+        for text in [
+            "",
+            " ",
+            "a",
+            "a b",
+            " leading and trailing ",
+            "punct!!!only???",
+            "x1y2z3",
+            "café au lait",
+            "1,000,000 bytes",
+            "trailing-token",
+            "token-trailing ",
+        ] {
+            assert_eq!(
+                token_count(text),
+                tokenize(text).len(),
+                "mismatch on {text:?}"
+            );
+        }
     }
 }

@@ -166,13 +166,13 @@ impl Retriever {
                 continue;
             }
             let entry = self.index.entry(entry_idx);
-            if out.iter().any(|s| s.doc_id == entry.doc_id) {
+            if out.iter().any(|s| s.doc_id.as_str() == &*entry.doc_id) {
                 continue; // one citation per document
             }
             let doc = knowledge::get(&entry.doc_id).expect("indexed doc exists");
             out.push(GroundedSource {
-                doc_id: entry.doc_id.clone(),
-                citation: entry.citation.clone(),
+                doc_id: entry.doc_id.to_string(),
+                citation: entry.citation.to_string(),
                 claims: doc.claims.to_vec(),
                 score: hit.score,
             });
@@ -270,10 +270,26 @@ mod tests {
         let (second, provenance) = Retriever::build_or_load(&state);
         assert_eq!(provenance, IndexProvenance::Snapshot);
         assert_eq!(first.len(), second.len());
-        for (a, b) in first.index().entries().iter().zip(second.index().entries()) {
+        for (i, (a, b)) in first
+            .index()
+            .entries()
+            .iter()
+            .zip(second.index().entries())
+            .enumerate()
+        {
             assert_eq!(a.text, b.text);
-            let bits_a: Vec<u32> = a.vector.iter().map(|f| f.to_bits()).collect();
-            let bits_b: Vec<u32> = b.vector.iter().map(|f| f.to_bits()).collect();
+            let bits_a: Vec<u32> = first
+                .index()
+                .vector(i)
+                .iter()
+                .map(|f| f.to_bits())
+                .collect();
+            let bits_b: Vec<u32> = second
+                .index()
+                .vector(i)
+                .iter()
+                .map(|f| f.to_bits())
+                .collect();
             assert_eq!(bits_a, bits_b);
         }
     }

@@ -26,7 +26,8 @@ use ioembed::Embedder;
 use serde_json::{json, Value};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use vecindex::{IndexEntry, VectorIndex};
+use std::sync::Arc;
+use vecindex::{IndexEntry, VectorArena, VectorIndex};
 
 /// Snapshot format version; bump on any layout change.
 pub const SNAPSHOT_FORMAT_VERSION: i64 = 1;
@@ -134,13 +135,13 @@ pub fn save_index(path: &Path, index: &VectorIndex, corpus_hash: u64) -> io::Res
             "entries": index.entries().len(),
         });
         writeln!(w, "{}", serde_json::to_string(&header).expect("header"))?;
-        for entry in index.entries() {
+        for (i, entry) in index.entries().iter().enumerate() {
             let line = json!({
                 "doc_id": entry.doc_id,
                 "citation": entry.citation,
                 "chunk_no": entry.chunk_no,
                 "text": entry.text,
-                "vector": encode_vector(&entry.vector),
+                "vector": encode_vector(index.vector(i)),
             });
             writeln!(w, "{}", serde_json::to_string(&line).expect("entry"))?;
         }
@@ -211,6 +212,10 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
     let declared_entries = header_usize("entries")?;
 
     let mut entries: Vec<IndexEntry> = Vec::with_capacity(declared_entries);
+    let mut arena = VectorArena::with_capacity(dim, declared_entries);
+    // Consecutive chunks of one document share a single doc_id / citation
+    // allocation, restoring the memory shape `add_document` builds.
+    let mut shared: Option<(Arc<str>, Arc<str>)> = None;
     for line in lines {
         if line.trim().is_empty() {
             continue;
@@ -235,12 +240,24 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
                 vector.len()
             )));
         }
+        arena.push(&vector);
+        let doc_id_s = field("doc_id")?;
+        let citation_s = field("citation")?;
+        let (doc_id, citation) = match &shared {
+            Some((d, c)) if **d == *doc_id_s && **c == *citation_s => {
+                (Arc::clone(d), Arc::clone(c))
+            }
+            _ => {
+                let fresh = (Arc::<str>::from(doc_id_s), Arc::<str>::from(citation_s));
+                shared = Some((Arc::clone(&fresh.0), Arc::clone(&fresh.1)));
+                fresh
+            }
+        };
         entries.push(IndexEntry {
-            doc_id: field("doc_id")?,
-            citation: field("citation")?,
+            doc_id,
+            citation,
             chunk_no,
             text: field("text")?,
-            vector,
         });
     }
     if entries.len() != declared_entries {
@@ -254,6 +271,7 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
         chunk_size,
         overlap,
         entries,
+        arena,
     ))
 }
 
@@ -316,14 +334,27 @@ mod tests {
         save_index(&path, &ix, 0xfeed).unwrap();
         let loaded = load_index(&path, &spec(&ix)).unwrap();
         assert_eq!(loaded.len(), ix.len());
-        for (a, b) in ix.entries().iter().zip(loaded.entries()) {
+        for (i, (a, b)) in ix.entries().iter().zip(loaded.entries()).enumerate() {
             assert_eq!(a.doc_id, b.doc_id);
             assert_eq!(a.citation, b.citation);
             assert_eq!(a.chunk_no, b.chunk_no);
             assert_eq!(a.text, b.text);
-            let bits_a: Vec<u32> = a.vector.iter().map(|f| f.to_bits()).collect();
-            let bits_b: Vec<u32> = b.vector.iter().map(|f| f.to_bits()).collect();
+            let bits_a: Vec<u32> = ix.vector(i).iter().map(|f| f.to_bits()).collect();
+            let bits_b: Vec<u32> = loaded.vector(i).iter().map(|f| f.to_bits()).collect();
             assert_eq!(bits_a, bits_b, "vectors must survive bit-exactly");
+            assert_eq!(
+                loaded.arena().norm(i).to_bits(),
+                ioembed::norm(loaded.vector(i)).to_bits(),
+                "loaded arena norms must match recomputation bit-exactly"
+            );
+        }
+        // The load path restores Arc sharing: chunks of one document alias
+        // one metadata allocation, as a fresh build does.
+        for w in loaded.entries().windows(2) {
+            if w[0].doc_id == w[1].doc_id {
+                assert!(Arc::ptr_eq(&w[0].doc_id, &w[1].doc_id));
+                assert!(Arc::ptr_eq(&w[0].citation, &w[1].citation));
+            }
         }
         // Retrieval over the loaded index is identical.
         let q = "stripe count limits parallelism";

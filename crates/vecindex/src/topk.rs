@@ -1,0 +1,163 @@
+//! Bounded top-k selection over streamed scores.
+//!
+//! Replaces the seed-era "materialise every hit, full-sort O(n log n),
+//! truncate" with a k-element min-heap: O(n log k) comparisons, zero
+//! per-entry allocation, and — by construction over the same total order
+//! (`f32::total_cmp` descending, entry index ascending on ties) — exactly
+//! the hits `sort_by(...).truncate(k)` would keep, NaNs and duplicate
+//! scores included. A property test in `tests/properties.rs` pins the two
+//! against each other on adversarial inputs.
+
+use crate::SearchHit;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap wrapper ordering hits **worst-first**: a hit is `Greater` when it
+/// ranks lower (smaller score under `total_cmp`, larger entry index on
+/// ties), so the max-heap root is the weakest kept hit — the one a better
+/// candidate evicts.
+#[derive(Debug, Clone, Copy)]
+struct Weakest(SearchHit);
+
+impl PartialEq for Weakest {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Weakest {}
+
+impl PartialOrd for Weakest {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Weakest {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .score
+            .total_cmp(&self.0.score)
+            .then(self.0.entry_idx.cmp(&other.0.entry_idx))
+    }
+}
+
+/// A running top-k selection.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Weakest>,
+}
+
+impl TopK {
+    /// Selector keeping the best `k` hits seen.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1 << 16)),
+        }
+    }
+
+    /// Offer one scored entry.
+    #[inline]
+    pub fn push(&mut self, score: f32, entry_idx: usize) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = Weakest(SearchHit { score, entry_idx });
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+        } else if let Some(mut weakest) = self.heap.peek_mut() {
+            // `cand < weakest` under worst-first order ⇔ cand ranks higher.
+            if cand < *weakest {
+                *weakest = cand;
+            }
+        }
+    }
+
+    /// The kept hits, best first (score descending, entry index ascending
+    /// on ties) — the exact prefix a full descending sort would produce.
+    pub fn into_sorted_hits(self) -> Vec<SearchHit> {
+        // `into_sorted_vec` is ascending in `Ord`; worst-first `Ord` makes
+        // that best-to-worst.
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|w| w.0)
+            .collect()
+    }
+}
+
+/// Top-k over a score slice: the hits `sort_by(total_cmp desc, idx asc)` +
+/// `truncate(k)` would keep, selected in O(n log k). Scores index entries
+/// by position.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<SearchHit> {
+    let mut sel = TopK::new(k);
+    for (i, &s) in scores.iter().enumerate() {
+        sel.push(s, i);
+    }
+    sel.into_sorted_hits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full-sort specification the heap must match.
+    fn spec(scores: &[f32], k: usize) -> Vec<(u32, usize)> {
+        let mut hits: Vec<SearchHit> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| SearchHit {
+                score: s,
+                entry_idx: i,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.entry_idx.cmp(&b.entry_idx))
+        });
+        hits.truncate(k);
+        hits.iter()
+            .map(|h| (h.score.to_bits(), h.entry_idx))
+            .collect()
+    }
+
+    fn bits(hits: &[SearchHit]) -> Vec<(u32, usize)> {
+        hits.iter()
+            .map(|h| (h.score.to_bits(), h.entry_idx))
+            .collect()
+    }
+
+    #[test]
+    fn matches_sort_spec_on_plain_scores() {
+        let scores = [0.1f32, 0.9, 0.5, 0.9, -0.3, 0.0];
+        for k in 0..=scores.len() + 2 {
+            assert_eq!(bits(&top_k(&scores, k)), spec(&scores, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn duplicate_scores_break_ties_by_entry_index() {
+        let scores = [0.5f32; 7];
+        let hits = top_k(&scores, 3);
+        let idxs: Vec<usize> = hits.iter().map(|h| h.entry_idx).collect();
+        assert_eq!(idxs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nan_and_zero_signs_follow_total_cmp() {
+        let scores = [f32::NAN, 0.5, -f32::NAN, 0.0, -0.0, f32::INFINITY];
+        for k in 0..=scores.len() {
+            assert_eq!(bits(&top_k(&scores, k)), spec(&scores, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_inputs() {
+        assert!(top_k(&[], 5).is_empty());
+        assert!(top_k(&[1.0, 2.0], 0).is_empty());
+    }
+}

@@ -197,3 +197,106 @@ fn journal_survives_torn_tail_across_service_generations() {
     );
     service.shutdown();
 }
+
+/// ISSUE 4: a snapshot written **before** the arena rebuild (the seed-era
+/// one-`Vec<f32>`-per-entry engine) must load into the new flat-arena
+/// representation without a rebuild and diagnose byte-identically.
+///
+/// The on-disk layout did not change — same header, same
+/// `format_version: 1`, same hex-encoded vectors — so a pre-existing
+/// snapshot is reproduced here by writing the v1 format by hand (the
+/// literal line shapes the old writer emitted) rather than through
+/// today's `save_index`.
+#[test]
+fn pre_existing_snapshot_loads_into_the_arena_without_rebuild() {
+    use std::fmt::Write as _;
+
+    let tmp = TempDir::new("pre-arena-snapshot");
+    let state = iostore::StateDir::new(&tmp.0).unwrap();
+    let suite = TraceBench::generate();
+
+    // What the old binary would have serialised: the same entries and
+    // bit-exact vectors the corpus index holds.
+    let built = Retriever::build();
+    let ix = built.index();
+    let corpus_hash = knowledge::corpus_hash();
+    let escape = |s: &str| {
+        // Minimal JSON string escaping for the fields this corpus uses.
+        let mut out = String::new();
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    };
+    let mut raw = format!(
+        "{{\"chunk_size\":{},\"corpus_hash\":\"0x{:016x}\",\"embedder_dim\":{},\
+         \"entries\":{},\"format_version\":1,\"magic\":\"ioagent-index\",\"overlap\":{}}}\n",
+        ix.chunk_size(),
+        corpus_hash,
+        ix.embedder().dim,
+        ix.len(),
+        ix.overlap(),
+    );
+    for (i, entry) in ix.entries().iter().enumerate() {
+        let mut hex = String::with_capacity(ix.embedder().dim * 8);
+        for lane in ix.vector(i) {
+            let _ = write!(hex, "{:08x}", lane.to_bits());
+        }
+        let _ = writeln!(
+            raw,
+            "{{\"chunk_no\":{},\"citation\":\"{}\",\"doc_id\":\"{}\",\"text\":\"{}\",\"vector\":\"{}\"}}",
+            entry.chunk_no,
+            escape(&entry.citation),
+            escape(&entry.doc_id),
+            escape(&entry.text),
+            hex,
+        );
+    }
+    std::fs::write(state.index_path(), raw).unwrap();
+
+    // The new engine serves it without rebuilding…
+    let (loaded, provenance) = Retriever::build_or_load(&state);
+    assert_eq!(
+        provenance,
+        IndexProvenance::Snapshot,
+        "pre-arena snapshot must load, not trigger a rebuild"
+    );
+
+    // …into the arena representation, bit-identical to the fresh build.
+    let loaded_ix = loaded.index();
+    assert_eq!(loaded_ix.len(), ix.len());
+    assert_eq!(loaded_ix.arena().len(), loaded_ix.len());
+    assert_eq!(loaded_ix.arena().dim(), ix.embedder().dim);
+    for i in 0..ix.len() {
+        let a: Vec<u32> = ix.vector(i).iter().map(|f| f.to_bits()).collect();
+        let b: Vec<u32> = loaded_ix.vector(i).iter().map(|f| f.to_bits()).collect();
+        assert_eq!(a, b, "entry {i} vector changed across the format boundary");
+    }
+
+    // …and diagnoses byte-identically to the fresh build.
+    let fresh = Arc::new(built);
+    let loaded = Arc::new(loaded);
+    for entry in suite.entries.iter().take(2) {
+        let model_a = SimLlm::new("gpt-4o");
+        let agent_a =
+            IoAgent::with_shared_retriever(&model_a, AgentConfig::default(), Arc::clone(&fresh));
+        let model_b = SimLlm::new("gpt-4o");
+        let agent_b =
+            IoAgent::with_shared_retriever(&model_b, AgentConfig::default(), Arc::clone(&loaded));
+        assert_eq!(
+            agent_a.diagnose(&entry.trace),
+            agent_b.diagnose(&entry.trace),
+            "trace {}: pre-arena snapshot changed a diagnosis",
+            entry.spec.id
+        );
+    }
+}

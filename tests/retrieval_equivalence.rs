@@ -1,0 +1,108 @@
+//! Old-path vs new-path retrieval equivalence (ISSUE 4).
+//!
+//! The retrieval engine rebuild (flat vector arena, cached norms, unrolled
+//! dot kernel, bounded-heap top-k, thread-local query buffers) must be a
+//! pure performance change: over the seed knowledge corpus, `search` and
+//! `search_batch` must return **byte-identical** scores and orderings to
+//! the seed-era scan-score-sort path, which survives as the executable
+//! spec in `vecindex::reference`. Both are pinned under a forced 1-thread
+//! and a 4-thread shim pool (CI additionally runs this whole file at
+//! `RAYON_NUM_THREADS=1` and `=4`).
+
+use ioagent_core::rag::Retriever;
+use vecindex::{reference, SearchHit, VectorIndex};
+
+/// Queries shaped like the trace-fragment descriptions the agent issues.
+const QUERIES: &[&str] = &[
+    "the value of 1.0 in the 1K to 10K bin indicates that 100% of the write \
+     operations fall within the 1 KB to 10 KB range; many frequent small \
+     write requests from 16 processes",
+    "the mean stripe width is 1.0 and the job used 1 of 64 available object \
+     storage targets, serialising server load on a single OST",
+    "excessive metadata operations: thousands of open and stat calls \
+     dominate the runtime",
+    "collective MPI-IO aggregation of small independent requests",
+    "random access pattern with poor sequential locality on reads",
+    "",
+];
+
+fn at_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+fn bits(hits: &[SearchHit]) -> Vec<(u32, usize)> {
+    hits.iter()
+        .map(|h| (h.score.to_bits(), h.entry_idx))
+        .collect()
+}
+
+fn corpus_index() -> VectorIndex {
+    // The retriever builds over the full seed knowledge corpus (66 docs).
+    let r = Retriever::build();
+    r.index().clone()
+}
+
+#[test]
+fn engine_search_matches_reference_on_the_seed_corpus() {
+    let ix = corpus_index();
+    for width in [1usize, 4] {
+        for q in QUERIES {
+            for k in [1usize, 15, 1000] {
+                let engine = at_width(width, || bits(&ix.search(q, k)));
+                let spec = bits(&reference::search(&ix, q, k));
+                assert_eq!(engine, spec, "width={width} k={k} q={q:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_batch_matches_reference_on_the_seed_corpus() {
+    let ix = corpus_index();
+    let queries: Vec<String> = QUERIES.iter().map(|q| q.to_string()).collect();
+    let spec: Vec<Vec<(u32, usize)>> = reference::search_batch(&ix, &queries, 15)
+        .iter()
+        .map(|hits| bits(hits))
+        .collect();
+    for width in [1usize, 4] {
+        let engine: Vec<Vec<(u32, usize)>> = at_width(width, || {
+            ix.search_batch(&queries, 15)
+                .iter()
+                .map(|hits| bits(hits))
+                .collect()
+        });
+        assert_eq!(engine, spec, "width={width}");
+    }
+}
+
+/// Same index, same query, narrow vs wide pools: the sharded scan must not
+/// leak thread count into results (supplements tests/parallel_equivalence.rs
+/// with the full-size corpus, which crosses the sharding threshold when
+/// chunked finely).
+#[test]
+fn fine_chunked_corpus_is_thread_count_invariant() {
+    // Rebuild the corpus with small chunks (replicated under distinct doc
+    // ids as needed) so the index exceeds the engine's sharding threshold
+    // and the parallel scan path runs.
+    let mut ix = VectorIndex::new(ioembed::Embedder::default(), 32, 4);
+    let mut rep = 0;
+    while ix.len() <= 1024 {
+        for doc in knowledge::corpus() {
+            let text = format!("{}. {}", doc.title, doc.body);
+            ix.add_document(&format!("{}-r{rep}", doc.id), &doc.citation(), &text);
+        }
+        rep += 1;
+        assert!(rep < 32, "corpus replication runaway");
+    }
+    for q in QUERIES {
+        let narrow = at_width(1, || bits(&ix.search(q, 15)));
+        let wide = at_width(4, || bits(&ix.search(q, 15)));
+        let spec = bits(&reference::search(&ix, q, 15));
+        assert_eq!(narrow, spec, "narrow diverged on {q:?}");
+        assert_eq!(wide, spec, "wide diverged on {q:?}");
+    }
+}
