@@ -22,13 +22,12 @@
 //! passes to harness-less bench targets) runs every arm once as a smoke
 //! test and skips the JSON write and the gate.
 
+use ioagent_bench::synth;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
-use vecindex::{reference, VectorIndex};
+use vecindex::reference;
 
 const TARGET_CHUNKS: usize = 10_000;
-const CHUNK_SIZE: usize = 128;
-const OVERLAP: usize = 16;
 const TOP_K: usize = 15;
 const BATCH: usize = 64;
 
@@ -36,110 +35,12 @@ const QUERY: &str = "the value of 1.0 in the 1K to 10K bin indicates that 100% o
                      operations fall within the 1 KB to 10 KB range; many frequent small \
                      write requests from 16 processes on a single stripe";
 
-/// Domain-flavoured vocabulary the synthetic corpus draws from.
-const VOCAB: &[&str] = &[
-    "stripe",
-    "ost",
-    "mdt",
-    "collective",
-    "aggregate",
-    "bandwidth",
-    "latency",
-    "metadata",
-    "open",
-    "stat",
-    "close",
-    "write",
-    "read",
-    "seek",
-    "random",
-    "sequential",
-    "aligned",
-    "misaligned",
-    "shared",
-    "independent",
-    "posix",
-    "mpiio",
-    "stdio",
-    "lustre",
-    "gpfs",
-    "buffer",
-    "cache",
-    "flush",
-    "sync",
-    "request",
-    "transfer",
-    "block",
-    "chunk",
-    "offset",
-    "extent",
-    "server",
-    "client",
-    "rank",
-    "process",
-    "node",
-    "burst",
-    "checkpoint",
-];
-
-/// SplitMix64 — deterministic corpus, identical on every machine.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
-
-    fn pick<'a>(&mut self, pool: &[&'a str]) -> &'a str {
-        pool[(self.next() % pool.len() as u64) as usize]
-    }
-}
-
-fn synthetic_doc(rng: &mut Rng, tokens: usize) -> String {
-    let mut text = String::with_capacity(tokens * 8);
-    for _ in 0..tokens {
-        text.push_str(rng.pick(VOCAB));
-        // Sprinkle sizes/counters so numeric tokens exist, as in traces.
-        if rng.next().is_multiple_of(7) {
-            text.push_str(&format!(" {}", rng.next() % 1_048_576));
-        }
-        text.push(' ');
-    }
-    text
-}
-
-fn build_corpus() -> VectorIndex {
-    let mut ix = VectorIndex::new(ioembed::Embedder::default(), CHUNK_SIZE, OVERLAP);
-    let mut rng = Rng(0x10a6e27);
-    let mut doc = 0usize;
-    while ix.len() < TARGET_CHUNKS {
-        let text = synthetic_doc(&mut rng, 1200);
-        ix.add_document(
-            &format!("syn-{doc:05}"),
-            &format!("[Synthetic {doc}, BENCH 2026]"),
-            &text,
-        );
-        doc += 1;
-    }
-    ix
+fn build_corpus() -> vecindex::VectorIndex {
+    synth::build_corpus(TARGET_CHUNKS)
 }
 
 fn batch_queries() -> Vec<String> {
-    let mut rng = Rng(0xbeefcafe);
-    (0..BATCH)
-        .map(|i| {
-            let mut q = format!("query {i}: ");
-            for _ in 0..24 {
-                q.push_str(rng.pick(VOCAB));
-                q.push(' ');
-            }
-            q
-        })
-        .collect()
+    synth::batch_queries(BATCH)
 }
 
 /// Median-of-samples timing (1 warm-up call), returning (median, min).

@@ -2,6 +2,8 @@
 //! paper. Each `src/bin/*` binary prints one artifact; the Criterion
 //! benches in `benches/` time the underlying pipelines.
 
+pub mod synth;
+
 use baselines::{Drishti, Ion};
 use ioagent_core::IoAgent;
 use judge::{Judge, ToolRun};

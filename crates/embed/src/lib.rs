@@ -22,7 +22,7 @@ pub mod tokenize;
 pub mod vector;
 
 pub use tokenize::{token_count, token_slices, tokenize};
-pub use vector::{cosine, cosine_with_norms, dot, l2_normalize, norm};
+pub use vector::{cosine, cosine_with_norms, dot, dot_multi, l2_normalize, norm};
 
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;

@@ -15,6 +15,10 @@
 //!   --no-rag          disable domain-knowledge retrieval
 //!   --state-dir DIR   reuse/write the knowledge-index snapshot in DIR
 //!                     (the same snapshot `ioagentd --state-dir` maintains)
+//!   --ivf-clusters N  IVF-cluster the knowledge index around N coarse
+//!                     centroids (default: 0 = exact flat scan)
+//!   --nprobe N        clusters probed per retrieval (default: an eighth
+//!                     of --ivf-clusters; N >= clusters = exact mode)
 //!   --list-models     print available model profiles and exit
 //!   -h, --help        print this help
 //! ```
@@ -42,6 +46,8 @@ fn usage() -> ! {
            --flat-merge      use the 1-step merge ablation\n\
            --no-rag          disable domain-knowledge retrieval\n\
            --state-dir DIR   reuse/write the knowledge-index snapshot in DIR\n\
+           --ivf-clusters N  IVF-cluster the knowledge index (0 = flat)\n\
+           --nprobe N        clusters probed per retrieval (0 = default)\n\
            --list-models     print available model profiles and exit\n\
            -h, --help        print this help"
     );
@@ -55,6 +61,18 @@ fn main() {
     let mut config = AgentConfig::default();
     let mut trace_path: Option<String> = None;
     let mut state_dir: Option<String> = None;
+    let mut ivf_clusters = 0usize;
+    let mut ivf_nprobe = 0usize;
+
+    let parse_count = |value: Option<String>, flag: &str| -> usize {
+        match value.map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("{flag} expects a non-negative integer");
+                usage();
+            }
+        }
+    };
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +83,8 @@ fn main() {
             "--flat-merge" => config.merge = MergeStrategy::Flat,
             "--no-rag" => config.use_rag = false,
             "--state-dir" => state_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--ivf-clusters" => ivf_clusters = parse_count(args.next(), "--ivf-clusters"),
+            "--nprobe" => ivf_nprobe = parse_count(args.next(), "--nprobe"),
             "--list-models" => {
                 println!(
                     "{:<16} {:>8} {:>12} {:>12}",
@@ -113,6 +133,23 @@ fn main() {
         std::process::exit(2);
     }
     let model = SimLlm::new(&model_name);
+    // IVF probing is opt-in; 0 clusters keeps the exact flat scan.
+    if ivf_clusters == 0 && ivf_nprobe > 0 {
+        eprintln!(
+            "[ioagent] warning: --nprobe {ivf_nprobe} has no effect without --ivf-clusters; \
+             retrieval stays an exact flat scan"
+        );
+    }
+    let ivf = (ivf_clusters > 0).then(|| {
+        if ivf_nprobe == 0 {
+            ioagent_core::IvfParams::with_default_nprobe(ivf_clusters)
+        } else {
+            ioagent_core::IvfParams {
+                clusters: ivf_clusters,
+                nprobe: ivf_nprobe,
+            }
+        }
+    });
     // With --state-dir, the knowledge index is loaded from (or saved to)
     // the same snapshot `ioagentd` maintains, skipping the per-invocation
     // re-embedding of the corpus. Diagnoses are byte-identical either way.
@@ -122,7 +159,7 @@ fn main() {
                 eprintln!("cannot open state dir {dir:?}: {e}");
                 std::process::exit(1);
             });
-            let (retriever, provenance) = ioagent_core::Retriever::build_or_load(&state);
+            let (retriever, provenance) = ioagent_core::Retriever::build_or_load_with(&state, ivf);
             match provenance {
                 ioagent_core::IndexProvenance::Snapshot => {
                     eprintln!("[ioagent] knowledge index loaded from snapshot")
@@ -133,6 +170,11 @@ fn main() {
             }
             IoAgent::with_shared_retriever(&model, config, std::sync::Arc::new(retriever))
         }
+        None if ivf.is_some() => IoAgent::with_shared_retriever(
+            &model,
+            config,
+            std::sync::Arc::new(ioagent_core::Retriever::build_with(ivf)),
+        ),
         None => IoAgent::with_config(&model, config),
     };
 

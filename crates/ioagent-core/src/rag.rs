@@ -34,6 +34,31 @@ impl GroundedSource {
     }
 }
 
+/// IVF retrieval configuration: cluster the knowledge index around
+/// `clusters` coarse centroids and probe the `nprobe` most query-similar
+/// ones per search. `nprobe >= clusters` keeps retrieval byte-identical
+/// to the flat scan; smaller values trade recall for scan cost (the
+/// batch benchmark pins recall@15 ≥ 0.95 at the default probe width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfParams {
+    /// Coarse cluster count (clamped to the chunk count at build time).
+    pub clusters: usize,
+    /// Clusters probed per search (clamped to `1..=clusters`).
+    pub nprobe: usize,
+}
+
+impl IvfParams {
+    /// Params with the default probe width for a cluster count: an eighth
+    /// of the clusters (at least one) — the ratio the batch benchmark
+    /// gates at ≥ 0.95 recall@15.
+    pub fn with_default_nprobe(clusters: usize) -> Self {
+        IvfParams {
+            clusters,
+            nprobe: (clusters / 8).max(1),
+        }
+    }
+}
+
 /// Where a retriever's index came from (see [`Retriever::build_or_load`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexProvenance {
@@ -52,12 +77,21 @@ pub struct Retriever {
 }
 
 impl Retriever {
-    /// Build the index over the built-in corpus.
+    /// Build the index over the built-in corpus (flat exact scans).
     pub fn build() -> Self {
+        Self::build_with(None)
+    }
+
+    /// [`Retriever::build`], optionally clustering the index for IVF
+    /// probing. `None` keeps the flat exact scan.
+    pub fn build_with(ivf: Option<IvfParams>) -> Self {
         let mut index = VectorIndex::new(Embedder::default(), DEFAULT_CHUNK_SIZE, DEFAULT_OVERLAP);
         for doc in knowledge::corpus() {
             let text = format!("{}. {}", doc.title, doc.body);
             index.add_document(doc.id, &doc.citation(), &text);
+        }
+        if let Some(p) = ivf {
+            index.enable_ivf(p.clusters, p.nprobe);
         }
         Retriever { index, top_k: 15 }
     }
@@ -95,12 +129,53 @@ impl Retriever {
     /// not depend on which path ran. A failure to *write* the snapshot is
     /// reported in the provenance but never fails the build.
     pub fn build_or_load(state: &iostore::StateDir) -> (Self, IndexProvenance) {
+        Self::build_or_load_with(state, None)
+    }
+
+    /// [`Retriever::build_or_load`] with an IVF configuration to
+    /// reconcile against whatever the snapshot holds:
+    ///
+    /// - snapshot already clustered with the requested cluster count →
+    ///   served as-is (probe width is a runtime knob, adjusted in place);
+    /// - snapshot flat (e.g. written by a pre-IVF v1 binary) or clustered
+    ///   differently → the loaded vectors are kept and **lazily
+    ///   re-clustered** — no re-embedding — then the snapshot is re-saved
+    ///   as v2 so the next start skips the clustering too;
+    /// - IVF off but the snapshot clustered → the quantizer is detached,
+    ///   so default retrieval stays byte-identical to [`Retriever::build`].
+    pub fn build_or_load_with(
+        state: &iostore::StateDir,
+        ivf: Option<IvfParams>,
+    ) -> (Self, IndexProvenance) {
         let spec = Self::index_spec();
         let path = state.index_path();
         match iostore::load_index(&path, &spec) {
-            Ok(index) => (Retriever::from_index(index), IndexProvenance::Snapshot),
+            Ok(mut index) => {
+                let reclustered = match (ivf, index.ivf()) {
+                    (None, None) => false,
+                    (None, Some(_)) => {
+                        index.disable_ivf();
+                        false
+                    }
+                    (Some(p), Some(cur)) if cur.clusters() == p.clusters.clamp(1, index.len()) => {
+                        index.set_nprobe(p.nprobe);
+                        false
+                    }
+                    (Some(p), _) => {
+                        index.enable_ivf(p.clusters, p.nprobe);
+                        true
+                    }
+                };
+                if reclustered {
+                    // Best-effort: persist the clustering for the next
+                    // start; a failed save only costs that start a
+                    // re-clustering, never correctness.
+                    let _ = iostore::save_index(&path, &index, spec.corpus_hash);
+                }
+                (Retriever::from_index(index), IndexProvenance::Snapshot)
+            }
             Err(err) => {
-                let retriever = Retriever::build();
+                let retriever = Retriever::build_with(ivf);
                 let mut reason = err.to_string();
                 if let Err(save_err) =
                     iostore::save_index(&path, retriever.index(), spec.corpus_hash)
@@ -316,6 +391,71 @@ mod tests {
         // The rebuild healed the snapshot in place.
         let (_retriever, provenance) = Retriever::build_or_load(&state);
         assert_eq!(provenance, IndexProvenance::Snapshot);
+    }
+
+    /// IVF with `nprobe = clusters` (exact mode) must ground queries
+    /// identically to the flat build — same sources, same scores.
+    #[test]
+    fn exact_ivf_retriever_grounds_identically_to_flat() {
+        let flat = Retriever::build();
+        let probed = Retriever::build_with(Some(IvfParams {
+            clusters: 8,
+            nprobe: 8,
+        }));
+        assert!(probed.index().ivf().is_some());
+        let mini = SimLlm::new("gpt-4o-mini");
+        for q in [
+            "the mean stripe width is 1.0 on a single OST",
+            "metadata operations dominate the runtime",
+        ] {
+            let a: Vec<(String, u32)> = flat
+                .retrieve(q, &mini)
+                .into_iter()
+                .map(|s| (s.doc_id, s.score.to_bits()))
+                .collect();
+            let b: Vec<(String, u32)> = probed
+                .retrieve(q, &mini)
+                .into_iter()
+                .map(|s| (s.doc_id, s.score.to_bits()))
+                .collect();
+            assert_eq!(a, b, "q={q:?}");
+        }
+    }
+
+    /// A flat (v1-style) snapshot served to an IVF-configured daemon is
+    /// lazily clustered — still a snapshot load, no re-embedding — and
+    /// the clustering is persisted for the next start.
+    #[test]
+    fn flat_snapshot_is_lazily_clustered_and_resaved() {
+        let (_guard, state) = TempState::new("lazy-ivf");
+        // Write a flat snapshot, as a pre-IVF deployment would have.
+        let (_flat, provenance) = Retriever::build_or_load(&state);
+        assert!(matches!(provenance, IndexProvenance::Rebuilt(_)));
+
+        let params = IvfParams::with_default_nprobe(16);
+        let (probed, provenance) = Retriever::build_or_load_with(&state, Some(params));
+        assert_eq!(provenance, IndexProvenance::Snapshot, "no rebuild");
+        let ivf = probed.index().ivf().expect("lazily clustered");
+        assert_eq!(ivf.nprobe(), params.nprobe);
+
+        // Next start finds the clustering already in the snapshot…
+        let (again, provenance) = Retriever::build_or_load_with(&state, Some(params));
+        assert_eq!(provenance, IndexProvenance::Snapshot);
+        assert_eq!(
+            again.index().ivf().unwrap().assignments(),
+            ivf.assignments(),
+            "persisted clustering must be reused byte-identically"
+        );
+
+        // …while an IVF-off consumer of the same snapshot detaches it.
+        let (flat_again, _) = Retriever::build_or_load(&state);
+        assert!(flat_again.index().ivf().is_none());
+    }
+
+    #[test]
+    fn default_nprobe_is_an_eighth_of_clusters() {
+        assert_eq!(IvfParams::with_default_nprobe(64).nprobe, 8);
+        assert_eq!(IvfParams::with_default_nprobe(4).nprobe, 1);
     }
 
     #[test]

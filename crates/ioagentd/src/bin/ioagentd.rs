@@ -12,6 +12,11 @@
 //!   --cache N          result cache entries, 0 disables (default: 256)
 //!   --state-dir DIR    persist results + the knowledge-index snapshot in
 //!                      DIR and serve them across restarts (default: off)
+//!   --ivf-clusters N   cluster the knowledge index around N coarse
+//!                      centroids and probe only the nearest few per
+//!                      retrieval (default: 0 = exact flat scan)
+//!   --nprobe N         clusters probed per retrieval (default: an eighth
+//!                      of --ivf-clusters; N >= clusters = exact mode)
 //!   --listen ADDR      serve the line protocol over TCP instead of stdio
 //!   -h, --help         print this help
 //! ```
@@ -47,6 +52,8 @@ fn usage() -> ! {
            --queue N          job queue bound (default: 2 x workers)\n\
            --cache N          result cache entries, 0 disables (default: 256)\n\
            --state-dir DIR    persist results + index snapshot in DIR\n\
+           --ivf-clusters N   IVF-cluster the knowledge index (0 = flat)\n\
+           --nprobe N         clusters probed per retrieval (0 = default)\n\
            --listen ADDR      serve over TCP (host:port) instead of stdio\n\
            -h, --help         print this help\n\n\
          PROTOCOL (one JSON document per line):\n\
@@ -87,6 +94,8 @@ fn main() {
             }
             "--cache" => config.cache_capacity = parse_count(&mut args, "--cache"),
             "--state-dir" => config.state_dir = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--ivf-clusters" => config.ivf_clusters = parse_count(&mut args, "--ivf-clusters"),
+            "--nprobe" => config.ivf_nprobe = parse_count(&mut args, "--nprobe"),
             "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),
             other => {
@@ -100,6 +109,15 @@ fn main() {
     if !explicit_queue {
         config.queue_capacity = 2 * config.workers;
     }
+    // A probe width without a cluster count would silently fall back to
+    // the exact flat scan — surface the misconfiguration instead.
+    if config.ivf_clusters == 0 && config.ivf_nprobe > 0 {
+        eprintln!(
+            "[ioagentd] warning: --nprobe {} has no effect without --ivf-clusters; \
+             retrieval stays an exact flat scan",
+            config.ivf_nprobe
+        );
+    }
 
     eprintln!(
         "[ioagentd] starting: {} workers x {} intra-threads ({} thread budget), queue {}, cache {}",
@@ -109,7 +127,14 @@ fn main() {
         config.queue_capacity,
         config.cache_capacity
     );
+    let ivf = config.ivf_params();
     let service = Arc::new(DiagnosisService::start(config));
+    if let Some(p) = ivf {
+        eprintln!(
+            "[ioagentd] IVF retrieval on: {} clusters, probing {}",
+            p.clusters, p.nprobe
+        );
+    }
     match service.index_provenance() {
         Some(ioagentd::IndexProvenance::Snapshot) => {
             eprintln!("[ioagentd] knowledge index loaded from snapshot")

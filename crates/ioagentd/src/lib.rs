@@ -34,8 +34,8 @@ pub mod service;
 pub use cache::LruCache;
 pub use queue::BoundedQueue;
 pub use service::{
-    DiagnosisService, IndexProvenance, JobMetrics, JobRequest, JobResult, JobTicket, Retriever,
-    ServiceConfig, ServiceStats, SubmitError,
+    DiagnosisService, IndexProvenance, IvfParams, JobMetrics, JobRequest, JobResult, JobTicket,
+    Retriever, ServiceConfig, ServiceStats, SubmitError,
 };
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-pub use ioagent_core::rag::{IndexProvenance, Retriever};
+pub use ioagent_core::rag::{IndexProvenance, IvfParams, Retriever};
 
 /// Service sizing knobs.
 ///
@@ -67,6 +67,16 @@ pub struct ServiceConfig {
     /// snapshot matches the live corpus and embedder configuration.
     /// Results are byte-identical either way.
     pub state_dir: Option<PathBuf>,
+    /// IVF coarse-cluster count for the knowledge index (0 — the default
+    /// — keeps the exact flat scan). With clustering on, each retrieval
+    /// probes only the [`ServiceConfig::ivf_nprobe`] most query-similar
+    /// clusters: sub-linear scan cost, ≥ 0.95 recall@15 at the default
+    /// probe width (gated in CI by the batch benchmark).
+    pub ivf_clusters: usize,
+    /// Clusters probed per retrieval; 0 picks the default (an eighth of
+    /// the clusters, at least one). `>= ivf_clusters` is exact mode —
+    /// byte-identical to the flat scan.
+    pub ivf_nprobe: usize,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +91,8 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             simulated_rpc_latency: Duration::ZERO,
             state_dir: None,
+            ivf_clusters: 0,
+            ivf_nprobe: 0,
         }
     }
 }
@@ -124,6 +136,31 @@ impl ServiceConfig {
     pub fn state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.state_dir = Some(dir.into());
         self
+    }
+
+    /// Builder-style IVF override: cluster the knowledge index and probe
+    /// `nprobe` clusters per retrieval (0 → the default probe width).
+    pub fn ivf(mut self, clusters: usize, nprobe: usize) -> Self {
+        self.ivf_clusters = clusters;
+        self.ivf_nprobe = nprobe;
+        self
+    }
+
+    /// The IVF parameters this configuration asks for (`None` = flat).
+    /// `ivf_nprobe` is meaningful only with `ivf_clusters > 0`; on its
+    /// own it is ignored (the daemon's CLI warns about that combination).
+    pub fn ivf_params(&self) -> Option<IvfParams> {
+        if self.ivf_clusters == 0 {
+            return None;
+        }
+        Some(if self.ivf_nprobe == 0 {
+            IvfParams::with_default_nprobe(self.ivf_clusters)
+        } else {
+            IvfParams {
+                clusters: self.ivf_clusters,
+                nprobe: self.ivf_nprobe,
+            }
+        })
     }
 
     /// Total thread budget this configuration can have live at once.
@@ -376,10 +413,11 @@ impl DiagnosisService {
     /// [`DiagnosisService::persistence_active`]) rather than refusing to
     /// start.
     pub fn start(config: ServiceConfig) -> Self {
+        let ivf = config.ivf_params();
         let Some(dir) = config.state_dir.clone() else {
-            return Self::with_shared_index(config, Arc::new(Retriever::build()));
+            return Self::with_shared_index(config, Arc::new(Retriever::build_with(ivf)));
         };
-        match Self::open_state(&dir) {
+        match Self::open_state(&dir, ivf) {
             Ok((retriever, provenance, store)) => {
                 let mut service = Self::build(config, Arc::new(retriever), Some(store));
                 service.index_provenance = Some(provenance);
@@ -389,20 +427,21 @@ impl DiagnosisService {
                 eprintln!(
                     "[ioagentd] state dir {dir:?} unusable ({e}); running without persistence"
                 );
-                Self::with_shared_index(config, Arc::new(Retriever::build()))
+                Self::with_shared_index(config, Arc::new(Retriever::build_with(ivf)))
             }
         }
     }
 
     fn open_state(
         dir: &std::path::Path,
+        ivf: Option<IvfParams>,
     ) -> std::io::Result<(Retriever, IndexProvenance, ResultStore)> {
         let state = StateDir::new(dir)?;
         // Open the (cheap, fallible) journal before building the index, so
         // an unusable journal cannot waste a corpus build that the fallback
         // path would immediately redo.
         let store = state.open_results()?;
-        let (retriever, provenance) = Retriever::build_or_load(&state);
+        let (retriever, provenance) = Retriever::build_or_load_with(&state, ivf);
         Ok((retriever, provenance, store))
     }
 

@@ -1,14 +1,27 @@
 //! Versioned on-disk snapshots of the knowledge [`VectorIndex`].
 //!
-//! A snapshot is a header line followed by one line per index entry:
+//! A snapshot is a header line, one line per index entry, and (format v2,
+//! when the index carries an IVF quantizer) one trailing clustering
+//! record:
 //!
 //! ```json
-//! {"magic": "ioagent-index", "format_version": 1, "embedder_dim": 256,
+//! {"magic": "ioagent-index", "format_version": 2, "embedder_dim": 256,
 //!  "chunk_size": 512, "overlap": 20, "corpus_hash": "0x9f2c…",
 //!  "entries": 78}
 //! {"doc_id": "k01", "citation": "[…]", "chunk_no": 0, "text": "…",
 //!  "vector": "3f547ae1…"}
+//! …
+//! {"ivf_clusters": 16, "ivf_nprobe": 4, "ivf_centroids": "3e21…",
+//!  "ivf_assignments": "00000003…"}
 //! ```
+//!
+//! Version 1 snapshots (pre-IVF) still load: they simply carry no
+//! clustering record, and a caller that wants IVF clusters the loaded
+//! index lazily (`Retriever::build_or_load_with` re-saves the result as
+//! v2 so the next start skips the clustering too). Centroids are stored
+//! as the same bit-exact f32 hex as entry vectors, and assignments as 8
+//! hex digits per row, so a loaded quantizer probes byte-identically to
+//! the one that was saved.
 //!
 //! The header makes staleness *detectable instead of silent*: loading
 //! verifies the format version, the embedder configuration, the chunking
@@ -29,8 +42,16 @@ use std::path::Path;
 use std::sync::Arc;
 use vecindex::{IndexEntry, VectorArena, VectorIndex};
 
-/// Snapshot format version; bump on any layout change.
-pub const SNAPSHOT_FORMAT_VERSION: i64 = 1;
+/// Newest snapshot format version; bump on any layout change. v2 added
+/// the optional trailing IVF clustering record. [`save_index`] stamps a
+/// snapshot with the **oldest version that can represent it** — a flat
+/// index is byte-identical to the v1 format, so it is written as v1 and
+/// stays loadable after a rollback to a pre-IVF binary.
+pub const SNAPSHOT_FORMAT_VERSION: i64 = 2;
+
+/// Oldest format version [`load_index`] still reads (v1 lacks the IVF
+/// record; everything else is unchanged).
+pub const SNAPSHOT_MIN_FORMAT_VERSION: i64 = 1;
 
 const MAGIC: &str = "ioagent-index";
 
@@ -93,7 +114,8 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
             SnapshotError::FormatVersion { found } => write!(
                 f,
-                "snapshot format version {found} (this build reads {SNAPSHOT_FORMAT_VERSION})"
+                "snapshot format version {found} (this build reads \
+                 {SNAPSHOT_MIN_FORMAT_VERSION}..={SNAPSHOT_FORMAT_VERSION})"
             ),
             SnapshotError::ConfigMismatch(why) => {
                 write!(f, "snapshot embedder/chunking mismatch: {why}")
@@ -125,9 +147,17 @@ pub fn save_index(path: &Path, index: &VectorIndex, corpus_hash: u64) -> io::Res
     let tmp = path.with_extension("snap.tmp");
     {
         let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+        // Oldest version that can represent this index: only a clustered
+        // index needs the v2 IVF record; a flat one stays v1-readable so
+        // a rolled-back pre-IVF binary can still serve it.
+        let format_version = if index.ivf().is_some() {
+            SNAPSHOT_FORMAT_VERSION
+        } else {
+            SNAPSHOT_MIN_FORMAT_VERSION
+        };
         let header = json!({
             "magic": MAGIC,
-            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "format_version": format_version,
             "embedder_dim": index.embedder().dim,
             "chunk_size": index.chunk_size(),
             "overlap": index.overlap(),
@@ -144,6 +174,20 @@ pub fn save_index(path: &Path, index: &VectorIndex, corpus_hash: u64) -> io::Res
                 "vector": encode_vector(index.vector(i)),
             });
             writeln!(w, "{}", serde_json::to_string(&line).expect("entry"))?;
+        }
+        if let Some(ivf) = index.ivf() {
+            let assignments: String = ivf
+                .assignments()
+                .iter()
+                .map(|c| format!("{c:08x}"))
+                .collect();
+            let record = json!({
+                "ivf_clusters": ivf.clusters(),
+                "ivf_nprobe": ivf.nprobe(),
+                "ivf_centroids": encode_vector(ivf.centroids()),
+                "ivf_assignments": assignments,
+            });
+            writeln!(w, "{}", serde_json::to_string(&record).expect("ivf record"))?;
         }
         w.flush()?;
     }
@@ -169,7 +213,7 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
         .get("format_version")
         .and_then(Value::as_i64)
         .unwrap_or(-1);
-    if found_version != SNAPSHOT_FORMAT_VERSION {
+    if !(SNAPSHOT_MIN_FORMAT_VERSION..=SNAPSHOT_FORMAT_VERSION).contains(&found_version) {
         return Err(SnapshotError::FormatVersion {
             found: found_version,
         });
@@ -216,12 +260,32 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
     // Consecutive chunks of one document share a single doc_id / citation
     // allocation, restoring the memory shape `add_document` builds.
     let mut shared: Option<(Arc<str>, Arc<str>)> = None;
+    let mut ivf_record: Option<Value> = None;
     for line in lines {
         if line.trim().is_empty() {
             continue;
         }
         let v: Value = serde_json::from_str(line)
             .map_err(|e| SnapshotError::Corrupt(format!("unreadable entry: {e}")))?;
+        if v.get("ivf_clusters").is_some() {
+            // The (v2) clustering record trails every entry line.
+            if ivf_record.is_some() {
+                return Err(SnapshotError::Corrupt("duplicate IVF record".into()));
+            }
+            if entries.len() != declared_entries {
+                return Err(SnapshotError::Corrupt(format!(
+                    "IVF record after {} of {declared_entries} entries (torn middle?)",
+                    entries.len()
+                )));
+            }
+            ivf_record = Some(v);
+            continue;
+        }
+        if ivf_record.is_some() {
+            return Err(SnapshotError::Corrupt(
+                "entry line after the IVF record".into(),
+            ));
+        }
         let field = |name: &str| -> Result<String, SnapshotError> {
             v.get(name)
                 .and_then(Value::as_str)
@@ -266,13 +330,59 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
             entries.len()
         )));
     }
-    Ok(VectorIndex::from_parts(
-        Embedder { dim },
-        chunk_size,
-        overlap,
-        entries,
-        arena,
-    ))
+    let mut index = VectorIndex::from_parts(Embedder { dim }, chunk_size, overlap, entries, arena);
+    if let Some(record) = ivf_record {
+        let ivf = decode_ivf(&record, index.arena())?;
+        index.attach_ivf(Arc::new(ivf));
+    }
+    Ok(index)
+}
+
+/// Reconstruct the quantizer from a v2 clustering record, byte-exactly
+/// (the per-cluster packed scoring copy is derived from `arena`, not
+/// stored).
+fn decode_ivf(record: &Value, arena: &VectorArena) -> Result<vecindex::IvfIndex, SnapshotError> {
+    let field = |name: &str| -> Result<&str, SnapshotError> {
+        record
+            .get(name)
+            .and_then(Value::as_str)
+            .ok_or_else(|| SnapshotError::Corrupt(format!("IVF field {name:?} missing")))
+    };
+    let number = |name: &str| -> Result<usize, SnapshotError> {
+        record
+            .get(name)
+            .and_then(Value::as_i64)
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| SnapshotError::Corrupt(format!("IVF field {name:?} missing")))
+    };
+    let clusters = number("ivf_clusters")?;
+    let nprobe = number("ivf_nprobe")?;
+    let centroids = decode_vector(field("ivf_centroids")?)?;
+    let hex = field("ivf_assignments")?;
+    if !hex.len().is_multiple_of(8) {
+        return Err(SnapshotError::Corrupt(
+            "IVF assignment hex length not a multiple of 8".into(),
+        ));
+    }
+    let assignments: Vec<u32> = hex
+        .as_bytes()
+        .chunks(8)
+        .map(|lane| {
+            std::str::from_utf8(lane)
+                .ok()
+                .and_then(|s| u32::from_str_radix(s, 16).ok())
+                .ok_or_else(|| SnapshotError::Corrupt("bad IVF assignment hex".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    let ivf = vecindex::IvfIndex::from_parts(arena, nprobe, centroids, assignments)
+        .map_err(|why| SnapshotError::Corrupt(format!("IVF record invalid: {why}")))?;
+    if ivf.clusters() != clusters {
+        return Err(SnapshotError::Corrupt(format!(
+            "IVF record declares {clusters} clusters, centroid matrix holds {}",
+            ivf.clusters()
+        )));
+    }
+    Ok(ivf)
 }
 
 /// Bit-exact hex encoding: 8 hex digits (`f32::to_bits`) per lane.
@@ -418,14 +528,101 @@ mod tests {
         let ix = small_index();
         save_index(&path, &ix, 0xfeed).unwrap();
         let raw = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(
-            &path,
-            raw.replace("\"format_version\":1", "\"format_version\":9"),
-        )
-        .unwrap();
+        let bumped = raw.replace("\"format_version\":1", "\"format_version\":9");
+        assert_ne!(raw, bumped, "fixture must actually bump the version");
+        std::fs::write(&path, bumped).unwrap();
         assert!(matches!(
             load_index(&path, &spec(&ix)).unwrap_err(),
             SnapshotError::FormatVersion { found: 9 }
+        ));
+    }
+
+    /// A flat index is written as v1 — byte-compatible with the pre-IVF
+    /// format, so a rolled-back binary can still serve it — and loads
+    /// back without a quantizer. Clustering (and only clustering) bumps
+    /// the header to v2.
+    #[test]
+    fn flat_snapshots_stay_v1_for_rollback() {
+        let tmp = TempDir::new("snap-v1");
+        let path = tmp.0.join("index.snap");
+        let ix = small_index();
+        save_index(&path, &ix, 0xfeed).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            raw.contains("\"format_version\":1"),
+            "flat snapshot must be v1"
+        );
+        assert!(!raw.contains("ivf_clusters"));
+        let loaded = load_index(&path, &spec(&ix)).unwrap();
+        assert!(loaded.ivf().is_none());
+        assert_eq!(loaded.len(), ix.len());
+
+        // Clustered → v2 with the trailing record; detaching the
+        // quantizer and re-saving goes back to a v1 file.
+        let mut clustered = small_index();
+        clustered.enable_ivf(3, 2);
+        save_index(&path, &clustered, 0xfeed).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.contains("\"format_version\":2"));
+        assert!(raw.contains("ivf_clusters"));
+        clustered.disable_ivf();
+        save_index(&path, &clustered, 0xfeed).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            raw.contains("\"format_version\":1"),
+            "flat re-save must downgrade"
+        );
+    }
+
+    /// The v2 clustering record round-trips byte-exactly: the loaded
+    /// quantizer has identical centroids, assignments, and probe width,
+    /// and probed searches return identical hits.
+    #[test]
+    fn ivf_record_round_trips_byte_exactly() {
+        let tmp = TempDir::new("snap-ivf");
+        let path = tmp.0.join("index.snap");
+        let mut ix = small_index();
+        ix.enable_ivf(3, 2);
+        save_index(&path, &ix, 0xfeed).unwrap();
+        let loaded = load_index(&path, &spec(&ix)).unwrap();
+        let (a, b) = (ix.ivf().unwrap(), loaded.ivf().unwrap());
+        assert_eq!(a.clusters(), b.clusters());
+        assert_eq!(a.nprobe(), b.nprobe());
+        assert_eq!(a.assignments(), b.assignments());
+        let bits_a: Vec<u32> = a.centroids().iter().map(|f| f.to_bits()).collect();
+        let bits_b: Vec<u32> = b.centroids().iter().map(|f| f.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "centroids must survive bit-exactly");
+        let q = "stripe count limits parallelism";
+        let hits_a: Vec<(u32, usize)> = ix
+            .search(q, 3)
+            .into_iter()
+            .map(|h| (h.score.to_bits(), h.entry_idx))
+            .collect();
+        let hits_b: Vec<(u32, usize)> = loaded
+            .search(q, 3)
+            .into_iter()
+            .map(|h| (h.score.to_bits(), h.entry_idx))
+            .collect();
+        assert_eq!(hits_a, hits_b, "probed retrieval must be identical");
+    }
+
+    /// A corrupt clustering record must fail the load (typed, rebuildable)
+    /// rather than silently serving a flat or half-clustered index.
+    #[test]
+    fn corrupt_ivf_record_is_rejected() {
+        let tmp = TempDir::new("snap-ivf-corrupt");
+        let path = tmp.0.join("index.snap");
+        let mut ix = small_index();
+        ix.enable_ivf(3, 2);
+        save_index(&path, &ix, 0xfeed).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        // Pad the assignment table to more rows than the snapshot holds.
+        let broken = raw.replace("\"ivf_assignments\":\"", "\"ivf_assignments\":\"00000000");
+        assert_ne!(raw, broken, "fixture must actually mutate the record");
+        std::fs::write(&path, broken).unwrap();
+        assert!(matches!(
+            load_index(&path, &spec(&ix)).unwrap_err(),
+            SnapshotError::Corrupt(_)
         ));
     }
 

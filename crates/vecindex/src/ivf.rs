@@ -1,0 +1,560 @@
+//! Inverted-file (IVF) coarse quantizer over the [`VectorArena`].
+//!
+//! A full-scan search touches every row — O(n·d) per query no matter how
+//! large the corpus grows. The standard route to sub-linear scan cost in
+//! vector retrieval is an inverted file: cluster the rows around `k`
+//! coarse centroids once, keep one row list per cluster, and at query time
+//! score only the rows of the `nprobe` clusters whose centroids are most
+//! similar to the query.
+//!
+//! # Determinism
+//!
+//! Clustering is k-means (Lloyd's algorithm) with:
+//!
+//! - seeded initialisation: a partial Fisher–Yates shuffle driven by the
+//!   workspace's deterministic `rand_chacha` shim picks `k` distinct seed
+//!   rows, so the same arena always clusters identically on every machine;
+//! - fixed-order float arithmetic: assignments are computed row-by-row
+//!   (the parallel map preserves input order) and centroid means are folded
+//!   in ascending row order, so no thread count or scheduling can change a
+//!   single bit of the result;
+//! - total-order tie-breaking: a row equidistant from two centroids joins
+//!   the lower-numbered one.
+//!
+//! # Exactness contract
+//!
+//! Rows scored through a probe are scored with the **same** norm-cached
+//! cosine kernel as the flat scan, and the bounded top-k heap keeps the
+//! same set regardless of the order rows are offered (its comparison is a
+//! total order over `(score, row)` with unique rows). Probing therefore
+//! never changes a kept hit's score — it only restricts *which* rows are
+//! scored. With `nprobe = clusters` every list is visited, so the result
+//! is byte-identical to the flat scan and to [`crate::reference::search`]
+//! (pinned by `tests/ivf_equivalence.rs`); smaller `nprobe` trades recall
+//! for scan cost, measured by `benches/batch.rs`.
+
+use crate::arena::VectorArena;
+use crate::topk::TopK;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Lloyd iterations run by [`IvfIndex::build`] (it stops early once an
+/// iteration changes no assignment).
+pub const KMEANS_ITERATIONS: usize = 8;
+
+/// Seed for the deterministic centroid initialisation.
+pub const KMEANS_SEED: u64 = 0x4956_465f_5345_4544; // "IVF_SEED"
+
+/// Coarse clustering of an arena's rows: centroids plus per-cluster row
+/// lists, and the default probe width searches use.
+///
+/// Each cluster also carries a **sharded packed copy** of its member
+/// vectors — the same lane-interleaved complete-8-row-block layout as
+/// [`VectorArena`]'s scoring copy, but in cluster-list order — so a
+/// probed cluster is scanned with the 8-lane vertical kernel instead of
+/// one latency-bound serial dot per scattered row (a single bit-faithful
+/// dot is a chain of dependent f32 adds; eight independent chains
+/// pipeline). The packing is derived data: rebuilt from the arena on
+/// load, never serialized.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    dim: usize,
+    nprobe: usize,
+    /// `clusters × dim` row-major centroid matrix.
+    centroids: Vec<f32>,
+    /// Cached Euclidean norm per centroid.
+    centroid_norms: Vec<f32>,
+    /// Row → cluster id.
+    assignments: Vec<u32>,
+    /// Cluster → member rows, ascending.
+    lists: Vec<Vec<u32>>,
+    /// Cluster → lane-interleaved copy of its complete 8-row blocks
+    /// (list order; the `len % 8` tail rows are scored via the one-row
+    /// kernel straight from the arena).
+    packed: Vec<Vec<f32>>,
+}
+
+impl IvfIndex {
+    /// Cluster `arena`'s rows around `clusters` centroids (clamped to the
+    /// row count) with `nprobe` as the default probe width.
+    pub fn build(arena: &VectorArena, clusters: usize, nprobe: usize) -> Self {
+        let n = arena.len();
+        let dim = arena.dim();
+        let k = clusters.clamp(1, n.max(1));
+
+        // Seeded distinct-row initialisation: partial Fisher–Yates over
+        // the row indices. Mixing the row count into the seed keeps two
+        // different corpora from sharing an initialisation by accident
+        // while staying fully deterministic for any given corpus.
+        let mut rng = ChaCha8Rng::seed_from_u64(KMEANS_SEED ^ (n as u64).rotate_left(17));
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in 0..k.min(n) {
+            let j = i + (rng.next_u64() as usize) % (n - i);
+            order.swap(i, j);
+        }
+        let mut centroids = vec![0.0f32; k * dim];
+        for (c, &row) in order[..k.min(n)].iter().enumerate() {
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(arena.row(row));
+        }
+        let mut centroid_norms: Vec<f32> = centroids.chunks(dim).map(ioembed::norm).collect();
+
+        let mut assignments: Vec<u32> = vec![0; n];
+        for _ in 0..KMEANS_ITERATIONS {
+            // Assign each row to its most-similar centroid. Rows are
+            // independent, so the parallel map is order-stable and the
+            // result is identical at any thread width.
+            let next: Vec<u32> = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    nearest_centroid(
+                        arena.row(i),
+                        arena.norm(i),
+                        &centroids,
+                        &centroid_norms,
+                        dim,
+                    )
+                })
+                .collect();
+            let converged = next == assignments;
+            assignments = next;
+            if converged {
+                break;
+            }
+            // Recompute centroids as member means, folding rows in
+            // ascending order (fixed float-op sequence). An emptied
+            // cluster keeps its previous centroid.
+            let mut sums = vec![0.0f32; k * dim];
+            let mut counts = vec![0u32; k];
+            for (i, &c) in assignments.iter().enumerate() {
+                let sum = &mut sums[c as usize * dim..(c as usize + 1) * dim];
+                for (s, &x) in sum.iter_mut().zip(arena.row(i)) {
+                    *s += x;
+                }
+                counts[c as usize] += 1;
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f32;
+                let centroid = &mut centroids[c * dim..(c + 1) * dim];
+                for (dst, &s) in centroid.iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                    *dst = s * inv;
+                }
+            }
+            centroid_norms = centroids.chunks(dim).map(ioembed::norm).collect();
+        }
+
+        let lists = lists_from_assignments(&assignments, k);
+        let packed = pack_lists(arena, &lists);
+        IvfIndex {
+            dim,
+            nprobe: nprobe.clamp(1, k),
+            centroids,
+            centroid_norms,
+            assignments,
+            lists,
+            packed,
+        }
+    }
+
+    /// Reassemble an IVF index from serialized parts (e.g. an `iostore`
+    /// v2 snapshot) over the arena the assignments describe. Centroids
+    /// and assignments are taken as-is — nothing is re-clustered — so
+    /// loaded probe behaviour is byte-identical to the index that was
+    /// saved; only the derived per-cluster packing is rebuilt.
+    pub fn from_parts(
+        arena: &VectorArena,
+        nprobe: usize,
+        centroids: Vec<f32>,
+        assignments: Vec<u32>,
+    ) -> Result<Self, String> {
+        let dim = arena.dim();
+        if dim == 0 || !centroids.len().is_multiple_of(dim) || centroids.is_empty() {
+            return Err(format!(
+                "centroid matrix of {} lanes is not a non-empty multiple of dim {dim}",
+                centroids.len()
+            ));
+        }
+        if assignments.len() != arena.len() {
+            return Err(format!(
+                "{} assignments for {} arena rows",
+                assignments.len(),
+                arena.len()
+            ));
+        }
+        let k = centroids.len() / dim;
+        if let Some(&bad) = assignments.iter().find(|&&c| c as usize >= k) {
+            return Err(format!("assignment to cluster {bad} but only {k} clusters"));
+        }
+        let centroid_norms = centroids.chunks(dim).map(ioembed::norm).collect();
+        let lists = lists_from_assignments(&assignments, k);
+        let packed = pack_lists(arena, &lists);
+        Ok(IvfIndex {
+            dim,
+            nprobe: nprobe.clamp(1, k),
+            centroids,
+            centroid_norms,
+            assignments,
+            lists,
+            packed,
+        })
+    }
+
+    /// Number of coarse clusters.
+    pub fn clusters(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Default probe width (clusters scored per search).
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Change the default probe width (clamped to `1..=clusters`).
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.nprobe = nprobe.clamp(1, self.clusters());
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row → cluster assignment table (one entry per arena row).
+    pub fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+
+    /// The flat `clusters × dim` centroid matrix.
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Member rows of cluster `c`, ascending.
+    pub fn list(&self, c: usize) -> &[u32] {
+        &self.lists[c]
+    }
+
+    /// Score every row of cluster `c` against the query, offering each
+    /// `(score, row)` to `top`.
+    ///
+    /// Complete 8-row blocks of the cluster's packed copy go through the
+    /// same vertical 8-lane fold as [`VectorArena::dot_block`] — eight
+    /// independent accumulator chains, each a strict left-to-right f32
+    /// fold from `-0.0` — and the `len % 8` tail rows through
+    /// [`ioembed::dot`] straight from the arena. Every score is therefore
+    /// bit-identical to the flat scan's for the same row, which is what
+    /// makes `nprobe = clusters` byte-identical to [`crate::reference`].
+    pub fn scan_cluster(
+        &self,
+        arena: &VectorArena,
+        qv: &[f32],
+        qnorm: f32,
+        c: usize,
+        top: &mut TopK,
+    ) {
+        const B: usize = VectorArena::DOT_BLOCK;
+        let rows = &self.lists[c];
+        let full = rows.len() - rows.len() % B;
+        let qv = &qv[..self.dim];
+        let mut acc = [0.0f32; B];
+        for (b, block) in self.packed[c].chunks_exact(self.dim * B).enumerate() {
+            crate::arena::fold_packed_block(block, qv, &mut acc);
+            for (j, &dot) in acc.iter().enumerate() {
+                let i = rows[b * B + j] as usize;
+                top.push(ioembed::cosine_with_norms(dot, qnorm, arena.norm(i)), i);
+            }
+        }
+        for &row in &rows[full..] {
+            let i = row as usize;
+            let score =
+                ioembed::cosine_with_norms(ioembed::dot(qv, arena.row(i)), qnorm, arena.norm(i));
+            top.push(score, i);
+        }
+    }
+
+    /// The `nprobe` clusters most similar to the query, best first
+    /// (cosine descending under `total_cmp`, cluster index ascending on
+    /// ties — the same total order every search path uses).
+    pub fn probe(&self, qv: &[f32], qnorm: f32, nprobe: usize) -> Vec<u32> {
+        assert_eq!(qv.len(), self.dim, "query dimension mismatch");
+        let mut top = TopK::new(nprobe.clamp(1, self.clusters()));
+        for (c, centroid) in self.centroids.chunks(self.dim).enumerate() {
+            let score = ioembed::cosine_with_norms(
+                ioembed::dot(qv, centroid),
+                qnorm,
+                self.centroid_norms[c],
+            );
+            top.push(score, c);
+        }
+        top.into_sorted_hits()
+            .into_iter()
+            .map(|h| h.entry_idx as u32)
+            .collect()
+    }
+}
+
+/// Most-similar centroid for one row (ties to the lower cluster index).
+fn nearest_centroid(
+    row: &[f32],
+    row_norm: f32,
+    centroids: &[f32],
+    centroid_norms: &[f32],
+    dim: usize,
+) -> u32 {
+    let mut best = 0u32;
+    let mut best_score = f32::NEG_INFINITY;
+    for (c, centroid) in centroids.chunks(dim).enumerate() {
+        let score =
+            ioembed::cosine_with_norms(ioembed::dot(row, centroid), row_norm, centroid_norms[c]);
+        // Strict `>` keeps the first (lowest-index) centroid on ties.
+        if score > best_score {
+            best_score = score;
+            best = c as u32;
+        }
+    }
+    best
+}
+
+fn lists_from_assignments(assignments: &[u32], k: usize) -> Vec<Vec<u32>> {
+    let mut lists = vec![Vec::new(); k];
+    for (i, &c) in assignments.iter().enumerate() {
+        lists[c as usize].push(i as u32);
+    }
+    lists
+}
+
+/// Lane-interleave each cluster's complete 8-row blocks (list order):
+/// block `b`, lane `d`, row-in-block `j` lives at
+/// `((b * dim) + d) * 8 + j`, mirroring [`VectorArena`]'s packed layout.
+fn pack_lists(arena: &VectorArena, lists: &[Vec<u32>]) -> Vec<Vec<f32>> {
+    const B: usize = VectorArena::DOT_BLOCK;
+    let dim = arena.dim();
+    lists
+        .iter()
+        .map(|rows| {
+            let full = rows.len() - rows.len() % B;
+            let mut packed = Vec::with_capacity(full * dim);
+            for block in rows[..full].chunks_exact(B) {
+                for d in 0..dim {
+                    for &row in block {
+                        packed.push(arena.row(row as usize)[d]);
+                    }
+                }
+            }
+            packed
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_of(rows: &[Vec<f32>], dim: usize) -> VectorArena {
+        let mut arena = VectorArena::new(dim);
+        for r in rows {
+            arena.push(r);
+        }
+        arena
+    }
+
+    fn synthetic_rows(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        // Three well-separated directions plus deterministic jitter, so
+        // k-means has real structure to find.
+        let mut state = 0x5eed_1234_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32
+        };
+        (0..n)
+            .map(|i| {
+                let mut v = vec![0.0f32; dim];
+                v[i % 3] = 1.0;
+                for lane in v.iter_mut() {
+                    *lane += 0.05 * next();
+                }
+                ioembed::l2_normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clustering_is_deterministic_across_builds() {
+        let rows = synthetic_rows(64, 8);
+        let arena = arena_of(&rows, 8);
+        let a = IvfIndex::build(&arena, 4, 2);
+        let b = IvfIndex::build(&arena, 4, 2);
+        assert_eq!(a.assignments(), b.assignments());
+        let bits_a: Vec<u32> = a.centroids().iter().map(|f| f.to_bits()).collect();
+        let bits_b: Vec<u32> = b.centroids().iter().map(|f| f.to_bits()).collect();
+        assert_eq!(bits_a, bits_b);
+    }
+
+    #[test]
+    fn lists_partition_all_rows() {
+        let rows = synthetic_rows(50, 8);
+        let arena = arena_of(&rows, 8);
+        let ivf = IvfIndex::build(&arena, 5, 2);
+        let mut seen: Vec<u32> = (0..ivf.clusters())
+            .flat_map(|c| ivf.list(c).to_vec())
+            .collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..50).collect();
+        assert_eq!(seen, expect, "every row in exactly one list");
+        for c in 0..ivf.clusters() {
+            assert!(
+                ivf.list(c).windows(2).all(|w| w[0] < w[1]),
+                "list {c} not ascending"
+            );
+        }
+    }
+
+    #[test]
+    fn separated_directions_land_in_distinct_clusters() {
+        let rows = synthetic_rows(60, 8);
+        let arena = arena_of(&rows, 8);
+        let ivf = IvfIndex::build(&arena, 3, 1);
+        // Rows sharing a dominant axis must share a cluster.
+        for axis in 0..3 {
+            let clusters: Vec<u32> = (0..60)
+                .filter(|i| i % 3 == axis)
+                .map(|i| ivf.assignments()[i])
+                .collect();
+            assert!(
+                clusters.windows(2).all(|w| w[0] == w[1]),
+                "axis {axis} split across clusters: {clusters:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_ranks_own_centroid_first() {
+        let rows = synthetic_rows(60, 8);
+        let arena = arena_of(&rows, 8);
+        let ivf = IvfIndex::build(&arena, 3, 1);
+        for i in [0usize, 1, 2, 30, 31, 32] {
+            let qv = arena.row(i);
+            let probed = ivf.probe(qv, arena.norm(i), 1);
+            assert_eq!(probed, vec![ivf.assignments()[i]], "row {i}");
+        }
+    }
+
+    #[test]
+    fn probe_with_all_clusters_returns_every_cluster() {
+        let rows = synthetic_rows(30, 8);
+        let arena = arena_of(&rows, 8);
+        let ivf = IvfIndex::build(&arena, 4, 1);
+        let mut probed = ivf.probe(arena.row(0), arena.norm(0), ivf.clusters());
+        probed.sort_unstable();
+        let expect: Vec<u32> = (0..ivf.clusters() as u32).collect();
+        assert_eq!(probed, expect);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let rows = synthetic_rows(40, 8);
+        let arena = arena_of(&rows, 8);
+        let built = IvfIndex::build(&arena, 4, 2);
+        let rebuilt = IvfIndex::from_parts(
+            &arena,
+            built.nprobe(),
+            built.centroids().to_vec(),
+            built.assignments().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.clusters(), built.clusters());
+        assert_eq!(rebuilt.assignments(), built.assignments());
+        for c in 0..built.clusters() {
+            assert_eq!(rebuilt.list(c), built.list(c));
+        }
+        let a = built.probe(arena.row(7), arena.norm(7), 2);
+        let b = rebuilt.probe(arena.row(7), arena.norm(7), 2);
+        assert_eq!(a, b, "loaded probe order must match the built one");
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        let rows = synthetic_rows(3, 8);
+        let arena = arena_of(&rows, 8);
+        assert!(
+            IvfIndex::from_parts(&arena, 1, vec![0.0; 12], vec![0; 3]).is_err(),
+            "ragged centroids"
+        );
+        assert!(
+            IvfIndex::from_parts(&arena, 1, vec![], vec![0; 3]).is_err(),
+            "no centroids"
+        );
+        assert!(
+            IvfIndex::from_parts(&arena, 1, vec![0.0; 16], vec![0, 1, 2]).is_err(),
+            "assignment beyond cluster count"
+        );
+        assert!(
+            IvfIndex::from_parts(&arena, 1, vec![0.0; 16], vec![0, 1]).is_err(),
+            "assignment table shorter than the arena"
+        );
+    }
+
+    /// The sharded packed scan must be bit-identical to scoring each
+    /// cluster row with the one-row kernel — including clusters whose
+    /// size is not a multiple of 8 (tail path).
+    #[test]
+    fn scan_cluster_matches_per_row_kernel_bit_for_bit() {
+        use crate::topk::TopK;
+        let rows = synthetic_rows(59, 8); // odd count ⇒ ragged cluster tails
+        let arena = arena_of(&rows, 8);
+        let ivf = IvfIndex::build(&arena, 3, 1);
+        let qv = arena.row(5).to_vec();
+        let qnorm = arena.norm(5);
+        for c in 0..ivf.clusters() {
+            let mut fast = TopK::new(100);
+            ivf.scan_cluster(&arena, &qv, qnorm, c, &mut fast);
+            let mut slow = TopK::new(100);
+            for &row in ivf.list(c) {
+                let i = row as usize;
+                slow.push(
+                    ioembed::cosine_with_norms(
+                        ioembed::dot(&qv, arena.row(i)),
+                        qnorm,
+                        arena.norm(i),
+                    ),
+                    i,
+                );
+            }
+            let a: Vec<(u32, usize)> = fast
+                .into_sorted_hits()
+                .iter()
+                .map(|h| (h.score.to_bits(), h.entry_idx))
+                .collect();
+            let b: Vec<(u32, usize)> = slow
+                .into_sorted_hits()
+                .iter()
+                .map(|h| (h.score.to_bits(), h.entry_idx))
+                .collect();
+            assert_eq!(a, b, "cluster {c} diverged");
+        }
+    }
+
+    #[test]
+    fn cluster_count_clamps_to_row_count() {
+        let rows = synthetic_rows(3, 8);
+        let arena = arena_of(&rows, 8);
+        let ivf = IvfIndex::build(&arena, 64, 16);
+        assert_eq!(ivf.clusters(), 3);
+        assert_eq!(ivf.nprobe(), 3);
+    }
+
+    #[test]
+    fn empty_arena_builds_a_single_empty_cluster() {
+        let arena = VectorArena::new(8);
+        let ivf = IvfIndex::build(&arena, 8, 2);
+        assert_eq!(ivf.clusters(), 1);
+        assert!(ivf.list(0).is_empty());
+        assert!(ivf.assignments().is_empty());
+    }
+}

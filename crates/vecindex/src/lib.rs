@@ -19,14 +19,35 @@
 //! O(n·d + n log k) with zero per-entry allocation. Scores and orderings
 //! are bit-identical to the original scan-score-sort path, which survives
 //! as the executable spec in [`reference`].
+//!
+//! # IVF probing and the query-blocked batch
+//!
+//! Two optional layers sit on top of the flat scan:
+//!
+//! - **[`ivf`]**: a deterministic k-means coarse quantizer over the arena.
+//!   With an [`IvfIndex`] attached ([`VectorIndex::enable_ivf`]), a search
+//!   scores only the rows of the `nprobe` most query-similar clusters —
+//!   sub-linear scan cost at a measured recall trade-off. Probed rows go
+//!   through the *same* kernels, and the top-k heap keeps the same set in
+//!   any offer order, so `nprobe = clusters` is byte-identical to the flat
+//!   scan (and to [`reference::search`]).
+//! - **query-blocked [`VectorIndex::search_batch`]**: batch queries are
+//!   grouped into blocks of [`VectorArena::QUERY_BLOCK`] and the arena (or
+//!   each probed cluster list) is streamed **once per block** instead of
+//!   once per query ([`VectorArena::dot_block_batch`] /
+//!   [`ioembed::dot_multi`]), turning the DRAM-bandwidth-bound batch into
+//!   an arithmetic-bound one. Per-query results stay byte-identical to
+//!   [`VectorIndex::search`].
 
 pub mod arena;
 pub mod chunk;
+pub mod ivf;
 pub mod reference;
 pub mod topk;
 
 pub use arena::VectorArena;
 pub use chunk::{chunk_text, Chunk};
+pub use ivf::IvfIndex;
 pub use topk::{top_k, TopK};
 
 use ioembed::Embedder;
@@ -83,6 +104,9 @@ pub struct VectorIndex {
     overlap: usize,
     entries: Vec<IndexEntry>,
     arena: VectorArena,
+    /// Optional coarse quantizer; `None` means every search is a flat
+    /// scan. Shared via `Arc` so cloning an index never re-clusters.
+    ivf: Option<Arc<IvfIndex>>,
 }
 
 impl Default for VectorIndex {
@@ -102,6 +126,7 @@ impl VectorIndex {
             overlap,
             entries: Vec::new(),
             arena: VectorArena::new(dim),
+            ivf: None,
         }
     }
 
@@ -130,6 +155,49 @@ impl VectorIndex {
             overlap,
             entries,
             arena,
+            ivf: None,
+        }
+    }
+
+    /// Cluster the arena and serve subsequent searches through IVF
+    /// probing at the given default `nprobe` (both clamped to the row
+    /// count). `nprobe >= clusters` keeps results byte-identical to the
+    /// flat scan; smaller values trade recall for scan cost.
+    pub fn enable_ivf(&mut self, clusters: usize, nprobe: usize) {
+        self.ivf = Some(Arc::new(IvfIndex::build(&self.arena, clusters, nprobe)));
+    }
+
+    /// Drop the IVF layer; searches go back to the exact flat scan.
+    pub fn disable_ivf(&mut self) {
+        self.ivf = None;
+    }
+
+    /// Attach an already-built quantizer (e.g. loaded from an `iostore`
+    /// v2 snapshot) instead of re-clustering.
+    pub fn attach_ivf(&mut self, ivf: Arc<IvfIndex>) {
+        assert_eq!(ivf.dim(), self.arena.dim(), "IVF/arena dim mismatch");
+        assert_eq!(
+            ivf.assignments().len(),
+            self.arena.len(),
+            "IVF assignment table must cover every arena row"
+        );
+        self.ivf = Some(ivf);
+    }
+
+    /// The attached coarse quantizer, if any.
+    pub fn ivf(&self) -> Option<&IvfIndex> {
+        self.ivf.as_deref()
+    }
+
+    /// Change the default probe width of the attached quantizer (no-op
+    /// without one). Cheap when this index uniquely owns the quantizer;
+    /// when it is shared with clones of the index, `Arc::make_mut`
+    /// **deep-clones the whole quantizer** (centroids, lists, and the
+    /// per-cluster packed copies) first — prefer configuring `nprobe` at
+    /// build/load time over flipping it per request on shared indexes.
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        if let Some(ivf) = &mut self.ivf {
+            Arc::make_mut(ivf).set_nprobe(nprobe);
         }
     }
 
@@ -163,8 +231,11 @@ impl VectorIndex {
         self.arena.row(idx)
     }
 
-    /// Chunk, embed, and add a document.
+    /// Chunk, embed, and add a document. Invalidates any attached IVF
+    /// clustering (the new rows are unassigned); re-enable after bulk
+    /// loading.
     pub fn add_document(&mut self, doc_id: &str, citation: &str, text: &str) {
+        self.ivf = None;
         let doc_id: Arc<str> = Arc::from(doc_id);
         let citation: Arc<str> = Arc::from(citation);
         let first_new = self.entries.len();
@@ -240,6 +311,9 @@ impl VectorIndex {
             return Vec::new();
         }
         let qnorm = ioembed::norm(qv);
+        if let Some(ivf) = &self.ivf {
+            return self.search_ivf(qv, qnorm, ivf, ivf.nprobe(), k);
+        }
         let shards = rayon::current_num_threads().min(n.div_ceil(MIN_ROWS_PER_SHARD));
         if shards <= 1 {
             return self.scan_shard(qv, qnorm, 0, n, k).into_sorted_hits();
@@ -305,10 +379,174 @@ impl VectorIndex {
         top
     }
 
-    /// Run many queries in parallel, each returning its own top-k. Each
-    /// worker thread reuses its own query buffer via [`VectorIndex::search`].
+    /// IVF-probed search: score only the rows of the `nprobe` clusters
+    /// whose centroids rank highest for the query. The per-row kernel and
+    /// the heap's total order are exactly the flat scan's, so probing
+    /// restricts *which* rows are scored but never changes a kept score —
+    /// `nprobe = clusters` visits every list and is byte-identical to the
+    /// flat scan (pinned by `tests/ivf_equivalence.rs`).
+    fn search_ivf(
+        &self,
+        qv: &[f32],
+        qnorm: f32,
+        ivf: &IvfIndex,
+        nprobe: usize,
+        k: usize,
+    ) -> Vec<SearchHit> {
+        let mut top = TopK::new(k);
+        for c in ivf.probe(qv, qnorm, nprobe) {
+            ivf.scan_cluster(&self.arena, qv, qnorm, c as usize, &mut top);
+        }
+        top.into_sorted_hits()
+    }
+
+    /// Run many queries, each returning its own top-k, byte-identical to
+    /// per-query [`VectorIndex::search`] calls.
+    ///
+    /// Queries are embedded once up front, grouped into blocks of
+    /// [`VectorArena::QUERY_BLOCK`], and each block streams the arena (or
+    /// each probed cluster list) **once** for all of its queries — the
+    /// query-blocked kernel that reuses every loaded row across the whole
+    /// block instead of re-streaming n×dim floats per query. Blocks run
+    /// in parallel on the rayon pool; blocks are independent, so results
+    /// are identical at any thread width.
     pub fn search_batch(&self, queries: &[String], k: usize) -> Vec<Vec<SearchHit>> {
-        queries.par_iter().map(|q| self.search(q, k)).collect()
+        let embedded: Vec<Vec<f32>> = queries.par_iter().map(|q| self.embedder.embed(q)).collect();
+        self.search_batch_embedded(&embedded, k)
+    }
+
+    /// [`VectorIndex::search_batch`] over already-embedded queries.
+    ///
+    /// With IVF attached, every query is probed **once** (the same probe
+    /// the single-query path would run), and the probe lists drive both
+    /// the cluster-affine grouping — queries sharing a block mostly
+    /// subscribe to the same cluster lists, so each list is streamed once
+    /// for many of them — and the scans themselves. Grouping only changes
+    /// which queries share a pass, never a score, and results are
+    /// scattered back to input order.
+    pub fn search_batch_embedded(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<SearchHit>> {
+        for qv in queries {
+            assert_eq!(qv.len(), self.arena.dim(), "query dimension mismatch");
+        }
+        if let Some(ivf) = &self.ivf {
+            return self.search_batch_ivf(queries, ivf, k);
+        }
+        let blocks: Vec<&[Vec<f32>]> = queries.chunks(VectorArena::QUERY_BLOCK).collect();
+        let per_block: Vec<Vec<Vec<SearchHit>>> = blocks
+            .par_iter()
+            .map(|block| {
+                let refs: Vec<&[f32]> = block.iter().map(Vec::as_slice).collect();
+                self.search_block_flat(&refs, k)
+            })
+            .collect();
+        per_block.into_iter().flatten().collect()
+    }
+
+    /// IVF batch path: probe each query once at the quantizer's default
+    /// width, order queries by their best cluster, then scan blocks with
+    /// the precomputed probe lists.
+    fn search_batch_ivf(
+        &self,
+        queries: &[Vec<f32>],
+        ivf: &IvfIndex,
+        k: usize,
+    ) -> Vec<Vec<SearchHit>> {
+        let probes: Vec<(Vec<u32>, f32)> = queries
+            .iter()
+            .map(|qv| {
+                let qnorm = ioembed::norm(qv);
+                (ivf.probe(qv, qnorm, ivf.nprobe()), qnorm)
+            })
+            .collect();
+        // Cluster-affine order: a probe list is never empty (at least one
+        // cluster always exists), and ties fall back to input order.
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_unstable_by_key(|&i| (probes[i].0[0], i));
+        let blocks: Vec<&[usize]> = order.chunks(VectorArena::QUERY_BLOCK).collect();
+        let per_block: Vec<Vec<Vec<SearchHit>>> = blocks
+            .par_iter()
+            .map(|idxs| self.search_block_ivf(queries, &probes, idxs, ivf, k))
+            .collect();
+        let mut out: Vec<Vec<SearchHit>> = vec![Vec::new(); queries.len()];
+        for (&slot, hits) in order.iter().zip(per_block.into_iter().flatten()) {
+            out[slot] = hits;
+        }
+        out
+    }
+
+    /// Top-k for one block of ≤ [`VectorArena::QUERY_BLOCK`] queries,
+    /// streaming shared rows once for the whole block.
+    fn search_block_flat(&self, block: &[&[f32]], k: usize) -> Vec<Vec<SearchHit>> {
+        let n = self.arena.len();
+        if n == 0 || k == 0 {
+            return block.iter().map(|_| Vec::new()).collect();
+        }
+        let qnorms: Vec<f32> = block.iter().map(|q| ioembed::norm(q)).collect();
+        const B: usize = VectorArena::DOT_BLOCK;
+        let mut tops: Vec<TopK> = block.iter().map(|_| TopK::new(k)).collect();
+        // Full packed blocks through the query-blocked kernel…
+        let full = n - n % B;
+        let mut dots = vec![0.0f32; block.len() * B];
+        let mut i = 0;
+        while i < full {
+            self.arena.dot_block_batch(block, i, &mut dots);
+            for ((q, top), dot_lanes) in tops.iter_mut().enumerate().zip(dots.chunks_exact(B)) {
+                for (j, &dot) in dot_lanes.iter().enumerate() {
+                    let score = ioembed::cosine_with_norms(dot, qnorms[q], self.arena.norm(i + j));
+                    top.push(score, i + j);
+                }
+            }
+            i += B;
+        }
+        // …then the trailing rows through the one-row multi-query kernel.
+        let mut row_dots = vec![0.0f32; block.len()];
+        for i in full..n {
+            ioembed::dot_multi(block, self.arena.row(i), &mut row_dots);
+            for ((top, &dot), &qnorm) in tops.iter_mut().zip(&row_dots).zip(&qnorms) {
+                top.push(
+                    ioembed::cosine_with_norms(dot, qnorm, self.arena.norm(i)),
+                    i,
+                );
+            }
+        }
+        tops.into_iter().map(TopK::into_sorted_hits).collect()
+    }
+
+    /// IVF-probed block search over one block of query indices (into
+    /// `queries`/`probes`): each query scans exactly the clusters its
+    /// precomputed probe list names — the same set
+    /// [`VectorIndex::search_ivf`] would — but clusters subscribed by
+    /// several queries of the block are scanned back to back while their
+    /// packed blocks are cache-hot.
+    fn search_block_ivf(
+        &self,
+        queries: &[Vec<f32>],
+        probes: &[(Vec<u32>, f32)],
+        idxs: &[usize],
+        ivf: &IvfIndex,
+        k: usize,
+    ) -> Vec<Vec<SearchHit>> {
+        let mut tops: Vec<TopK> = idxs.iter().map(|_| TopK::new(k)).collect();
+        // Cluster → block slots that probe it.
+        let mut subscribers: Vec<Vec<u32>> = vec![Vec::new(); ivf.clusters()];
+        for (slot, &q) in idxs.iter().enumerate() {
+            for &c in &probes[q].0 {
+                subscribers[c as usize].push(slot as u32);
+            }
+        }
+        for (c, subs) in subscribers.iter().enumerate() {
+            for &slot in subs {
+                let q = idxs[slot as usize];
+                ivf.scan_cluster(
+                    &self.arena,
+                    &queries[q],
+                    probes[q].1,
+                    c,
+                    &mut tops[slot as usize],
+                );
+            }
+        }
+        tops.into_iter().map(TopK::into_sorted_hits).collect()
     }
 }
 
@@ -453,6 +691,108 @@ mod tests {
                 assert_eq!(engine, reference, "k={k} q={q:?}");
             }
         }
+    }
+
+    /// Exact-mode IVF (`nprobe = clusters`) must be byte-identical to the
+    /// flat scan and hence to the reference, in miniature (the full pin
+    /// lives in tests/ivf_equivalence.rs).
+    #[test]
+    fn ivf_exact_mode_matches_reference_bit_for_bit() {
+        let mut ix = small_index();
+        ix.enable_ivf(3, 3);
+        assert_eq!(ix.ivf().unwrap().clusters(), 3);
+        for k in [1, 2, 5, 100] {
+            for q in [
+                "stripe count of 1 limits parallelism",
+                "metadata stat storm",
+                "",
+            ] {
+                let engine: Vec<(u32, usize)> = ix
+                    .search(q, k)
+                    .iter()
+                    .map(|h| (h.score.to_bits(), h.entry_idx))
+                    .collect();
+                let spec: Vec<(u32, usize)> = reference::search(&ix, q, k)
+                    .iter()
+                    .map(|h| (h.score.to_bits(), h.entry_idx))
+                    .collect();
+                assert_eq!(engine, spec, "k={k} q={q:?}");
+            }
+        }
+    }
+
+    /// Probed hits keep exact flat-scan scores: every IVF hit at any
+    /// nprobe appears in the flat ranking with the same score bits.
+    #[test]
+    fn ivf_probed_scores_are_exact_flat_scores() {
+        let mut ix = small_index();
+        let q = "collective aggregation of small writes";
+        let flat: Vec<(u32, usize)> = ix
+            .search(q, ix.len())
+            .iter()
+            .map(|h| (h.score.to_bits(), h.entry_idx))
+            .collect();
+        ix.enable_ivf(3, 1);
+        for hit in ix.search(q, 5) {
+            assert!(
+                flat.contains(&(hit.score.to_bits(), hit.entry_idx)),
+                "probed hit {} not an exact flat hit",
+                hit.entry_idx
+            );
+        }
+    }
+
+    /// The batch path must stay byte-identical to per-query search with
+    /// IVF attached, including when block queries probe different (and
+    /// overlapping) cluster sets.
+    #[test]
+    fn ivf_batch_matches_individual_searches() {
+        let mut ix = small_index();
+        ix.enable_ivf(3, 2);
+        let queries: Vec<String> = [
+            "collective aggregation of small writes",
+            "stat storm",
+            "stripe count of one",
+            "",
+        ]
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+        let batch = ix.search_batch(&queries, 3);
+        for (q, hits) in queries.iter().zip(&batch) {
+            let single: Vec<(u32, usize)> = ix
+                .search(q, 3)
+                .iter()
+                .map(|h| (h.score.to_bits(), h.entry_idx))
+                .collect();
+            let batched: Vec<(u32, usize)> = hits
+                .iter()
+                .map(|h| (h.score.to_bits(), h.entry_idx))
+                .collect();
+            assert_eq!(batched, single, "q={q:?}");
+        }
+    }
+
+    /// Adding a document invalidates the clustering (its rows would be
+    /// unassigned), falling back to the exact flat scan.
+    #[test]
+    fn add_document_invalidates_ivf() {
+        let mut ix = small_index();
+        ix.enable_ivf(2, 1);
+        assert!(ix.ivf().is_some());
+        ix.add_document("late", "[Late, V 2026]", "a late arriving document");
+        assert!(ix.ivf().is_none(), "stale clustering must not survive");
+    }
+
+    /// set_nprobe clamps and round-trips through the attached quantizer.
+    #[test]
+    fn nprobe_is_adjustable_and_clamped() {
+        let mut ix = small_index();
+        ix.enable_ivf(3, 1);
+        ix.set_nprobe(999);
+        assert_eq!(ix.ivf().unwrap().nprobe(), 3);
+        ix.set_nprobe(0);
+        assert_eq!(ix.ivf().unwrap().nprobe(), 1);
     }
 
     /// Force the sharded path (n ≥ MIN_ROWS_PER_SHARD rows) and check it

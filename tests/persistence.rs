@@ -7,7 +7,7 @@
 //! - a corpus or embedder-config change invalidates the snapshot and
 //!   triggers a rebuild instead of silently serving stale retrievals.
 
-use ioagent_core::{AgentConfig, IndexProvenance, IoAgent, Retriever};
+use ioagent_core::{AgentConfig, IndexProvenance, IoAgent, IvfParams, Retriever};
 use ioagentd::{DiagnosisService, JobRequest, ServiceConfig};
 use simllm::SimLlm;
 use std::path::PathBuf;
@@ -281,6 +281,52 @@ fn pre_existing_snapshot_loads_into_the_arena_without_rebuild() {
         let b: Vec<u32> = loaded_ix.vector(i).iter().map(|f| f.to_bits()).collect();
         assert_eq!(a, b, "entry {i} vector changed across the format boundary");
     }
+
+    // …including when the loading deployment asks for IVF: the v1
+    // snapshot (which predates clustering records) is served, lazily
+    // clustered — no rebuild, no re-embedding — and re-saved as v2 so
+    // the next start skips the clustering too (ISSUE 5).
+    let ivf_params = IvfParams {
+        clusters: 8,
+        nprobe: 8,
+    };
+    let (probed, provenance) = Retriever::build_or_load_with(&state, Some(ivf_params));
+    assert_eq!(
+        provenance,
+        IndexProvenance::Snapshot,
+        "v1 snapshot + IVF config must lazily cluster, not rebuild"
+    );
+    let clustered = probed
+        .index()
+        .ivf()
+        .expect("lazy clustering must attach IVF");
+    assert_eq!(clustered.clusters(), 8);
+    let (resumed, provenance) = Retriever::build_or_load_with(&state, Some(ivf_params));
+    assert_eq!(provenance, IndexProvenance::Snapshot);
+    assert_eq!(
+        resumed
+            .index()
+            .ivf()
+            .expect("v2 re-save carries the clustering")
+            .assignments(),
+        clustered.assignments(),
+        "second start must reuse the persisted clustering byte-identically"
+    );
+    // Exact-mode probing (nprobe = clusters) over the lazily-clustered
+    // index retrieves byte-identically to the flat index.
+    let q = "small writes on a single stripe";
+    let flat_hits: Vec<(u32, usize)> = ix
+        .search(q, 15)
+        .iter()
+        .map(|h| (h.score.to_bits(), h.entry_idx))
+        .collect();
+    let probed_hits: Vec<(u32, usize)> = probed
+        .index()
+        .search(q, 15)
+        .iter()
+        .map(|h| (h.score.to_bits(), h.entry_idx))
+        .collect();
+    assert_eq!(flat_hits, probed_hits);
 
     // …and diagnoses byte-identically to the fresh build.
     let fresh = Arc::new(built);
