@@ -15,6 +15,14 @@
 //! comparison isolates diagnosis throughput from index construction; the
 //! result cache is disabled in the scaling arms so every job does real
 //! work. A `speedup` summary is printed after the samples.
+//!
+//! A final **tracing-overhead** arm times the cpu batch with span tracing
+//! off and then on (`--trace-dir`-style file tracer at the default stage
+//! detail, installed via the set-once global, so it must run last),
+//! asserts the diagnoses stay byte-identical, and writes the min-of-N
+//! numbers to `BENCH_obs.json` at the repo root. With `BENCH_GATE=1` the
+//! run fails if tracing costs more than 3% of batch wall time (with a
+//! 5 ms absolute noise floor).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ioagentd::{DiagnosisService, JobRequest, Retriever, ServiceConfig};
@@ -149,5 +157,126 @@ fn bench_service(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_service);
+/// Tracing-overhead arm. Runs after `bench_service` (the global tracer
+/// is set-once, so everything before this point measures the disabled
+/// path): min-of-N cpu batches with tracing off, then the same batches
+/// with a file tracer installed, byte-identity asserted between the two.
+fn bench_tracing_overhead(_c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let samples = if test_mode { 1 } else { 7 };
+    let suite = TraceBench::generate();
+    let jobs = workload(&suite);
+    let index = Arc::new(Retriever::build());
+    let workers = 4;
+
+    let min_of = |service: &DiagnosisService| -> (Duration, Vec<String>) {
+        let texts = service
+            .run_batch(jobs.clone())
+            .unwrap()
+            .into_iter()
+            .map(|r| r.diagnosis.text)
+            .collect();
+        let best = (0..samples)
+            .map(|_| timed_batch(service, &jobs))
+            .min()
+            .unwrap();
+        (best, texts)
+    };
+
+    assert!(
+        !ioobserve::tracer().enabled(),
+        "tracing arm must start with the tracer disabled"
+    );
+    let off_service = DiagnosisService::with_shared_index(
+        ServiceConfig::with_workers(workers).cache_capacity(0),
+        Arc::clone(&index),
+    );
+    let (off_min, off_texts) = min_of(&off_service);
+    off_service.shutdown();
+
+    let trace_dir = std::env::temp_dir().join(format!("ioagentd-bench-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let tracer = ioobserve::Tracer::to_dir(&trace_dir).expect("open trace dir");
+    assert!(
+        ioobserve::init_tracer(tracer),
+        "a tracer was already installed; the overhead arm needs a fresh process"
+    );
+    let on_service = DiagnosisService::with_shared_index(
+        ServiceConfig::with_workers(workers).cache_capacity(0),
+        Arc::clone(&index),
+    );
+    let (on_min, on_texts) = min_of(&on_service);
+    on_service.shutdown();
+
+    assert_eq!(
+        off_texts, on_texts,
+        "tracing must not perturb diagnosis output"
+    );
+    let spans_written = std::fs::read_dir(&trace_dir)
+        .map(|dir| {
+            dir.flatten()
+                .filter_map(|e| std::fs::read_to_string(e.path()).ok())
+                .map(|text| text.lines().count())
+                .sum::<usize>()
+        })
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&trace_dir);
+
+    let overhead = (on_min.as_secs_f64() - off_min.as_secs_f64()) / off_min.as_secs_f64();
+    println!(
+        "\ntracing overhead ({N_JOBS} jobs, {workers} workers, min of {samples}): \
+         off {off_min:.3?}, on {on_min:.3?} ({:+.2}%), {spans_written} spans written",
+        overhead * 100.0
+    );
+
+    if test_mode {
+        println!("bench service tracing arm: ok (test mode, JSON/gate skipped)");
+        return;
+    }
+
+    let generated_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let record = serde_json::json!({
+        "bench": "service_tracing_overhead",
+        "trace_detail": "stage",
+        "jobs": N_JOBS,
+        "workers": workers,
+        "samples": samples,
+        "tracing_off_min_ms": off_min.as_secs_f64() * 1e3,
+        "tracing_on_min_ms": on_min.as_secs_f64() * 1e3,
+        "overhead_pct": overhead * 100.0,
+        "spans_written": spans_written,
+        "generated_unix": generated_unix,
+    });
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
+    std::fs::write(
+        &path,
+        format!("{}\n", serde_json::to_string(&record).unwrap()),
+    )
+    .expect("write BENCH_obs.json");
+    println!("wrote {}", path.display());
+
+    if std::env::var("BENCH_GATE").is_ok() {
+        // Same-run ratio: machine-independent. The absolute floor keeps a
+        // sub-noise delta on a very fast batch from false-redding.
+        let absolute = on_min.saturating_sub(off_min);
+        if overhead < 0.03 || absolute < Duration::from_millis(5) {
+            println!(
+                "gate: OK (tracing overhead {:.2}% < 3%)",
+                overhead.max(0.0) * 100.0
+            );
+        } else {
+            eprintln!(
+                "REGRESSION: tracing overhead {:.2}% exceeds the 3% budget \
+                 (off {off_min:.3?}, on {on_min:.3?})",
+                overhead * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+criterion_group!(benches, bench_service, bench_tracing_overhead);
 criterion_main!(benches);

@@ -101,23 +101,49 @@ impl<'m> IoAgent<'m> {
 
     /// Run the full pipeline on a trace.
     pub fn diagnose(&self, trace: &DarshanTrace) -> Diagnosis {
+        let tracer = ioobserve::tracer();
+        let metrics = ioobserve::metrics();
+
         // Stage 1: module-based pre-processing.
-        let fragments = preprocessor::extract_fragments(trace);
+        let preprocess_start = std::time::Instant::now();
+        let fragments = {
+            let mut span = tracer.span("stage.preprocess");
+            let fragments = preprocessor::extract_fragments(trace);
+            span.set_attr("fragments", fragments.len());
+            fragments
+        };
+        metrics
+            .histogram("stage.preprocess_ns")
+            .record_duration(preprocess_start.elapsed());
 
         // Stage 2: per-fragment knowledge integration + diagnosis, parallel
         // across fragments (each fragment's retrieval reflection is itself
         // parallel inside the retriever, drawing on the same pool budget).
         // Blocks come back in fragment order, so the merged report is
-        // byte-identical at any thread count.
+        // byte-identical at any thread count. One coarse `stage.fragments`
+        // span tiles the whole fan-out; per-fragment spans are fine detail
+        // and take their parent explicitly, because the closures may run
+        // on pool worker threads whose span stacks are empty.
+        let fragments_span = tracer.span("stage.fragments");
+        let fragments_parent = fragments_span.id();
         let blocks: Vec<SummaryBlock> = fragments
             .par_iter()
-            .map(|fragment| self.diagnose_fragment(fragment))
+            .map(|fragment| self.diagnose_fragment(fragment, fragments_parent))
             .collect();
+        drop(fragments_span);
 
         // Stage 3: tree-based merge.
-        let merged = merge_blocks(self.model, blocks, self.config.merge);
+        let merge_start = std::time::Instant::now();
+        let merged = {
+            let _span = tracer.span("stage.merge");
+            merge_blocks(self.model, blocks, self.config.merge)
+        };
+        metrics
+            .histogram("stage.merge_ns")
+            .record_duration(merge_start.elapsed());
 
         // Final report rendering.
+        let _render_span = tracer.span("stage.render");
         let (text, issues, references) = render_report(&self.tool_name(), &merged);
         Diagnosis {
             tool: self.tool_name(),
@@ -128,23 +154,48 @@ impl<'m> IoAgent<'m> {
     }
 
     /// Diagnose a single fragment into a mergeable summary block.
-    fn diagnose_fragment(&self, fragment: &SummaryFragment) -> SummaryBlock {
+    /// `parent` is the span id of the enclosing fan-out (0 when tracing
+    /// is disabled), threaded explicitly because this may run on a pool
+    /// worker thread with no span context of its own.
+    fn diagnose_fragment(&self, fragment: &SummaryFragment, parent: u64) -> SummaryBlock {
+        let tracer = ioobserve::tracer();
+        let metrics = ioobserve::metrics();
+        let mut fragment_span = tracer.span_child_fine("stage.fragment", parent);
+        fragment_span.set_attr("title", &fragment.title);
+
         // 2a: NL transformation (the RAG query).
-        let query = if self.config.nl_transform {
-            transform::to_natural_language(self.model, fragment)
-        } else {
-            fragment.json_text()
+        let llm_start = std::time::Instant::now();
+        let query = {
+            let mut span = tracer.span_fine("stage.llm");
+            span.set_attr("op", "transform");
+            if self.config.nl_transform {
+                transform::to_natural_language(self.model, fragment)
+            } else {
+                fragment.json_text()
+            }
         };
+        let transform_elapsed = llm_start.elapsed();
 
         // 2b/2c: retrieval + self-reflection filtering.
-        let sources = if self.config.use_rag {
-            self.retriever
-                .retrieve_k(&query, &self.reflection, self.config.top_k)
-        } else {
-            Vec::new()
+        let retrieve_start = std::time::Instant::now();
+        let sources = {
+            let mut span = tracer.span_fine("stage.retrieve");
+            span.set_attr("top_k", self.config.top_k);
+            if self.config.use_rag {
+                self.retriever
+                    .retrieve_k(&query, &self.reflection, self.config.top_k)
+            } else {
+                Vec::new()
+            }
         };
+        metrics
+            .histogram("stage.retrieve_ns")
+            .record_duration(retrieve_start.elapsed());
 
         // 2d: grounded per-fragment diagnosis.
+        let diagnose_start = std::time::Instant::now();
+        let mut span = tracer.span_fine("stage.llm");
+        span.set_attr("op", "diagnose");
         let mut prompt = format!(
             "### TASK: diagnose\nDiagnose I/O issues visible in the {} summary.\n",
             fragment.title
@@ -156,6 +207,10 @@ impl<'m> IoAgent<'m> {
         }
         let req = CompletionRequest::new("You are an expert in HPC I/O performance.", prompt);
         let response = self.model.complete(&req).text;
+        drop(span);
+        let llm_hist = metrics.histogram("stage.llm_ns");
+        llm_hist.record_duration(transform_elapsed);
+        llm_hist.record_duration(diagnose_start.elapsed());
 
         SummaryBlock::new(fragment.title.clone(), response_to_points(&response))
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! USAGE:
 //!   ioagentd [OPTIONS]
+//!   ioagentd trace-report PATH
 //!
 //! OPTIONS:
 //!   --workers N        worker threads (default: available parallelism)
@@ -18,6 +19,12 @@
 //!   --nprobe N         clusters probed per retrieval (default: an eighth
 //!                      of --ivf-clusters; N >= clusters = exact mode)
 //!   --listen ADDR      serve the line protocol over TCP instead of stdio
+//!   --trace-dir DIR    write per-job span traces (NDJSON) into DIR
+//!                      (default: off — tracing has near-zero cost when
+//!                      disabled and never changes diagnosis output)
+//!   --trace-detail D   span granularity: `stage` (default, a handful of
+//!                      coarse stage spans per job) or `fine` (adds
+//!                      per-fragment, per-LLM-call, and per-scan spans)
 //!   -h, --help         print this help
 //! ```
 //!
@@ -30,11 +37,17 @@
 //!
 //! Input hardening: request lines are capped at
 //! [`protocol::MAX_REQUEST_LINE_BYTES`]; an oversized or malformed line is
-//! answered with a structured `{"id": …, "error": …}` line (echoing the
-//! request's own `id` whenever the JSON parsed far enough to reveal one)
-//! and the stream keeps serving. A `{"stats": true}` line returns the
-//! service's aggregate counters — including cache hit/miss and, with
-//! `--state-dir`, journal size and persisted-entry counts — in-band.
+//! answered with a structured `{"id": …, "error": …, "error_kind": …}`
+//! line (echoing the request's own `id` whenever the JSON parsed far
+//! enough to reveal one) and the stream keeps serving. A `{"stats": true}`
+//! line returns the service's aggregate counters — including cache
+//! hit/miss and, with `--state-dir`, journal size and persisted-entry
+//! counts — in-band; `{"metrics": true}` returns the full observability
+//! registries with per-stage latency histogram quantiles.
+//!
+//! `ioagentd trace-report PATH` folds a span NDJSON file (or every
+//! `spans-*.ndjson` in a `--trace-dir` directory) into a per-stage
+//! latency attribution table.
 
 use ioagentd::{protocol, DiagnosisService, ServiceConfig};
 use std::io::{BufRead, BufReader, Write};
@@ -44,7 +57,8 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "ioagentd — concurrent batch I/O-diagnosis service\n\n\
-         USAGE: ioagentd [OPTIONS]\n\n\
+         USAGE: ioagentd [OPTIONS]\n\
+         \x20      ioagentd trace-report PATH\n\n\
          OPTIONS:\n\
            --workers N        worker threads (default: available parallelism)\n\
            --intra-threads N  rayon-shim pool width inside each job\n\
@@ -55,7 +69,13 @@ fn usage() -> ! {
            --ivf-clusters N   IVF-cluster the knowledge index (0 = flat)\n\
            --nprobe N         clusters probed per retrieval (0 = default)\n\
            --listen ADDR      serve over TCP (host:port) instead of stdio\n\
+           --trace-dir DIR    write span traces (NDJSON) into DIR\n\
+           --trace-detail D   span granularity: stage (default) | fine\n\
            -h, --help         print this help\n\n\
+         SUBCOMMANDS:\n\
+           trace-report PATH  fold a span NDJSON file (or a --trace-dir\n\
+                              directory of spans-*.ndjson files) into a\n\
+                              per-stage latency table\n\n\
          PROTOCOL (one JSON document per line):\n\
            request:  {{\"id\": \"j1\", \"trace\": \"<darshan-parser text>\",\n\
                       \"model\": \"gpt-4o\", \"top_k\": 15, \"use_rag\": true,\n\
@@ -76,14 +96,64 @@ fn parse_count(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
     }
 }
 
+/// `ioagentd trace-report PATH`: fold one span NDJSON file — or every
+/// `spans-*.ndjson` in a trace directory — into a latency table.
+fn trace_report(path: &str) -> ! {
+    let path = std::path::Path::new(path);
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    if path.is_dir() {
+        let entries = std::fs::read_dir(path).unwrap_or_else(|e| {
+            eprintln!("trace-report: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("spans-") && name.ends_with(".ndjson") {
+                files.push(entry.path());
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            eprintln!(
+                "trace-report: no spans-*.ndjson files in {}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    } else {
+        files.push(path.to_path_buf());
+    }
+
+    let mut records = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("trace-report: cannot read {}: {e}", file.display());
+            std::process::exit(1);
+        });
+        match ioobserve::parse_spans(&text) {
+            Ok(mut spans) => records.append(&mut spans),
+            Err(e) => {
+                eprintln!("trace-report: {}: {e}", file.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    print!("{}", ioobserve::fold_spans(&records).render_table());
+    std::process::exit(0);
+}
+
 fn main() {
     let mut config = ServiceConfig::default();
     let mut listen: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut trace_fine = false;
     let mut explicit_queue = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "trace-report" => trace_report(&args.next().unwrap_or_else(|| usage())),
             "--workers" => config.workers = parse_count(&mut args, "--workers").max(1),
             "--intra-threads" => {
                 config.intra_threads = parse_count(&mut args, "--intra-threads").max(1)
@@ -97,6 +167,15 @@ fn main() {
             "--ivf-clusters" => config.ivf_clusters = parse_count(&mut args, "--ivf-clusters"),
             "--nprobe" => config.ivf_nprobe = parse_count(&mut args, "--nprobe"),
             "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-dir" => trace_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-detail" => match args.next().as_deref() {
+                Some("stage") => trace_fine = false,
+                Some("fine") => trace_fine = true,
+                other => {
+                    eprintln!("--trace-detail expects `stage` or `fine`, got {other:?}");
+                    usage();
+                }
+            },
             "-h" | "--help" => usage(),
             other => {
                 eprintln!("unknown option {other:?}");
@@ -117,6 +196,35 @@ fn main() {
              retrieval stays an exact flat scan",
             config.ivf_nprobe
         );
+    }
+
+    // The tracer is process-global and set-once, so it must be installed
+    // before the service spawns its workers (each worker resolves the
+    // tracer when it starts).
+    if let Some(dir) = &trace_dir {
+        match ioobserve::Tracer::to_dir(dir) {
+            Ok(tracer) => {
+                let tracer = if trace_fine {
+                    tracer.with_fine_detail()
+                } else {
+                    tracer
+                };
+                let path = tracer.trace_path().map(|p| p.display().to_string());
+                if ioobserve::init_tracer(tracer) {
+                    eprintln!(
+                        "[ioagentd] tracing on ({} detail): {}",
+                        if trace_fine { "fine" } else { "stage" },
+                        path.as_deref().unwrap_or("<memory>")
+                    );
+                } else {
+                    eprintln!("[ioagentd] warning: tracer already installed; --trace-dir ignored");
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot open trace dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     eprintln!(
@@ -212,6 +320,7 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
         // the stream has resolved, so a serial client sees counters that
         // include all of its own preceding jobs.
         Stats { id: String },
+        Metrics { id: String },
     }
 
     // Bounded: if the peer stops reading responses, the printer thread
@@ -230,6 +339,12 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
                     &id,
                     &printer_service.stats(),
                     printer_service.persistence_active(),
+                    printer_service.queue_depth(),
+                ),
+                Outcome::Metrics { id } => protocol::render_metrics(
+                    &id,
+                    &printer_service.metrics_snapshot(),
+                    &ioobserve::metrics().snapshot(),
                 ),
             };
             if writeln!(writer, "{line}").is_err() {
@@ -241,6 +356,12 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
         served
     });
 
+    // Per-connection accounting: one root `conn` span covering the whole
+    // stream, plus process-wide byte/request counters.
+    let mut conn_span = ioobserve::tracer().span("conn");
+    let mut conn_bytes = 0u64;
+    let mut conn_requests = 0u64;
+
     let mut line_no = 0u64;
     loop {
         line_no += 1;
@@ -249,6 +370,8 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
         {
             Ok(protocol::InputLine::Line(line)) => line,
             Ok(protocol::InputLine::Oversized { bytes }) => {
+                conn_bytes += bytes as u64;
+                conn_requests += 1;
                 // The oversized line was drained, so the stream is intact;
                 // answer it with a structured error and keep serving.
                 let message = format!(
@@ -256,7 +379,11 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
                     protocol::MAX_REQUEST_LINE_BYTES
                 );
                 if tx
-                    .send(Outcome::Line(protocol::render_error(&default_id, &message)))
+                    .send(Outcome::Line(protocol::render_error(
+                        &default_id,
+                        protocol::ErrorKind::OversizedLine,
+                        &message,
+                    )))
                     .is_err()
                 {
                     break;
@@ -265,20 +392,25 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
             }
             Ok(protocol::InputLine::Eof) | Err(_) => break,
         };
+        conn_bytes += line.len() as u64 + 1;
         if line.trim().is_empty() {
             line_no -= 1;
             continue;
         }
+        conn_requests += 1;
         let outcome = match protocol::parse_line(&line, &default_id) {
             Ok(protocol::Request::Stats { id }) => Outcome::Stats { id },
+            Ok(protocol::Request::Metrics { id }) => Outcome::Metrics { id },
             Ok(protocol::Request::Job(request)) => {
                 let id = request.id.clone();
                 match service.submit(*request) {
                     Ok(ticket) => Outcome::Ticket(ticket),
-                    Err(e) => Outcome::Line(protocol::render_error(&id, &e.to_string())),
+                    Err(e) => {
+                        Outcome::Line(protocol::render_error(&id, (&e).into(), &e.to_string()))
+                    }
                 }
             }
-            Err(e) => Outcome::Line(protocol::render_error(&e.id, &e.message)),
+            Err(e) => Outcome::Line(protocol::render_error(&e.id, e.kind, &e.message)),
         };
         if tx.send(outcome).is_err() {
             break;
@@ -286,4 +418,12 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
     }
     drop(tx);
     let _ = printer.join();
+
+    let metrics = ioobserve::metrics();
+    metrics.counter("conn.bytes").add(conn_bytes);
+    metrics.counter("conn.requests").add(conn_requests);
+    conn_span.set_attr("bytes", conn_bytes);
+    conn_span.set_attr("requests", conn_requests);
+    drop(conn_span);
+    ioobserve::tracer().flush();
 }

@@ -19,9 +19,10 @@
 //!  "queue_wait_ms": 0.1, "exec_ms": 42.0, "worker": 3}
 //! ```
 
-use crate::service::{JobRequest, JobResult, ServiceStats};
+use crate::service::{JobRequest, JobResult, ServiceStats, SubmitError};
 use ioagent_core::{AgentConfig, MergeStrategy};
-use serde_json::{json, Value};
+use ioobserve::RegistrySnapshot;
+use serde_json::{json, Map, Value};
 use std::io::{self, BufRead};
 
 /// Hard cap on one request line. A single darshan-parser text trace is
@@ -32,13 +33,59 @@ use std::io::{self, BufRead};
 /// per-line error instead of poisoning the stream.
 pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024 * 1024;
 
+/// Stable machine-readable classification of error replies, sent on the
+/// wire as the `error_kind` field. The snake_case names are part of the
+/// protocol (pinned by `error_replies_pin_exact_strings`); clients may
+/// dispatch on them without parsing the human-readable `error` text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line exceeded [`MAX_REQUEST_LINE_BYTES`].
+    OversizedLine,
+    /// The line was not valid JSON.
+    MalformedJson,
+    /// Valid JSON, but the request fields were missing or out of range.
+    InvalidRequest,
+    /// The backbone or reflection model matches no known profile.
+    UnknownModel,
+    /// The bounded job queue was full (non-blocking submission only).
+    QueueFull,
+    /// The service is shutting down and accepts no new jobs.
+    Shutdown,
+}
+
+impl ErrorKind {
+    /// The stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::OversizedLine => "oversized_line",
+            ErrorKind::MalformedJson => "malformed_json",
+            ErrorKind::InvalidRequest => "invalid_request",
+            ErrorKind::UnknownModel => "unknown_model",
+            ErrorKind::QueueFull => "queue_full",
+            ErrorKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl From<&SubmitError> for ErrorKind {
+    fn from(e: &SubmitError) -> ErrorKind {
+        match e {
+            SubmitError::UnknownModel(_) => ErrorKind::UnknownModel,
+            SubmitError::QueueFull => ErrorKind::QueueFull,
+            SubmitError::ShuttingDown => ErrorKind::Shutdown,
+        }
+    }
+}
+
 /// A rejected request line: the id to answer under (the request's own
 /// `id` whenever the JSON parsed far enough to reveal one) plus the
-/// reason.
+/// kind and reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestError {
     /// Identifier to echo in the error response.
     pub id: String,
+    /// Machine-readable classification (`error_kind` on the wire).
+    pub kind: ErrorKind,
     /// Human-readable rejection reason.
     pub message: String,
 }
@@ -54,17 +101,29 @@ pub enum Request {
         /// Identifier to echo in the stats response.
         id: String,
     },
+    /// A metrics probe: `{"metrics": true}` — answered inline with the
+    /// full observability registries (counters, gauges, and histogram
+    /// quantiles per pipeline stage), never enqueued.
+    Metrics {
+        /// Identifier to echo in the metrics response.
+        id: String,
+    },
 }
 
-/// Parse one NDJSON line into a [`Request`] (job or stats probe).
+/// Parse one NDJSON line into a [`Request`] (job, stats, or metrics
+/// probe).
 pub fn parse_line(line: &str, default_id: &str) -> Result<Request, RequestError> {
     let value: Value = serde_json::from_str(line).map_err(|e| RequestError {
         id: default_id.to_string(),
+        kind: ErrorKind::MalformedJson,
         message: e.to_string(),
     })?;
     let id = resolve_id(&value, default_id);
     if value.get("stats").and_then(Value::as_bool) == Some(true) {
         return Ok(Request::Stats { id });
+    }
+    if value.get("metrics").and_then(Value::as_bool) == Some(true) {
+        return Ok(Request::Metrics { id });
     }
     parse_request_value(value, id).map(|job| Request::Job(Box::new(job)))
 }
@@ -82,6 +141,7 @@ fn resolve_id(value: &Value, default_id: &str) -> String {
 fn parse_request_value(value: Value, id: String) -> Result<JobRequest, RequestError> {
     let fail = |id: &str, message: String| RequestError {
         id: id.to_string(),
+        kind: ErrorKind::InvalidRequest,
         message,
     };
     let trace_text = value
@@ -155,14 +215,23 @@ pub fn render_result(result: &JobResult) -> String {
     serde_json::to_string(&response).expect("serialize response")
 }
 
-/// Render a per-line failure as one compact JSON line.
-pub fn render_error(id: &str, message: &str) -> String {
-    serde_json::to_string(&json!({ "id": id, "error": message })).expect("serialize error")
+/// Render a per-line failure as one compact JSON line carrying both the
+/// human-readable `error` and the stable machine-readable `error_kind`.
+pub fn render_error(id: &str, kind: ErrorKind, message: &str) -> String {
+    serde_json::to_string(&json!({ "id": id, "error": message, "error_kind": kind.as_str() }))
+        .expect("serialize error")
 }
 
 /// Render the service's aggregate counters as one compact JSON line
-/// (the response to a `{"stats": true}` request).
-pub fn render_stats(id: &str, stats: &ServiceStats, persistence: bool) -> String {
+/// (the response to a `{"stats": true}` request). `queue_depth` is the
+/// probe-time queue occupancy — the one instantaneous gauge the
+/// otherwise-monotonic stats reply carries.
+pub fn render_stats(
+    id: &str,
+    stats: &ServiceStats,
+    persistence: bool,
+    queue_depth: usize,
+) -> String {
     let response = json!({
         "id": id,
         "stats": json!({
@@ -176,9 +245,63 @@ pub fn render_stats(id: &str, stats: &ServiceStats, persistence: bool) -> String
             "persistence": persistence,
             "persisted_entries": stats.persisted_entries,
             "journal_bytes": stats.journal_bytes,
+            "queue_depth": queue_depth,
         }),
     });
     serde_json::to_string(&response).expect("serialize stats")
+}
+
+fn histogram_json(h: &ioobserve::HistogramSnapshot) -> Value {
+    json!({
+        "count": h.count,
+        "mean_ns": h.mean(),
+        "min_ns": h.min,
+        "max_ns": h.max,
+        "p50_ns": h.p50,
+        "p90_ns": h.p90,
+        "p99_ns": h.p99,
+        "p999_ns": h.p999,
+    })
+}
+
+fn registry_json(snap: &RegistrySnapshot) -> Value {
+    let mut counters = Map::new();
+    for (name, v) in &snap.counters {
+        counters.insert(name.clone(), json!(v));
+    }
+    for (name, v) in &snap.floats {
+        counters.insert(name.clone(), json!(v));
+    }
+    let mut gauges = Map::new();
+    for (name, v) in &snap.gauges {
+        gauges.insert(name.clone(), json!(v));
+    }
+    let mut histograms = Map::new();
+    for (name, h) in &snap.histograms {
+        histograms.insert(name.clone(), histogram_json(h));
+    }
+    let mut out = Map::new();
+    out.insert("counters".to_string(), Value::Object(counters));
+    out.insert("gauges".to_string(), Value::Object(gauges));
+    out.insert("histograms".to_string(), Value::Object(histograms));
+    Value::Object(out)
+}
+
+/// Render the full observability registries as one compact JSON line
+/// (the response to a `{"metrics": true}` request): the service's own
+/// counters and latency histograms under `"service"`, and the
+/// process-global stage/library metrics (pipeline stages, vecindex,
+/// simllm, iostore) under `"process"`, each histogram summarized as
+/// count/mean/min/max and p50/p90/p99/p999 in nanoseconds.
+pub fn render_metrics(id: &str, service: &RegistrySnapshot, process: &RegistrySnapshot) -> String {
+    let response = json!({
+        "id": id,
+        "metrics": json!({
+            "service": registry_json(service),
+            "process": registry_json(process),
+        }),
+    });
+    serde_json::to_string(&response).expect("serialize metrics")
 }
 
 /// One read from a bounded request stream.
@@ -329,7 +452,7 @@ mod tests {
             journal_bytes: 1234,
             ..Default::default()
         };
-        let line = render_stats("probe-1", &stats, true);
+        let line = render_stats("probe-1", &stats, true, 2);
         let back: Value = serde_json::from_str(&line).unwrap();
         assert_eq!(back.get("id").and_then(Value::as_str), Some("probe-1"));
         let s = back.get("stats").unwrap();
@@ -338,6 +461,116 @@ mod tests {
         assert_eq!(s.get("persisted_entries").and_then(Value::as_i64), Some(5));
         assert_eq!(s.get("journal_bytes").and_then(Value::as_i64), Some(1234));
         assert_eq!(s.get("persistence").and_then(Value::as_bool), Some(true));
+        assert_eq!(s.get("queue_depth").and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn metrics_request_parses_and_renders() {
+        match parse_line(r#"{"id": "m-1", "metrics": true}"#, "d").unwrap() {
+            Request::Metrics { id } => assert_eq!(id, "m-1"),
+            other => panic!("expected metrics request, got {other:?}"),
+        }
+        let service = ioobserve::MetricsRegistry::new();
+        service.counter("service.jobs_completed").add(4);
+        let h = service.histogram("service.exec_ns");
+        for v in [100u64, 200, 300, 4_000] {
+            h.record(v);
+        }
+        let process = ioobserve::MetricsRegistry::new();
+        process.counter("llm.calls").add(9);
+        process.float_counter("llm.cost_usd").add(0.5);
+        process.gauge("service.queue_depth").set(3);
+        let line = render_metrics("m-1", &service.snapshot(), &process.snapshot());
+        let back: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.get("id").and_then(Value::as_str), Some("m-1"));
+        let m = back.get("metrics").unwrap();
+        let svc = m.get("service").unwrap();
+        assert_eq!(
+            svc.get("counters")
+                .and_then(|c| c.get("service.jobs_completed"))
+                .and_then(Value::as_i64),
+            Some(4)
+        );
+        let exec = svc
+            .get("histograms")
+            .and_then(|h| h.get("service.exec_ns"))
+            .unwrap();
+        assert_eq!(exec.get("count").and_then(Value::as_i64), Some(4));
+        assert_eq!(exec.get("min_ns").and_then(Value::as_i64), Some(100));
+        assert_eq!(exec.get("max_ns").and_then(Value::as_i64), Some(4_000));
+        let p50 = exec.get("p50_ns").and_then(Value::as_i64).unwrap();
+        assert!((200..=213).contains(&p50), "p50 {p50} outside error bound");
+        assert!(exec.get("p99_ns").is_some() && exec.get("p999_ns").is_some());
+        let proc = m.get("process").unwrap();
+        assert_eq!(
+            proc.get("counters")
+                .and_then(|c| c.get("llm.calls"))
+                .and_then(Value::as_i64),
+            Some(9)
+        );
+        assert_eq!(
+            proc.get("counters")
+                .and_then(|c| c.get("llm.cost_usd"))
+                .and_then(Value::as_f64),
+            Some(0.5)
+        );
+        assert_eq!(
+            proc.get("gauges")
+                .and_then(|g| g.get("service.queue_depth"))
+                .and_then(Value::as_i64),
+            Some(3)
+        );
+    }
+
+    /// The exact reply bytes for every error kind are protocol surface:
+    /// clients dispatch on `error_kind`, and scripts grep the `error`
+    /// text. Pin them so a refactor cannot silently reshape them.
+    #[test]
+    fn error_replies_pin_exact_strings() {
+        assert_eq!(
+            render_error(
+                "line-3",
+                ErrorKind::OversizedLine,
+                "request line of 5000000 bytes exceeds the 4194304 byte limit"
+            ),
+            r#"{"error":"request line of 5000000 bytes exceeds the 4194304 byte limit","error_kind":"oversized_line","id":"line-3"}"#
+        );
+        assert_eq!(
+            render_error("line-1", ErrorKind::MalformedJson, "invalid JSON"),
+            r#"{"error":"invalid JSON","error_kind":"malformed_json","id":"line-1"}"#
+        );
+        assert_eq!(
+            render_error(
+                "x",
+                ErrorKind::InvalidRequest,
+                "missing required string field \"trace\""
+            ),
+            r#"{"error":"missing required string field \"trace\"","error_kind":"invalid_request","id":"x"}"#
+        );
+        let unknown = SubmitError::UnknownModel("gpt-9".to_string());
+        assert_eq!(
+            render_error("j1", (&unknown).into(), &unknown.to_string()),
+            r#"{"error":"unknown model profile \"gpt-9\"","error_kind":"unknown_model","id":"j1"}"#
+        );
+        let full = SubmitError::QueueFull;
+        assert_eq!(
+            render_error("j2", (&full).into(), &full.to_string()),
+            r#"{"error":"job queue is full","error_kind":"queue_full","id":"j2"}"#
+        );
+        let down = SubmitError::ShuttingDown;
+        assert_eq!(
+            render_error("j3", (&down).into(), &down.to_string()),
+            r#"{"error":"service is shutting down","error_kind":"shutdown","id":"j3"}"#
+        );
+    }
+
+    #[test]
+    fn malformed_json_carries_kind() {
+        let err = parse_line("{not json", "line-9").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::MalformedJson);
+        assert_eq!(err.id, "line-9");
+        let err = parse_job(r#"{"id": "x"}"#, "d").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidRequest);
     }
 
     #[test]

@@ -20,9 +20,10 @@
 //!   the [`ServiceConfig`] docs for how to split it).
 
 use crate::cache::LruCache;
-use crate::queue::{BoundedQueue, QueueClosed};
+use crate::queue::{BoundedQueue, QueueClosed, TryPushError};
 use darshan::DarshanTrace;
 use ioagent_core::{AgentConfig, IoAgent};
+use ioobserve::{Counter, FloatCounter, Histogram, MetricsRegistry, RegistrySnapshot};
 use iostore::{ResultKey, ResultStore, StateDir};
 use simllm::{Diagnosis, SimLlm};
 use std::path::PathBuf;
@@ -256,6 +257,9 @@ pub struct JobResult {
 pub enum SubmitError {
     /// The model name matches no known profile.
     UnknownModel(String),
+    /// The bounded queue is full ([`DiagnosisService::try_submit`] only;
+    /// blocking [`DiagnosisService::submit`] waits instead).
+    QueueFull,
     /// The service is shutting down.
     ShuttingDown,
 }
@@ -264,6 +268,7 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::UnknownModel(m) => write!(f, "unknown model profile {m:?}"),
+            SubmitError::QueueFull => write!(f, "job queue is full"),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -274,6 +279,13 @@ impl std::error::Error for SubmitError {}
 /// Aggregate service counters (monotonic over the service lifetime,
 /// except the two persistence gauges, which snapshot the journal's state
 /// at [`DiagnosisService::stats`] time and stay 0 with persistence off).
+///
+/// Since the observability refactor this struct is a *snapshot view*:
+/// the live values are lock-free atomics in the service's private
+/// [`MetricsRegistry`] (see [`ServiceCounters`]), read into this struct
+/// by [`DiagnosisService::stats`]. The fields — and therefore
+/// `render_stats` output — are unchanged from the `Mutex<ServiceStats>`
+/// era.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServiceStats {
     /// Jobs completed (including cache hits).
@@ -300,13 +312,56 @@ struct QueuedJob {
     request: JobRequest,
     key: ResultKey,
     enqueued: Instant,
+    /// Enqueue time on the tracer's clock (0 with tracing off), so the
+    /// worker can emit the `job` root span and its `stage.queue_wait`
+    /// child with the true enqueue instant as their start.
+    enqueued_ns: u64,
     reply: mpsc::Sender<JobResult>,
+}
+
+/// The service's live counters: lock-free atomics in a private
+/// [`MetricsRegistry`] (private so several services in one process — the
+/// unit tests — never share counters). Instruments are resolved once at
+/// construction and then touched without any name lookup or lock on the
+/// per-job path; [`DiagnosisService::stats`] reads them into the
+/// [`ServiceStats`] snapshot view.
+struct ServiceCounters {
+    registry: MetricsRegistry,
+    jobs_completed: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    llm_calls: Arc<Counter>,
+    input_tokens: Arc<Counter>,
+    output_tokens: Arc<Counter>,
+    cost_usd: Arc<FloatCounter>,
+    queue_wait_ns: Arc<Histogram>,
+    exec_ns: Arc<Histogram>,
+    persist_ns: Arc<Histogram>,
+}
+
+impl ServiceCounters {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        ServiceCounters {
+            jobs_completed: registry.counter("service.jobs_completed"),
+            cache_hits: registry.counter("service.cache_hits"),
+            cache_misses: registry.counter("service.cache_misses"),
+            llm_calls: registry.counter("service.llm_calls"),
+            input_tokens: registry.counter("service.input_tokens"),
+            output_tokens: registry.counter("service.output_tokens"),
+            cost_usd: registry.float_counter("service.cost_usd"),
+            queue_wait_ns: registry.histogram("service.queue_wait_ns"),
+            exec_ns: registry.histogram("service.exec_ns"),
+            persist_ns: registry.histogram("service.persist_ns"),
+            registry,
+        }
+    }
 }
 
 struct Shared {
     queue: BoundedQueue<QueuedJob>,
     cache: Mutex<LruCache<ResultKey, Diagnosis>>,
-    stats: Mutex<ServiceStats>,
+    counters: ServiceCounters,
     retriever: Arc<Retriever>,
     /// Disk-backed result journal (`None` with persistence off).
     store: Option<Mutex<ResultStore>>,
@@ -316,26 +371,32 @@ struct Shared {
 
 impl Shared {
     fn record(&self, result: &JobResult) {
-        let mut stats = self
-            .stats
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        stats.jobs_completed += 1;
+        let c = &self.counters;
+        c.jobs_completed.inc();
         if result.cached {
-            stats.cache_hits += 1;
+            c.cache_hits.inc();
         } else {
-            stats.cache_misses += 1;
+            c.cache_misses.inc();
         }
-        stats.llm_calls += result.metrics.llm_calls as u64;
-        stats.input_tokens += result.metrics.input_tokens as u64;
-        stats.output_tokens += result.metrics.output_tokens as u64;
-        stats.cost_usd += result.metrics.cost_usd;
+        c.llm_calls.add(result.metrics.llm_calls as u64);
+        c.input_tokens.add(result.metrics.input_tokens as u64);
+        c.output_tokens.add(result.metrics.output_tokens as u64);
+        c.cost_usd.add(result.metrics.cost_usd);
+        c.queue_wait_ns.record_duration(result.metrics.queue_wait);
+        c.exec_ns.record_duration(result.metrics.exec);
     }
 
     /// LRU lookup with journal read-through: a miss in the in-memory layer
     /// falls back to the persistent store, promoting any hit into the LRU
     /// so subsequent lookups stay memory-speed.
     fn lookup(&self, key: &ResultKey) -> Option<Diagnosis> {
+        let mut probe_span = ioobserve::tracer().span("stage.cache_probe");
+        let hit = self.lookup_inner(key);
+        probe_span.set_attr("hit", hit.is_some());
+        hit
+    }
+
+    fn lookup_inner(&self, key: &ResultKey) -> Option<Diagnosis> {
         let mut cache = self
             .cache
             .lock()
@@ -357,6 +418,8 @@ impl Shared {
     /// the journal. Journal write failures are reported, not fatal — the
     /// daemon keeps serving from memory.
     fn remember(&self, key: &ResultKey, diagnosis: &Diagnosis) {
+        let persist_start = Instant::now();
+        let _span = ioobserve::tracer().span("stage.persist");
         {
             let mut cache = self
                 .cache
@@ -372,6 +435,9 @@ impl Shared {
                 eprintln!("[ioagentd] journal append failed: {e}");
             }
         }
+        self.counters
+            .persist_ns
+            .record_duration(persist_start.elapsed());
     }
 }
 
@@ -467,7 +533,7 @@ impl DiagnosisService {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
-            stats: Mutex::new(ServiceStats::default()),
+            counters: ServiceCounters::new(),
             retriever,
             store: store.map(Mutex::new),
             rpc_latency: config.simulated_rpc_latency,
@@ -545,11 +611,50 @@ impl DiagnosisService {
             request,
             key,
             enqueued: Instant::now(),
+            enqueued_ns: ioobserve::tracer().now_ns(),
             reply,
         };
         match self.shared.queue.push(job) {
             Ok(()) => Ok(ticket),
             Err(QueueClosed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// [`DiagnosisService::submit`] without backpressure blocking: a full
+    /// queue returns [`SubmitError::QueueFull`] immediately instead of
+    /// waiting for a worker. Cache hits are still answered inline (they
+    /// never need queue space).
+    pub fn try_submit(&self, request: JobRequest) -> Result<JobTicket, SubmitError> {
+        Self::validate_models(&request)?;
+        let key = request.fingerprint();
+        let (reply, receiver) = mpsc::channel();
+        let ticket = JobTicket {
+            id: request.id.clone(),
+            receiver,
+        };
+        if let Some(diagnosis) = self.shared.lookup(&key) {
+            let result = JobResult {
+                id: request.id,
+                diagnosis,
+                cached: true,
+                worker: usize::MAX,
+                metrics: JobMetrics::default(),
+            };
+            self.shared.record(&result);
+            let _ = reply.send(result);
+            return Ok(ticket);
+        }
+        let job = QueuedJob {
+            request,
+            key,
+            enqueued: Instant::now(),
+            enqueued_ns: ioobserve::tracer().now_ns(),
+            reply,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(ticket),
+            Err(TryPushError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TryPushError::Closed(_)) => Err(SubmitError::ShuttingDown),
         }
     }
 
@@ -576,11 +681,18 @@ impl DiagnosisService {
     /// Snapshot of the aggregate counters, with the persistence gauges
     /// (journal entry count and file size) read live from the store.
     pub fn stats(&self) -> ServiceStats {
-        let mut stats = *self
-            .shared
-            .stats
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let c = &self.shared.counters;
+        let mut stats = ServiceStats {
+            jobs_completed: c.jobs_completed.get(),
+            cache_hits: c.cache_hits.get(),
+            cache_misses: c.cache_misses.get(),
+            llm_calls: c.llm_calls.get(),
+            input_tokens: c.input_tokens.get(),
+            output_tokens: c.output_tokens.get(),
+            cost_usd: c.cost_usd.get(),
+            persisted_entries: 0,
+            journal_bytes: 0,
+        };
         if let Some(store) = &self.shared.store {
             let store = store
                 .lock()
@@ -589,6 +701,13 @@ impl DiagnosisService {
             stats.journal_bytes = store.journal_bytes();
         }
         stats
+    }
+
+    /// Snapshot of the service's own metrics registry (the `service.*`
+    /// counters and latency histograms behind [`DiagnosisService::stats`]).
+    /// Process-wide stage metrics live in [`ioobserve::metrics`].
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.shared.counters.registry.snapshot()
     }
 
     /// Jobs currently waiting in the queue.
@@ -632,9 +751,22 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         .num_threads(shared.intra_threads)
         .build()
         .expect("intra-job thread pool");
+    let tracer = ioobserve::tracer();
     while let Some(job) = shared.queue.pop() {
         let queue_wait = job.enqueued.elapsed();
         let started = Instant::now();
+
+        // The root span for this job opens retroactively at the enqueue
+        // instant, so its duration is true wall time (queue wait + exec)
+        // and `stage.queue_wait` tiles the pre-dequeue part exactly. It
+        // stays on this thread's span stack, parenting every stage span
+        // the pipeline opens below (with `intra_threads` 1 — the default
+        // — all job work runs on this thread).
+        let mut job_span = tracer.span_at("job", job.enqueued_ns, 0);
+        job_span.set_attr("id", &job.request.id);
+        job_span.set_attr("model", &job.request.model);
+        job_span.set_attr("worker", worker_idx);
+        drop(tracer.span_at("stage.queue_wait", job.enqueued_ns, job_span.id()));
 
         // A duplicate may have completed while this job sat in the queue.
         let result = match shared.lookup(&job.key) {
@@ -651,6 +783,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
             },
             None => {
                 if !shared.rpc_latency.is_zero() {
+                    let _rpc_span = tracer.span("stage.rpc_wait");
                     std::thread::sleep(shared.rpc_latency);
                 }
                 // Fresh per-job models: usage accounting stays job-local.
@@ -680,8 +813,13 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
                 }
             }
         };
+        job_span.set_attr("cached", result.cached);
+        // End (and flush) the job's spans before bookkeeping so the
+        // recorded wall time covers exactly enqueue → result ready.
+        drop(job_span);
         shared.record(&result);
         // The submitter may have given up on the ticket; that is fine.
         let _ = job.reply.send(result);
     }
+    tracer.flush();
 }

@@ -1,0 +1,231 @@
+//! End-to-end observability smoke: drive the real `ioagentd` binary with
+//! `--trace-dir`, run a 16-job batch plus in-band `{"stats": true}` and
+//! `{"metrics": true}` probes, then assert that
+//!
+//! - the emitted span NDJSON parses and decomposes >= 95% of every job's
+//!   wall time into named `stage.*` spans,
+//! - the metrics probe reports per-stage histogram quantiles,
+//! - error replies carry stable `error_kind` values,
+//! - the `trace-report` subcommand folds the trace dir into a table.
+//!
+//! The trace file and rendered report are copied to `target/obs-smoke/`
+//! so CI can upload them as artifacts. This is the test CI runs as its
+//! observability smoke job.
+
+use serde_json::{json, Value};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("ioagentd-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_daemon(args: &[&str], input: &str) -> Vec<Value> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ioagentd"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ioagentd");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let output = child.wait_with_output().expect("daemon exit");
+    assert!(
+        output.status.success(),
+        "daemon exited with {:?}",
+        output.status
+    );
+    String::from_utf8(output.stdout)
+        .expect("utf-8 stdout")
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("response line is JSON"))
+        .collect()
+}
+
+/// 16 jobs over the seed corpus (cycling if the corpus is smaller), with
+/// distinct ids so none is a cache hit.
+fn request_lines(n: usize) -> String {
+    let suite = tracebench::TraceBench::generate();
+    let mut out = String::new();
+    for (i, entry) in suite.entries.iter().cycle().take(n).enumerate() {
+        let text = darshan::write::write_text(&entry.trace);
+        let line = json!({
+            "id": format!("job-{i}-{}", entry.spec.id),
+            "trace": text,
+            "model": if i % 2 == 0 { "gpt-4o-mini" } else { "gpt-4o" },
+        });
+        out.push_str(&serde_json::to_string(&line).unwrap());
+        out.push('\n');
+    }
+    out
+}
+
+/// Where CI picks up the artifacts.
+fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/obs-smoke");
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    dir
+}
+
+const JOBS: usize = 16;
+
+#[test]
+fn traced_batch_decomposes_job_time_and_serves_metrics() {
+    let traces = TempDir::new("obs-traces");
+    let trace_arg = traces.0.to_str().unwrap();
+
+    let mut input = request_lines(JOBS);
+    input.push_str("not even json\n");
+    input.push_str("{\"id\": \"probe\", \"stats\": true}\n");
+    input.push_str("{\"id\": \"mprobe\", \"metrics\": true}\n");
+
+    let responses = run_daemon(
+        &[
+            "--workers",
+            "4",
+            "--trace-dir",
+            trace_arg,
+            "--trace-detail",
+            "fine",
+        ],
+        &input,
+    );
+    assert_eq!(responses.len(), JOBS + 3, "one response per input line");
+
+    // The 16 jobs all completed uncached.
+    for r in &responses[..JOBS] {
+        assert!(r.get("error").is_none(), "unexpected error: {r:?}");
+        assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
+    }
+
+    // The malformed line is classified with a stable error_kind.
+    let err = &responses[JOBS];
+    assert!(err.get("error").is_some());
+    assert_eq!(
+        err.get("error_kind").and_then(Value::as_str),
+        Some("malformed_json")
+    );
+
+    // Stats probe: all jobs counted, queue drained by probe time.
+    let stats = responses[JOBS + 1].get("stats").expect("stats response");
+    assert_eq!(
+        stats.get("jobs_completed").and_then(Value::as_i64),
+        Some(JOBS as i64)
+    );
+    assert_eq!(stats.get("queue_depth").and_then(Value::as_i64), Some(0));
+
+    // Metrics probe: per-stage histogram quantiles are reported.
+    let metrics = responses[JOBS + 2]
+        .get("metrics")
+        .expect("metrics response");
+    let svc_hist = metrics
+        .get("service")
+        .and_then(|s| s.get("histograms"))
+        .expect("service histograms");
+    for name in ["service.queue_wait_ns", "service.exec_ns"] {
+        let h = svc_hist
+            .get(name)
+            .unwrap_or_else(|| panic!("missing {name}"));
+        assert_eq!(h.get("count").and_then(Value::as_i64), Some(JOBS as i64));
+        let p50 = h.get("p50_ns").and_then(Value::as_i64).unwrap();
+        let p99 = h.get("p99_ns").and_then(Value::as_i64).unwrap();
+        assert!(p50 <= p99, "{name}: p50 {p50} > p99 {p99}");
+    }
+    let proc_hist = metrics
+        .get("process")
+        .and_then(|p| p.get("histograms"))
+        .expect("process histograms");
+    for name in ["stage.llm_ns", "stage.retrieve_ns", "stage.merge_ns"] {
+        let h = proc_hist
+            .get(name)
+            .unwrap_or_else(|| panic!("missing {name}"));
+        assert!(h.get("count").and_then(Value::as_i64).unwrap() > 0);
+        assert!(h.get("p99_ns").is_some() && h.get("p999_ns").is_some());
+    }
+    assert!(
+        metrics
+            .get("process")
+            .and_then(|p| p.get("counters"))
+            .and_then(|c| c.get("llm.calls"))
+            .and_then(Value::as_i64)
+            .unwrap()
+            > 0
+    );
+
+    // The daemon wrote one spans file; it parses and covers the jobs.
+    let span_files: Vec<PathBuf> = std::fs::read_dir(&traces.0)
+        .expect("read trace dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("spans-") && n.ends_with(".ndjson"))
+        })
+        .collect();
+    assert_eq!(span_files.len(), 1, "exactly one daemon process traced");
+    let ndjson = std::fs::read_to_string(&span_files[0]).expect("read spans");
+    let records = ioobserve::parse_spans(&ndjson).expect("spans parse");
+    let report = ioobserve::fold_spans(&records);
+    assert_eq!(report.jobs, JOBS as u64, "one root job span per job");
+    assert!(
+        report.coverage_min >= 0.95,
+        "stage spans must attribute >= 95% of every job's wall time, \
+         got min {:.3} (mean {:.3})",
+        report.coverage_min,
+        report.coverage_mean
+    );
+    let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "stage.queue_wait",
+        "stage.preprocess",
+        "stage.fragments",
+        "stage.fragment",
+        "stage.retrieve",
+        "stage.llm",
+        "stage.merge",
+        "stage.render",
+    ] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    // The connection span is there too, with its accounting attrs.
+    let conn = records
+        .iter()
+        .find(|r| r.name == "conn")
+        .expect("conn span");
+    assert!(conn.attr("requests").is_some() && conn.attr("bytes").is_some());
+
+    // `trace-report` over the whole directory renders the same fold.
+    let out = Command::new(env!("CARGO_BIN_EXE_ioagentd"))
+        .args(["trace-report", trace_arg])
+        .output()
+        .expect("run trace-report");
+    assert!(out.status.success(), "trace-report failed: {out:?}");
+    let table = String::from_utf8(out.stdout).expect("utf-8 table");
+    assert!(table.contains(&format!("jobs: {JOBS}")), "table:\n{table}");
+    assert!(table.contains("stage.llm"), "table:\n{table}");
+
+    // Leave the evidence where CI can upload it.
+    let artifacts = artifact_dir();
+    std::fs::copy(&span_files[0], artifacts.join("spans.ndjson")).expect("copy spans");
+    std::fs::write(artifacts.join("trace-report.txt"), &table).expect("write report");
+}

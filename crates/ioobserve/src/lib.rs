@@ -1,0 +1,85 @@
+//! ioobserve — dependency-free observability for the I/O-diagnosis
+//! pipeline: structured span tracing, an atomic metrics registry with
+//! log-linear histograms, and trace-report folding.
+//!
+//! Three layers:
+//!
+//! - [`span`]: [`Tracer`]/[`Span`] write NDJSON span records (id, parent,
+//!   name, start/end ns, attrs) through per-thread buffers to a file or
+//!   memory sink. Disabled tracers cost one branch per call.
+//! - [`metrics`]: [`MetricsRegistry`] of atomic [`Counter`]s, [`Gauge`]s,
+//!   [`FloatCounter`]s, and fixed-footprint log-linear [`Histogram`]s
+//!   answering p50/p90/p99/p999 without storing samples.
+//! - [`report`]: [`fold_spans`] turns a span file into a per-stage
+//!   latency attribution table with per-job coverage.
+//!
+//! # Process-global context
+//!
+//! Library crates deep in the pipeline (simllm, vecindex, iostore) have
+//! no channel to receive a per-service handle, so the crate exposes a
+//! process-global [`tracer()`] (set-once via [`init_tracer`], disabled by
+//! default) and a process-global [`metrics()`] registry (always on —
+//! atomics are cheap). Spans never influence what the pipeline computes,
+//! so a global tracer cannot break determinism; the byte-identity test
+//! pins that.
+//!
+//! Services that need isolation (unit tests running several daemons in
+//! one process) create their *own* `MetricsRegistry` for service-level
+//! counters and only share the global one for per-process stage metrics.
+
+pub mod clock;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use metrics::{
+    Counter, FloatCounter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+};
+pub use report::{fold_spans, StageRow, TraceReport, JOB_SPAN, STAGE_PREFIX};
+pub use span::{parse_spans, Span, SpanRecord, Tracer};
+
+use std::sync::OnceLock;
+
+static GLOBAL_TRACER: OnceLock<Tracer> = OnceLock::new();
+static DISABLED_TRACER: Tracer = Tracer::disabled();
+static GLOBAL_METRICS: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-global tracer. Disabled (and free) unless
+/// [`init_tracer`] installed one.
+pub fn tracer() -> &'static Tracer {
+    GLOBAL_TRACER.get().unwrap_or(&DISABLED_TRACER)
+}
+
+/// Install the process-global tracer. First call wins; returns `false`
+/// (and drops `t`) if one was already installed. Call early — spans
+/// opened before this see the disabled tracer.
+pub fn init_tracer(t: Tracer) -> bool {
+    GLOBAL_TRACER.set(t).is_ok()
+}
+
+/// The process-global metrics registry (always available).
+pub fn metrics() -> &'static MetricsRegistry {
+    GLOBAL_METRICS.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_tracer_defaults_to_disabled() {
+        // Note: init_tracer is set-once per process, so this test (and
+        // the whole crate) never installs one — other tests construct
+        // their own Tracer values directly.
+        assert!(!tracer().enabled());
+        assert_eq!(tracer().span("x").id(), 0);
+    }
+
+    #[test]
+    fn global_metrics_registry_is_shared() {
+        metrics().counter("lib_test_counter").add(3);
+        metrics().counter("lib_test_counter").inc();
+        assert_eq!(metrics().counter("lib_test_counter").get(), 4);
+    }
+}

@@ -1,0 +1,423 @@
+//! Atomic metrics: counters, gauges, float counters, and log-linear
+//! histograms that answer p50/p90/p99/p999 without storing samples.
+//!
+//! Everything here is lock-free on the record path (one or two atomic
+//! RMWs) so instruments can sit inside the per-job hot loop. Reads
+//! (snapshots, quantiles) take relaxed loads and tolerate being torn
+//! across concurrent writers — they are monitoring data, not ledgers.
+//!
+//! # Histogram layout
+//!
+//! Values are bucketed log-linearly: each power of two is split into
+//! [`SUB_BUCKETS`] = 16 linear sub-buckets, so the relative error of any
+//! reported quantile is at most 1/16 (≈6.25%). Values below 16 get exact
+//! buckets. With 64-bit values that is `16 + 60×16 = 976` buckets of 8
+//! bytes — ~8 KiB per histogram, constant regardless of sample count.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Linear sub-buckets per power of two (controls quantile resolution).
+const SUB_BITS: u32 = 4;
+const SUB_BUCKETS: usize = 1 << SUB_BITS; // 16
+/// Exact buckets for values `0..SUB_BUCKETS`, then 16 sub-buckets for
+/// each exponent 4..=63.
+const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS; // 976
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Monotonically increasing f64 accumulator (e.g. simulated USD cost),
+/// stored as bit-cast `f64` behind a CAS loop.
+#[derive(Debug)]
+pub struct FloatCounter(AtomicU64);
+
+impl Default for FloatCounter {
+    fn default() -> Self {
+        FloatCounter(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl FloatCounter {
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-footprint log-linear histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (exp - SUB_BITS)) as usize) - SUB_BUCKETS;
+    SUB_BUCKETS + ((exp - SUB_BITS) as usize) * SUB_BUCKETS + sub
+}
+
+/// Inclusive upper bound of a bucket — what quantiles report.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let exp = SUB_BITS + ((idx - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+    let sub = ((idx - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let width = 1u64 << (exp - SUB_BITS);
+    let lo = (1u64 << exp) + sub * width;
+    lo + (width - 1)
+}
+
+impl Histogram {
+    /// Record one sample. Two relaxed RMWs plus min/max updates.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `p` in `[0,1]` — an upper bound within
+    /// 1/16 relative error of the exact order statistic. Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time summary (relaxed reads; may be slightly torn under
+    /// concurrent writes, which is fine for monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+/// Summary view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Named instruments, created on first use and shared thereafter.
+///
+/// Lookups take a read lock once per call site *per acquisition* — call
+/// sites are expected to fetch their instrument once (an `Arc`) and hold
+/// it, so the registry lock never sits on a hot path.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    floats: RwLock<BTreeMap<String, Arc<FloatCounter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    pub fn float_counter(&self, name: &str) -> Arc<FloatCounter> {
+        get_or_insert(&self.floats, name)
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Everything in the registry, summarized, names sorted.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            floats: self
+                .floats
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a whole [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub floats: Vec<(String, f64)>,
+    pub gauges: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_floats() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("jobs");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("jobs").get(), 5, "same name, same instrument");
+        let g = r.gauge("queue_depth");
+        g.set(7);
+        g.set(3);
+        assert_eq!(r.gauge("queue_depth").get(), 3);
+        let f = r.float_counter("cost_usd");
+        f.add(0.125);
+        f.add(0.25);
+        assert!((r.float_counter("cost_usd").get() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_layout_is_dense_and_monotonic() {
+        // Every index maps to an upper bound that round-trips through
+        // bucket_index, and upper bounds strictly increase.
+        let mut prev = None;
+        for idx in 0..BUCKETS {
+            let hi = bucket_upper(idx);
+            assert_eq!(bucket_index(hi), idx, "upper bound of bucket {idx}");
+            if let Some(p) = prev {
+                assert!(hi > p, "bucket {idx} upper not increasing");
+            }
+            prev = Some(hi);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize, "small values are exact");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let h = Histogram::default();
+        let samples: Vec<u64> = (0..10_000u64).map(|i| i * i % 700_001 + 1).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &(p, name) in &[(0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (0.999, "p999")] {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            let approx = h.quantile(p);
+            assert!(approx >= exact, "{name}: {approx} < exact {exact}");
+            assert!(
+                approx <= exact + exact / SUB_BUCKETS as u64 + 1,
+                "{name}: {approx} overshoots exact {exact}"
+            );
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 10_000);
+        assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        assert_eq!(snap.min, *sorted.first().unwrap());
+        assert_eq!(snap.max, *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        let snap = h.snapshot();
+        assert_eq!(
+            (snap.count, snap.sum, snap.min, snap.max, snap.p50, snap.p999),
+            (0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(snap.mean(), 0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let h = Histogram::default();
+        h.record(1_000_003);
+        // One sample: every quantile is that sample, not its bucket's
+        // upper bound.
+        assert_eq!(h.quantile(0.5), 1_000_003);
+        assert_eq!(h.quantile(0.999), 1_000_003);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::default());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn registry_snapshot_sorted_and_complete() {
+        let r = MetricsRegistry::new();
+        r.counter("b").inc();
+        r.counter("a").add(2);
+        r.histogram("lat").record(10);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+}

@@ -1,0 +1,862 @@
+//! Structured span tracing with NDJSON output.
+//!
+//! A [`Tracer`] hands out [`Span`] guards: a span opens with a name, ends
+//! when the guard drops, and is written as one NDJSON line carrying its
+//! id, parent id, start/end nanoseconds, and `key=value` attributes.
+//!
+//! # Cost model
+//!
+//! - **Disabled** (the default, and the only mode unless the daemon is
+//!   started with `--trace-dir`): [`Tracer::span`] is one branch on an
+//!   `Option` and returns an empty guard — no allocation, no clock read,
+//!   no synchronization. The bench gate holds the whole pipeline to <3%
+//!   overhead in this mode, and in practice it is in the noise.
+//! - **Enabled**: completed spans are rendered into a **per-thread
+//!   buffer** (no lock on the span path) which is appended to the shared
+//!   sink only when it exceeds [`FLUSH_BYTES`], when a *root* span ends
+//!   (one lock per job, not per span), or when the thread exits.
+//!
+//! # Parenting
+//!
+//! Within a thread, spans nest automatically: each live span sits on a
+//! thread-local stack and new spans adopt the top as their parent. Work
+//! that hops threads (the rayon-shim `par_iter` inside a job) passes the
+//! parent id explicitly via [`Tracer::span_child`]; spans whose parent
+//! cannot be known (e.g. deep library calls on a foreign pool thread)
+//! simply record parent 0 and are reported as unattributed by
+//! `trace-report` rather than guessed.
+//!
+//! # Determinism
+//!
+//! Timestamps come from a [`Clock`](crate::clock::Clock); tests inject a
+//! [`VirtualClock`](crate::clock::VirtualClock) so span boundaries are
+//! exact. Tracing never changes what the pipeline computes — the
+//! byte-identity test in `tests/observability.rs` pins diagnosis output
+//! equal with tracing on and off.
+
+use crate::clock::{Clock, MonotonicClock};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Per-thread buffer size that forces a flush to the shared sink.
+const FLUSH_BYTES: usize = 32 * 1024;
+
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Span records and their NDJSON form
+// ---------------------------------------------------------------------------
+
+/// One completed span, as written to (and read back from) the NDJSON sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the tracer (starts at 1; 0 is "no span").
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Span name (e.g. `job`, `stage.retrieve`, `llm.call`).
+    pub name: String,
+    /// Start, in the tracer clock's nanoseconds.
+    pub start_ns: u64,
+    /// End, in the tracer clock's nanoseconds.
+    pub end_ns: u64,
+    /// `key=value` attributes, in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds (0 if the clock went backwards).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// First attribute with the given key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Render as one NDJSON line (no trailing newline).
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::with_capacity(96 + self.name.len());
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"attrs\":{{",
+            self.id,
+            self.parent,
+            escape_json(&self.name),
+            self.start_ns,
+            self.end_ns,
+        );
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse one NDJSON line back into a record. Accepts exactly the
+    /// shape [`SpanRecord::to_ndjson`] writes (keys in any order).
+    pub fn parse(line: &str) -> Result<SpanRecord, String> {
+        let mut p = MiniParser::new(line);
+        let mut record = SpanRecord {
+            id: 0,
+            parent: 0,
+            name: String::new(),
+            start_ns: 0,
+            end_ns: 0,
+            attrs: Vec::new(),
+        };
+        p.expect('{')?;
+        loop {
+            p.skip_ws();
+            if p.eat('}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "id" => record.id = p.number()?,
+                "parent" => record.parent = p.number()?,
+                "name" => record.name = p.string()?,
+                "start_ns" => record.start_ns = p.number()?,
+                "end_ns" => record.end_ns = p.number()?,
+                "attrs" => {
+                    p.expect('{')?;
+                    loop {
+                        p.skip_ws();
+                        if p.eat('}') {
+                            break;
+                        }
+                        let k = p.string()?;
+                        p.skip_ws();
+                        p.expect(':')?;
+                        p.skip_ws();
+                        let v = p.string()?;
+                        record.attrs.push((k, v));
+                        p.skip_ws();
+                        let _ = p.eat(',');
+                    }
+                }
+                other => return Err(format!("unknown span field {other:?}")),
+            }
+            p.skip_ws();
+            let _ = p.eat(',');
+        }
+        if record.id == 0 {
+            return Err("span record without an id".to_string());
+        }
+        Ok(record)
+    }
+}
+
+/// Parse a whole NDJSON buffer (blank lines skipped) into records.
+pub fn parse_spans(text: &str) -> Result<Vec<SpanRecord>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(SpanRecord::parse)
+        .collect()
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal JSON cursor for the span record shape (objects of numbers,
+/// strings, and one level of string→string nesting).
+struct MiniParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MiniParser<'a> {
+    fn new(s: &'a str) -> Self {
+        MiniParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<u64>()
+            .map_err(|e| e.to_string())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        if !self.eat('"') {
+            return Err(format!("expected a string at byte {}", self.pos));
+        }
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("dangling escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let char_start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = char_start + width;
+                    let chunk = self.bytes.get(char_start..end).ok_or("truncated UTF-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xf0 => 4,
+        b if b >= 0xe0 => 3,
+        _ => 2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks and per-thread buffering
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum SinkKind {
+    /// Append to an NDJSON file (buffered; flushed on root spans and at
+    /// thread/tracer teardown).
+    File {
+        path: PathBuf,
+        writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    },
+    /// Accumulate in memory (tests and in-process inspection).
+    Memory(Mutex<String>),
+}
+
+#[derive(Debug)]
+struct SinkState {
+    kind: SinkKind,
+}
+
+impl SinkState {
+    fn append(&self, chunk: &str) {
+        match &self.kind {
+            SinkKind::File { writer, .. } => {
+                let mut w = lock(writer);
+                // Trace loss is never worth failing the pipeline over.
+                let _ = w.write_all(chunk.as_bytes());
+                let _ = w.flush();
+            }
+            SinkKind::Memory(buf) => lock(buf).push_str(chunk),
+        }
+    }
+}
+
+struct ThreadBuf {
+    sink: Arc<SinkState>,
+    buf: String,
+}
+
+/// All of this thread's tracer buffers; flushed when the thread exits.
+#[derive(Default)]
+struct ThreadBufs {
+    bufs: Vec<ThreadBuf>,
+}
+
+impl Drop for ThreadBufs {
+    fn drop(&mut self) {
+        for tb in &mut self.bufs {
+            if !tb.buf.is_empty() {
+                tb.sink.append(&tb.buf);
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Stack of live spans on this thread: (tracer token, span id).
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread rendered-span buffers, one per sink this thread has
+    /// written to (almost always exactly one).
+    static BUFFERS: RefCell<ThreadBufs> = RefCell::new(ThreadBufs::default());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+struct TracerInner {
+    clock: Box<dyn Clock>,
+    sink: Arc<SinkState>,
+    next_id: AtomicU64,
+    /// Record fine-grained spans (`span_fine` and friends) too. Off by
+    /// default: the coarse stage tiling costs a handful of spans per job,
+    /// while per-call / per-fragment detail costs hundreds.
+    fine: bool,
+}
+
+/// Hands out spans. Cheap to share (`Arc` inside); a disabled tracer is a
+/// `None` and costs one branch per call.
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default mode).
+    pub const fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Trace to `<dir>/spans-<pid>.ndjson` with a monotonic clock. The
+    /// directory is created if missing; the file is appended to, so
+    /// restarts of the same process tree accumulate in one directory.
+    pub fn to_dir(dir: impl AsRef<Path>) -> std::io::Result<Tracer> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("spans-{}.ndjson", std::process::id()));
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Self::build(
+            Box::new(MonotonicClock::new()),
+            SinkKind::File {
+                path,
+                writer: Mutex::new(std::io::BufWriter::new(file)),
+            },
+        ))
+    }
+
+    /// Trace into an in-memory buffer with a monotonic clock.
+    pub fn memory() -> Tracer {
+        Self::with_clock_memory(Box::new(MonotonicClock::new()))
+    }
+
+    /// Trace into an in-memory buffer with an explicit clock (tests pass
+    /// a [`VirtualClock`](crate::clock::VirtualClock) here).
+    pub fn with_clock_memory(clock: Box<dyn Clock>) -> Tracer {
+        Self::build(clock, SinkKind::Memory(Mutex::new(String::new())))
+    }
+
+    fn build(clock: Box<dyn Clock>, kind: SinkKind) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                clock,
+                sink: Arc::new(SinkState { kind }),
+                next_id: AtomicU64::new(1),
+                fine: false,
+            })),
+        }
+    }
+
+    /// Turn on fine-grained detail: [`Tracer::span_fine`] /
+    /// [`Tracer::span_child_fine`] record real spans instead of no-ops.
+    /// Builder-style — call before the tracer is shared or installed.
+    pub fn with_fine_detail(mut self) -> Tracer {
+        if let Some(inner) = self.inner.as_mut().and_then(Arc::get_mut) {
+            inner.fine = true;
+        }
+        self
+    }
+
+    /// Whether fine-grained spans are being recorded.
+    pub fn fine_detail(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.fine)
+    }
+
+    /// Whether spans are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current time on the tracer's clock (0 when disabled).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_ns())
+    }
+
+    /// The file this tracer appends to, if it has one.
+    pub fn trace_path(&self) -> Option<&Path> {
+        match &self.inner.as_ref()?.sink.kind {
+            SinkKind::File { path, .. } => Some(path),
+            SinkKind::Memory(_) => None,
+        }
+    }
+
+    /// Open a span whose parent is the innermost live span on this
+    /// thread (0 if none).
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { state: None };
+        };
+        let token = Arc::as_ptr(inner) as usize;
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == token)
+                .map_or(0, |(_, id)| *id)
+        });
+        self.open(inner, name, inner.clock.now_ns(), parent)
+    }
+
+    /// Fine-detail variant of [`Tracer::span`]: records only when
+    /// [`Tracer::fine_detail`] is on. Use for high-volume spans (one per
+    /// LLM call, per fragment, per index scan) whose cost would dominate
+    /// a default trace.
+    pub fn span_fine(&self, name: &str) -> Span {
+        if self.fine_detail() {
+            self.span(name)
+        } else {
+            Span { state: None }
+        }
+    }
+
+    /// Fine-detail variant of [`Tracer::span_child`].
+    pub fn span_child_fine(&self, name: &str, parent: u64) -> Span {
+        if self.fine_detail() {
+            self.span_child(name, parent)
+        } else {
+            Span { state: None }
+        }
+    }
+
+    /// Open a span with an explicit parent id — the cross-thread form
+    /// (pass the enclosing span's [`Span::id`] into the worker closure).
+    pub fn span_child(&self, name: &str, parent: u64) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { state: None };
+        };
+        self.open(inner, name, inner.clock.now_ns(), parent)
+    }
+
+    /// Open a span with an explicit start time and parent — for phases
+    /// whose beginning was observed before the span could be created
+    /// (e.g. queue wait: enqueue happens on the submitter's thread, the
+    /// span is recorded by the worker at dequeue).
+    pub fn span_at(&self, name: &str, start_ns: u64, parent: u64) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { state: None };
+        };
+        self.open(inner, name, start_ns, parent)
+    }
+
+    fn open(&self, inner: &Arc<TracerInner>, name: &str, start_ns: u64, parent: u64) -> Span {
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let token = Arc::as_ptr(inner) as usize;
+        SPAN_STACK.with(|s| s.borrow_mut().push((token, id)));
+        Span {
+            state: Some(SpanState {
+                tracer: Arc::clone(inner),
+                record: SpanRecord {
+                    id,
+                    parent,
+                    name: name.to_string(),
+                    start_ns,
+                    end_ns: 0,
+                    attrs: Vec::new(),
+                },
+            }),
+        }
+    }
+
+    /// Flush this thread's buffered spans to the sink (and the sink to
+    /// disk, for file sinks). Spans buffered on *other* live threads
+    /// flush when those threads exit or fill their buffers.
+    pub fn flush(&self) {
+        let Some(inner) = &self.inner else { return };
+        flush_thread_buffer(&inner.sink);
+    }
+
+    /// Take everything recorded so far (memory sinks only), parsed back
+    /// into records. Flushes the calling thread's buffer first.
+    pub fn drain_memory(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        flush_thread_buffer(&inner.sink);
+        let SinkKind::Memory(buf) = &inner.sink.kind else {
+            return Vec::new();
+        };
+        let text = std::mem::take(&mut *lock(buf));
+        parse_spans(&text).expect("tracer wrote valid NDJSON")
+    }
+}
+
+fn flush_thread_buffer(sink: &Arc<SinkState>) {
+    BUFFERS.with(|b| {
+        let mut bufs = b.borrow_mut();
+        for tb in &mut bufs.bufs {
+            if Arc::ptr_eq(&tb.sink, sink) && !tb.buf.is_empty() {
+                tb.sink.append(&std::mem::take(&mut tb.buf));
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Span guard
+// ---------------------------------------------------------------------------
+
+struct SpanState {
+    tracer: Arc<TracerInner>,
+    record: SpanRecord,
+}
+
+/// A live span; ends (and is recorded) when dropped.
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Span {
+    /// This span's id (0 when the tracer is disabled) — pass it to
+    /// [`Tracer::span_child`] from worker closures.
+    pub fn id(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.record.id)
+    }
+
+    /// Whether this span will be recorded.
+    pub fn is_recording(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Attach a `key=value` attribute (no-op when disabled).
+    pub fn set_attr(&mut self, key: &str, value: impl std::fmt::Display) {
+        if let Some(s) = &mut self.state {
+            s.record.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Builder-style [`Span::set_attr`].
+    pub fn with_attr(mut self, key: &str, value: impl std::fmt::Display) -> Span {
+        self.set_attr(key, value);
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(mut s) = self.state.take() else {
+            return;
+        };
+        s.record.end_ns = s.tracer.clock.now_ns();
+        let token = Arc::as_ptr(&s.tracer) as usize;
+        // Pop this span from the thread's stack (it is almost always the
+        // top; out-of-order drops just remove the matching entry).
+        SPAN_STACK.with(|st| {
+            let mut stack = st.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, id)| t == token && id == s.record.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let is_root = s.record.parent == 0;
+        let line = s.record.to_ndjson();
+        BUFFERS.with(|b| {
+            let mut bufs = b.borrow_mut();
+            let tb = match bufs
+                .bufs
+                .iter_mut()
+                .position(|tb| Arc::ptr_eq(&tb.sink, &s.tracer.sink))
+            {
+                Some(i) => &mut bufs.bufs[i],
+                None => {
+                    bufs.bufs.push(ThreadBuf {
+                        sink: Arc::clone(&s.tracer.sink),
+                        buf: String::with_capacity(FLUSH_BYTES / 4),
+                    });
+                    bufs.bufs.last_mut().expect("just pushed")
+                }
+            };
+            tb.buf.push_str(&line);
+            tb.buf.push('\n');
+            if is_root || tb.buf.len() >= FLUSH_BYTES {
+                tb.sink.append(&std::mem::take(&mut tb.buf));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_is_cheap() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        let mut span = t.span("anything").with_attr("k", "v");
+        span.set_attr("x", 1);
+        assert_eq!(span.id(), 0);
+        assert!(!span.is_recording());
+        drop(span);
+        assert_eq!(t.now_ns(), 0);
+        assert!(t.drain_memory().is_empty());
+    }
+
+    #[test]
+    fn fine_spans_record_only_at_fine_detail() {
+        let coarse = Tracer::memory();
+        assert!(!coarse.fine_detail());
+        drop(coarse.span_fine("llm.call"));
+        drop(coarse.span_child_fine("stage.fragment", 7));
+        drop(coarse.span("stage.merge"));
+        let names: Vec<String> = coarse.drain_memory().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["stage.merge"]);
+
+        let fine = Tracer::memory().with_fine_detail();
+        assert!(fine.fine_detail());
+        // A fine span parents on the TLS stack like any other.
+        let outer = fine.span("stage.fragments");
+        let inner = fine.span_fine("llm.call");
+        assert!(inner.is_recording());
+        let inner_parent = outer.id();
+        drop(inner);
+        drop(outer);
+        drop(fine.span_child_fine("stage.fragment", 3));
+        let records = fine.drain_memory();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].name, "llm.call");
+        assert_eq!(records[0].parent, inner_parent);
+        assert_eq!(records[2].parent, 3);
+    }
+
+    #[test]
+    fn ndjson_round_trip_preserves_every_field() {
+        let record = SpanRecord {
+            id: 42,
+            parent: 7,
+            name: "stage.retrieve".to_string(),
+            start_ns: 1_000,
+            end_ns: 2_500,
+            attrs: vec![
+                ("job".to_string(), "sb01_small_io".to_string()),
+                (
+                    "quote\"newline\n".to_string(),
+                    "tab\tback\\slash".to_string(),
+                ),
+                ("unicode".to_string(), "héllo—π".to_string()),
+            ],
+        };
+        let line = record.to_ndjson();
+        let back = SpanRecord::parse(&line).unwrap();
+        assert_eq!(back, record);
+        assert_eq!(back.duration_ns(), 1_500);
+        assert_eq!(back.attr("job"), Some("sb01_small_io"));
+        assert_eq!(back.attr("missing"), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            r#"{"id":"string"}"#,
+            r#"{"parent":1}"#, // no id
+            r#"{"id":1,"wat":3}"#,
+        ] {
+            assert!(SpanRecord::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn virtual_clock_spans_nest_and_order_deterministically() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = Tracer::with_clock_memory(Box::new(Arc::clone(&clock)));
+        assert!(t.enabled());
+
+        let mut outer = t.span("job").with_attr("job", "j1");
+        clock.advance(100);
+        {
+            let _inner1 = t.span("stage.retrieve");
+            clock.advance(40);
+        } // inner1: [100, 140]
+        {
+            let _inner2 = t.span("stage.merge");
+            clock.advance(60);
+        } // inner2: [140, 200]
+        clock.advance(10);
+        outer.set_attr("cached", false);
+        drop(outer); // outer: [0, 210]
+
+        let records = t.drain_memory();
+        assert_eq!(records.len(), 3);
+        // Children complete (and are written) before the root.
+        let inner1 = &records[0];
+        let inner2 = &records[1];
+        let root = &records[2];
+        assert_eq!(root.name, "job");
+        assert_eq!(root.parent, 0);
+        assert_eq!((root.start_ns, root.end_ns), (0, 210));
+        assert_eq!(inner1.name, "stage.retrieve");
+        assert_eq!(inner1.parent, root.id);
+        assert_eq!((inner1.start_ns, inner1.end_ns), (100, 140));
+        assert_eq!(inner2.name, "stage.merge");
+        assert_eq!(inner2.parent, root.id);
+        assert_eq!((inner2.start_ns, inner2.end_ns), (140, 200));
+        assert!(inner1.id < inner2.id, "ids are allocation-ordered");
+        assert_eq!(root.attr("cached"), Some("false"));
+
+        // Drained means drained.
+        assert!(t.drain_memory().is_empty());
+    }
+
+    #[test]
+    fn explicit_parent_and_start_cross_thread() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = Tracer::with_clock_memory(Box::new(Arc::clone(&clock)));
+        let root = t.span("job");
+        let root_id = root.id();
+        clock.advance(500);
+        // Simulates the queue-wait span: observed start in the past.
+        drop(t.span_at("stage.queue_wait", 120, root_id));
+        drop(root);
+        let records = t.drain_memory();
+        let wait = records
+            .iter()
+            .find(|r| r.name == "stage.queue_wait")
+            .unwrap();
+        assert_eq!(wait.parent, root_id);
+        assert_eq!((wait.start_ns, wait.end_ns), (120, 500));
+        // span_child adopts the explicit parent even with an empty stack.
+        let child = t.span_child("fragment", 999);
+        drop(child);
+        let records = t.drain_memory();
+        assert_eq!(records[0].parent, 999);
+    }
+
+    #[test]
+    fn spans_from_worker_threads_flush_on_thread_exit() {
+        let t = Arc::new(Tracer::memory());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    // Non-root span: stays in the thread buffer until the
+                    // thread exits (roots would flush immediately).
+                    drop(t.span_child("fragment", 1).with_attr("i", i));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let records = t.drain_memory();
+        assert_eq!(records.len(), 4);
+        let mut ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "span ids are unique across threads");
+    }
+
+    #[test]
+    fn file_sink_appends_parseable_ndjson() {
+        let dir = std::env::temp_dir().join(format!("ioobserve-file-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Tracer::to_dir(&dir).unwrap();
+        let path = t.trace_path().unwrap().to_path_buf();
+        drop(t.span("job").with_attr("job", "j1"));
+        t.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let records = parse_spans(&text).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "job");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

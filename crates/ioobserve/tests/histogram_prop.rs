@@ -1,0 +1,52 @@
+//! Property test: log-linear histogram quantiles vs. an exact-sort
+//! oracle. For any sample set and quantile, the histogram must report a
+//! value that is (a) >= the exact order statistic and (b) within the
+//! structural relative-error bound of 1/16 (16 linear sub-buckets per
+//! power of two), never exceeding the observed max.
+
+use ioobserve::Histogram;
+use proptest::collection;
+use proptest::prelude::*;
+
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_match_exact_sort_oracle(
+        samples in collection::vec(0u64..5_000_000_000, 1..400),
+        p in 0.001f64..1.0,
+    ) {
+        let h = Histogram::default();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for &q in &[p, 0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&sorted, q);
+            let approx = h.quantile(q);
+            prop_assert!(
+                approx >= exact,
+                "q={q}: histogram {approx} below exact {exact} (samples={samples:?})"
+            );
+            prop_assert!(
+                approx <= exact + exact / 16 + 1,
+                "q={q}: histogram {approx} beyond error bound of exact {exact}"
+            );
+            prop_assert!(
+                approx <= *sorted.last().unwrap(),
+                "q={q}: histogram {approx} exceeds observed max"
+            );
+        }
+
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *sorted.first().unwrap());
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+    }
+}

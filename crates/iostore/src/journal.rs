@@ -174,6 +174,11 @@ impl ResultStore {
         if self.entries.get(&key) == Some(&diagnosis) {
             return Ok(());
         }
+        let append_start = std::time::Instant::now();
+        let _span = ioobserve::tracer().span("journal.append");
+        let _timer = AppendTimer {
+            start: append_start,
+        };
         let line = render_record(&key, &diagnosis);
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -189,6 +194,10 @@ impl ResultStore {
     /// Rewrite the journal with exactly one record per live key (temp file
     /// + rename, so a crash mid-compaction leaves the old journal intact).
     pub fn compact(&mut self) -> io::Result<()> {
+        let compact_start = std::time::Instant::now();
+        let mut span = ioobserve::tracer().span("journal.compact");
+        span.set_attr("live_entries", self.entries.len());
+        ioobserve::metrics().counter("journal.compactions").inc();
         let tmp = self.path.with_extension("ndjson.tmp");
         {
             let mut w = BufWriter::new(File::create(&tmp)?);
@@ -208,7 +217,25 @@ impl ResultStore {
         self.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
         self.file_records = self.entries.len();
         self.skipped_lines = 0;
+        ioobserve::metrics()
+            .histogram("journal.compact_ns")
+            .record_duration(compact_start.elapsed());
         Ok(())
+    }
+}
+
+/// Records the append-latency histogram on every exit path of
+/// [`ResultJournal::insert`] (including `?` early returns).
+struct AppendTimer {
+    start: std::time::Instant,
+}
+
+impl Drop for AppendTimer {
+    fn drop(&mut self) {
+        let m = ioobserve::metrics();
+        m.counter("journal.appends").inc();
+        m.histogram("journal.append_ns")
+            .record_duration(self.start.elapsed());
     }
 }
 

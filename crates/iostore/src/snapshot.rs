@@ -195,10 +195,28 @@ pub fn save_index(path: &Path, index: &VectorIndex, corpus_hash: u64) -> io::Res
     Ok(())
 }
 
+/// Records the snapshot-load latency histogram on every exit path of
+/// [`load_index`] (including the typed-error early returns).
+struct LoadTimer {
+    start: std::time::Instant,
+}
+
+impl Drop for LoadTimer {
+    fn drop(&mut self) {
+        let m = ioobserve::metrics();
+        m.counter("snapshot.loads").inc();
+        m.histogram("snapshot.load_ns")
+            .record_duration(self.start.elapsed());
+    }
+}
+
 /// Load a snapshot from `path`, verifying it against `expected`. Returns
 /// the reconstructed index — bit-identical, entry for entry, to the index
 /// that was saved — or a typed error telling the caller to rebuild.
 pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, SnapshotError> {
+    let load_start = std::time::Instant::now();
+    let _span = ioobserve::tracer().span("snapshot.load");
+    let _timer = LoadTimer { start: load_start };
     let raw = std::fs::read_to_string(path)?;
     let mut lines = raw.lines();
     let header_line = lines

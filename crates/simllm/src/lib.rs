@@ -159,6 +159,9 @@ impl LanguageModel for SimLlm {
     }
 
     fn complete(&self, request: &CompletionRequest) -> Completion {
+        let call_start = std::time::Instant::now();
+        let mut span = ioobserve::tracer().span_fine("llm.call");
+        span.set_attr("model", self.profile.name);
         if !self.latency.is_zero() {
             std::thread::sleep(self.latency);
         }
@@ -190,6 +193,18 @@ impl LanguageModel for SimLlm {
             u.input_tokens += attended.input_tokens;
             u.output_tokens += output_tokens;
         }
+        span.set_attr("task", &task);
+        span.set_attr("input_tokens", attended.input_tokens);
+        span.set_attr("output_tokens", output_tokens);
+        drop(span);
+        let m = ioobserve::metrics();
+        m.counter("llm.calls").inc();
+        m.counter("llm.input_tokens")
+            .add(attended.input_tokens as u64);
+        m.counter("llm.output_tokens").add(output_tokens as u64);
+        m.float_counter("llm.cost_usd").add(cost_usd);
+        m.histogram("llm.call_ns")
+            .record_duration(call_start.elapsed());
         Completion {
             text,
             input_tokens: attended.input_tokens,

@@ -96,6 +96,21 @@ thread_local! {
     static QUERY_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Ends a scan span and records its latency histogram on every exit path
+/// of the scoring functions (they return from several branches).
+struct ScanTimer {
+    start: std::time::Instant,
+    _span: ioobserve::Span,
+}
+
+impl Drop for ScanTimer {
+    fn drop(&mut self) {
+        ioobserve::metrics()
+            .histogram("vecindex.scan_ns")
+            .record_duration(self.start.elapsed());
+    }
+}
+
 /// An in-memory vector index over chunked documents.
 #[derive(Debug, Clone)]
 pub struct VectorIndex {
@@ -291,7 +306,14 @@ impl VectorIndex {
         // steals foreign tasks, but don't depend on that), a stolen
         // sibling `search` on this thread would re-borrow and panic.
         let mut qv = QUERY_BUF.with(|buf| std::mem::take(&mut *buf.borrow_mut()));
-        self.embedder.embed_into(query, &mut qv);
+        {
+            let embed_start = std::time::Instant::now();
+            let _span = ioobserve::tracer().span_fine("vecindex.embed");
+            self.embedder.embed_into(query, &mut qv);
+            ioobserve::metrics()
+                .histogram("vecindex.embed_ns")
+                .record_duration(embed_start.elapsed());
+        }
         let hits = self.search_embedded(&qv, k);
         QUERY_BUF.with(|buf| *buf.borrow_mut() = qv);
         hits
@@ -314,6 +336,16 @@ impl VectorIndex {
         if let Some(ivf) = &self.ivf {
             return self.search_ivf(qv, qnorm, ivf, ivf.nprobe(), k);
         }
+        let scan_start = std::time::Instant::now();
+        let mut span = ioobserve::tracer().span_fine("vecindex.scan");
+        span.set_attr("rows", n);
+        let m = ioobserve::metrics();
+        m.counter("vecindex.queries").inc();
+        m.counter("vecindex.rows_scanned").add(n as u64);
+        let _scan_guard = ScanTimer {
+            start: scan_start,
+            _span: span,
+        };
         let shards = rayon::current_num_threads().min(n.div_ceil(MIN_ROWS_PER_SHARD));
         if shards <= 1 {
             return self.scan_shard(qv, qnorm, 0, n, k).into_sorted_hits();
@@ -393,8 +425,22 @@ impl VectorIndex {
         nprobe: usize,
         k: usize,
     ) -> Vec<SearchHit> {
+        let scan_start = std::time::Instant::now();
+        let mut span = ioobserve::tracer().span_fine("vecindex.scan");
+        let probed = ivf.probe(qv, qnorm, nprobe);
+        let rows: usize = probed.iter().map(|&c| ivf.list(c as usize).len()).sum();
+        span.set_attr("rows", rows);
+        span.set_attr("ivf_probes", probed.len());
+        let m = ioobserve::metrics();
+        m.counter("vecindex.queries").inc();
+        m.counter("vecindex.rows_scanned").add(rows as u64);
+        m.counter("vecindex.ivf_probes").add(probed.len() as u64);
+        let _scan_guard = ScanTimer {
+            start: scan_start,
+            _span: span,
+        };
         let mut top = TopK::new(k);
-        for c in ivf.probe(qv, qnorm, nprobe) {
+        for c in probed {
             ivf.scan_cluster(&self.arena, qv, qnorm, c as usize, &mut top);
         }
         top.into_sorted_hits()
