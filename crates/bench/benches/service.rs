@@ -17,12 +17,14 @@
 //! work. A `speedup` summary is printed after the samples.
 //!
 //! A final **tracing-overhead** arm times the cpu batch with span tracing
-//! off and then on (`--trace-dir`-style file tracer at the default stage
-//! detail, installed via the set-once global, so it must run last),
-//! asserts the diagnoses stay byte-identical, and writes the min-of-N
-//! numbers to `BENCH_obs.json` at the repo root. With `BENCH_GATE=1` the
-//! run fails if tracing costs more than 3% of batch wall time (with a
-//! 5 ms absolute noise floor).
+//! off, then on (`--trace-dir`-style file tracer at the default stage
+//! detail, installed via the set-once global, so it must run last), then
+//! with tail-based sampling (`--trace-sample tail:p99`, which buffers
+//! fine-detail spans per job and only flushes the slow ones). Diagnoses
+//! must stay byte-identical across all three, and the min-of-N numbers
+//! go to `BENCH_obs.json` at the repo root. With `BENCH_GATE=1` the run
+//! fails if either tracing mode costs more than 3% of batch wall time
+//! (with a 5 ms absolute noise floor).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ioagentd::{DiagnosisService, JobRequest, Retriever, ServiceConfig};
@@ -212,21 +214,52 @@ fn bench_tracing_overhead(_c: &mut Criterion) {
         off_texts, on_texts,
         "tracing must not perturb diagnosis output"
     );
-    let spans_written = std::fs::read_dir(&trace_dir)
-        .map(|dir| {
-            dir.flatten()
-                .filter_map(|e| std::fs::read_to_string(e.path()).ok())
-                .map(|text| text.lines().count())
-                .sum::<usize>()
-        })
-        .unwrap_or(0);
+    let count_spans = |dir: &std::path::Path| {
+        std::fs::read_dir(dir)
+            .map(|dir| {
+                dir.flatten()
+                    .filter_map(|e| std::fs::read_to_string(e.path()).ok())
+                    .map(|text| text.lines().count())
+                    .sum::<usize>()
+            })
+            .unwrap_or(0)
+    };
+    let spans_written = count_spans(&trace_dir);
     let _ = std::fs::remove_dir_all(&trace_dir);
 
+    // Tail-sampled arm: fine detail buffered per job, flushed only for
+    // the slow tail — the worst case for sampling bookkeeping. The
+    // global tracer is already set, so this arm swaps it via
+    // `install_tracer` (the multi-arm escape hatch).
+    let tail_rule = ioobserve::TailRule::parse("p99").expect("tail rule");
+    let tail_dir = std::env::temp_dir().join(format!("ioagentd-bench-tail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tail_dir);
+    let tail_tracer = ioobserve::Tracer::to_dir(&tail_dir)
+        .expect("open tail trace dir")
+        .with_tail_sampling(tail_rule);
+    ioobserve::install_tracer(tail_tracer);
+    let tail_service = DiagnosisService::with_shared_index(
+        ServiceConfig::with_workers(workers).cache_capacity(0),
+        Arc::clone(&index),
+    );
+    let (tail_min, tail_texts) = min_of(&tail_service);
+    tail_service.shutdown();
+    assert_eq!(
+        off_texts, tail_texts,
+        "tail sampling must not perturb diagnosis output"
+    );
+    ioobserve::tracer().flush();
+    let tail_spans = count_spans(&tail_dir);
+    let _ = std::fs::remove_dir_all(&tail_dir);
+
     let overhead = (on_min.as_secs_f64() - off_min.as_secs_f64()) / off_min.as_secs_f64();
+    let tail_overhead = (tail_min.as_secs_f64() - off_min.as_secs_f64()) / off_min.as_secs_f64();
     println!(
         "\ntracing overhead ({N_JOBS} jobs, {workers} workers, min of {samples}): \
-         off {off_min:.3?}, on {on_min:.3?} ({:+.2}%), {spans_written} spans written",
-        overhead * 100.0
+         off {off_min:.3?}, on {on_min:.3?} ({:+.2}%), {spans_written} spans written; \
+         tail {tail_min:.3?} ({:+.2}%), {tail_spans} spans written",
+        overhead * 100.0,
+        tail_overhead * 100.0
     );
 
     if test_mode {
@@ -248,6 +281,10 @@ fn bench_tracing_overhead(_c: &mut Criterion) {
         "tracing_on_min_ms": on_min.as_secs_f64() * 1e3,
         "overhead_pct": overhead * 100.0,
         "spans_written": spans_written,
+        "tail_rule": "tail:p99",
+        "tracing_tail_min_ms": tail_min.as_secs_f64() * 1e3,
+        "tail_overhead_pct": tail_overhead * 100.0,
+        "tail_spans_written": tail_spans,
         "generated_unix": generated_unix,
     });
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
@@ -261,18 +298,27 @@ fn bench_tracing_overhead(_c: &mut Criterion) {
     if std::env::var("BENCH_GATE").is_ok() {
         // Same-run ratio: machine-independent. The absolute floor keeps a
         // sub-noise delta on a very fast batch from false-redding.
-        let absolute = on_min.saturating_sub(off_min);
-        if overhead < 0.03 || absolute < Duration::from_millis(5) {
-            println!(
-                "gate: OK (tracing overhead {:.2}% < 3%)",
-                overhead.max(0.0) * 100.0
-            );
-        } else {
-            eprintln!(
-                "REGRESSION: tracing overhead {:.2}% exceeds the 3% budget \
-                 (off {off_min:.3?}, on {on_min:.3?})",
-                overhead * 100.0
-            );
+        let mut failed = false;
+        for (label, on, pct) in [
+            ("tracing", on_min, overhead),
+            ("tail sampling", tail_min, tail_overhead),
+        ] {
+            let absolute = on.saturating_sub(off_min);
+            if pct < 0.03 || absolute < Duration::from_millis(5) {
+                println!(
+                    "gate: OK ({label} overhead {:.2}% < 3%)",
+                    pct.max(0.0) * 100.0
+                );
+            } else {
+                eprintln!(
+                    "REGRESSION: {label} overhead {:.2}% exceeds the 3% budget \
+                     (off {off_min:.3?}, on {on:.3?})",
+                    pct * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

@@ -30,6 +30,7 @@ pub mod cache;
 pub mod protocol;
 pub mod queue;
 pub mod service;
+pub mod top;
 
 pub use cache::LruCache;
 pub use queue::BoundedQueue;

@@ -21,9 +21,13 @@
 
 use crate::service::{JobRequest, JobResult, ServiceStats, SubmitError};
 use ioagent_core::{AgentConfig, MergeStrategy};
-use ioobserve::RegistrySnapshot;
+use ioobserve::{HistogramSnapshot, RegistrySnapshot, SloReport};
 use serde_json::{json, Map, Value};
 use std::io::{self, BufRead};
+
+/// Hard cap on a caller-supplied `trace_id`. Generous for any sane
+/// correlation id while keeping span-file attrs bounded.
+pub const MAX_TRACE_ID_BYTES: usize = 128;
 
 /// Hard cap on one request line. A single darshan-parser text trace is
 /// typically tens of kilobytes; 4 MiB leaves two orders of magnitude of
@@ -103,9 +107,17 @@ pub enum Request {
     },
     /// A metrics probe: `{"metrics": true}` — answered inline with the
     /// full observability registries (counters, gauges, and histogram
-    /// quantiles per pipeline stage), never enqueued.
+    /// quantiles per pipeline stage, lifetime and windowed), never
+    /// enqueued.
     Metrics {
         /// Identifier to echo in the metrics response.
+        id: String,
+    },
+    /// An SLO probe: `{"slo": true}` — answered inline with the daemon's
+    /// configured SLO declarations evaluated against the current windowed
+    /// quantiles, never enqueued.
+    Slo {
+        /// Identifier to echo in the SLO response.
         id: String,
     },
 }
@@ -124,6 +136,9 @@ pub fn parse_line(line: &str, default_id: &str) -> Result<Request, RequestError>
     }
     if value.get("metrics").and_then(Value::as_bool) == Some(true) {
         return Ok(Request::Metrics { id });
+    }
+    if value.get("slo").and_then(Value::as_bool) == Some(true) {
+        return Ok(Request::Slo { id });
     }
     parse_request_value(value, id).map(|job| Request::Job(Box::new(job)))
 }
@@ -182,11 +197,46 @@ fn parse_request_value(value: Value, id: String) -> Result<JobRequest, RequestEr
     if let Some(m) = value.get("reflection_model").and_then(Value::as_str) {
         config.reflection_model = m.to_string();
     }
+    let trace_id = match value.get("trace_id") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let t = v
+                .as_str()
+                .ok_or_else(|| fail(&id, "trace_id must be a string when present".to_string()))?;
+            validate_trace_id(t).map_err(|e| fail(&id, e))?;
+            Some(t.to_string())
+        }
+    };
 
     let mut request =
         JobRequest::from_trace_text(id.clone(), trace_text, model).map_err(|e| fail(&id, e))?;
     request.config = config;
+    request.trace_id = trace_id;
     Ok(request)
+}
+
+/// A caller-supplied trace id must be non-empty, bounded, and span-attr
+/// safe (alphanumeric plus `-_.:`), so it can be embedded in NDJSON span
+/// files and grouped on without any escaping concerns.
+fn validate_trace_id(t: &str) -> Result<(), String> {
+    if t.is_empty() {
+        return Err("trace_id must not be empty".to_string());
+    }
+    if t.len() > MAX_TRACE_ID_BYTES {
+        return Err(format!(
+            "trace_id of {} bytes exceeds the {MAX_TRACE_ID_BYTES} byte limit",
+            t.len()
+        ));
+    }
+    if let Some(bad) = t
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':')))
+    {
+        return Err(format!(
+            "trace_id contains {bad:?}; allowed: ASCII alphanumerics and -_.:"
+        ));
+    }
+    Ok(())
 }
 
 /// Render a completed job as one compact JSON line.
@@ -211,6 +261,7 @@ pub fn render_result(result: &JobResult) -> String {
         "queue_wait_ms": result.metrics.queue_wait.as_secs_f64() * 1e3,
         "exec_ms": result.metrics.exec.as_secs_f64() * 1e3,
         "worker": if result.worker == usize::MAX { -1 } else { result.worker as i64 },
+        "trace_id": result.trace_id,
     });
     serde_json::to_string(&response).expect("serialize response")
 }
@@ -251,9 +302,10 @@ pub fn render_stats(
     serde_json::to_string(&response).expect("serialize stats")
 }
 
-fn histogram_json(h: &ioobserve::HistogramSnapshot) -> Value {
+fn histogram_json(h: &HistogramSnapshot) -> Value {
     json!({
         "count": h.count,
+        "sum_ns": h.sum,
         "mean_ns": h.mean(),
         "min_ns": h.min,
         "max_ns": h.max,
@@ -262,6 +314,25 @@ fn histogram_json(h: &ioobserve::HistogramSnapshot) -> Value {
         "p99_ns": h.p99,
         "p999_ns": h.p999,
     })
+}
+
+/// One windowed histogram summary. An empty window reports `null`
+/// statistics (not 0) — a dashboard renders `-`, and nothing downstream
+/// can mistake "no samples in the last 10 s" for "p99 of zero".
+fn histogram_window_json(h: &HistogramSnapshot, window_ns: u64) -> Value {
+    let mut out = Map::new();
+    out.insert("window_s".to_string(), json!(window_ns as f64 / 1e9));
+    out.insert("count".to_string(), json!(h.count));
+    let stat = |v: u64| if h.count == 0 { Value::Null } else { json!(v) };
+    out.insert("sum_ns".to_string(), stat(h.sum));
+    out.insert("mean_ns".to_string(), stat(h.mean()));
+    out.insert("min_ns".to_string(), stat(h.min));
+    out.insert("max_ns".to_string(), stat(h.max));
+    out.insert("p50_ns".to_string(), stat(h.p50));
+    out.insert("p90_ns".to_string(), stat(h.p90));
+    out.insert("p99_ns".to_string(), stat(h.p99));
+    out.insert("p999_ns".to_string(), stat(h.p999));
+    Value::Object(out)
 }
 
 fn registry_json(snap: &RegistrySnapshot) -> Value {
@@ -278,13 +349,77 @@ fn registry_json(snap: &RegistrySnapshot) -> Value {
     }
     let mut histograms = Map::new();
     for (name, h) in &snap.histograms {
-        histograms.insert(name.clone(), histogram_json(h));
+        let mut entry = histogram_json(h);
+        if let Some((_, wins)) = snap.histogram_windows.iter().find(|(n, _)| n == name) {
+            let windows: Vec<Value> = wins
+                .iter()
+                .zip(&snap.window_ns)
+                .map(|(w, &ns)| histogram_window_json(w, ns))
+                .collect();
+            entry
+                .as_object_mut()
+                .expect("histogram_json is an object")
+                .insert("windows".to_string(), Value::Array(windows));
+        }
+        histograms.insert(name.clone(), entry);
     }
     let mut out = Map::new();
     out.insert("counters".to_string(), Value::Object(counters));
     out.insert("gauges".to_string(), Value::Object(gauges));
     out.insert("histograms".to_string(), Value::Object(histograms));
+    if !snap.window_ns.is_empty() {
+        let window_s: Vec<f64> = snap.window_ns.iter().map(|&ns| ns as f64 / 1e9).collect();
+        out.insert("window_s".to_string(), json!(window_s));
+        let mut counter_windows = Map::new();
+        for (name, totals) in &snap.counter_windows {
+            counter_windows.insert(name.clone(), json!(totals));
+        }
+        out.insert(
+            "counter_windows".to_string(),
+            Value::Object(counter_windows),
+        );
+        if let Some(rates) = rates_json(snap) {
+            out.insert("rates".to_string(), rates);
+        }
+    }
     Value::Object(out)
+}
+
+/// Per-window throughput rates, derived from the windowed service
+/// counters: jobs/s, errors/s, and the cache-hit ratio among jobs that
+/// completed in the window (`null` when no jobs did). Only emitted for
+/// registries that carry the `service.*` counters.
+fn rates_json(snap: &RegistrySnapshot) -> Option<Value> {
+    let windows = |name: &str| -> Option<&Vec<u64>> {
+        snap.counter_windows
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    };
+    let jobs = windows("service.jobs_completed")?;
+    let hits = windows("service.cache_hits");
+    let errors = windows("service.errors");
+    let rows: Vec<Value> = snap
+        .window_ns
+        .iter()
+        .enumerate()
+        .map(|(i, &ns)| {
+            let secs = ns as f64 / 1e9;
+            let jobs_n = jobs.get(i).copied().unwrap_or(0);
+            let hit_ratio = match (hits.and_then(|h| h.get(i)), jobs_n) {
+                (_, 0) => Value::Null,
+                (Some(&h), n) => json!(h as f64 / n as f64),
+                (None, _) => Value::Null,
+            };
+            json!({
+                "window_s": secs,
+                "jobs_per_s": jobs_n as f64 / secs,
+                "errors_per_s": errors.and_then(|e| e.get(i)).copied().unwrap_or(0) as f64 / secs,
+                "cache_hit_ratio": hit_ratio,
+            })
+        })
+        .collect();
+    Some(Value::Array(rows))
 }
 
 /// Render the full observability registries as one compact JSON line
@@ -302,6 +437,102 @@ pub fn render_metrics(id: &str, service: &RegistrySnapshot, process: &RegistrySn
         }),
     });
     serde_json::to_string(&response).expect("serialize metrics")
+}
+
+/// Render an evaluated SLO report as one compact JSON line (the response
+/// to an `{"slo": true}` request). `checks` is empty when the daemon was
+/// started without `--slo`.
+pub fn render_slo(id: &str, report: &SloReport) -> String {
+    let checks: Vec<Value> = report
+        .checks
+        .iter()
+        .map(|c| {
+            json!({
+                "decl": c.decl.text,
+                "metric": c.decl.metric,
+                "quantile": c.decl.quantile.label(),
+                "bound_ns": c.decl.bound_ns,
+                "window_s": c.decl.window_ns as f64 / 1e9,
+                "observed_ns": c.observed_ns,
+                "samples": c.samples,
+                "pass": c.pass,
+                "note": c.note,
+            })
+        })
+        .collect();
+    let response = json!({
+        "id": id,
+        "slo": json!({ "pass": report.pass(), "checks": checks }),
+    });
+    serde_json::to_string(&response).expect("serialize slo")
+}
+
+fn snapshot_histogram(v: &Value) -> HistogramSnapshot {
+    let field = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    HistogramSnapshot {
+        count: field("count"),
+        sum: field("sum_ns"),
+        min: field("min_ns"),
+        max: field("max_ns"),
+        p50: field("p50_ns"),
+        p90: field("p90_ns"),
+        p99: field("p99_ns"),
+        p999: field("p999_ns"),
+    }
+}
+
+/// Reconstruct a [`RegistrySnapshot`] from one registry section of a
+/// `{"metrics": true}` reply (the inverse of `registry_json`, up to the
+/// empty-window `null`s, which map back to zeros under `count == 0`).
+/// This is how `ioagentd top` and a remote `ioagentd slo-check` turn the
+/// wire format back into the structures the renderer and the SLO engine
+/// evaluate locally.
+pub fn snapshot_from_metrics_json(section: &Value) -> RegistrySnapshot {
+    let mut snap = RegistrySnapshot::default();
+    if let Some(counters) = section.get("counters").and_then(Value::as_object) {
+        for (name, v) in counters {
+            // Integral values are counters; anything else came from a
+            // FloatCounter.
+            match v.as_u64() {
+                Some(n) => snap.counters.push((name.clone(), n)),
+                None => snap.floats.push((name.clone(), v.as_f64().unwrap_or(0.0))),
+            }
+        }
+    }
+    if let Some(gauges) = section.get("gauges").and_then(Value::as_object) {
+        for (name, v) in gauges {
+            snap.gauges.push((name.clone(), v.as_u64().unwrap_or(0)));
+        }
+    }
+    snap.window_ns = section
+        .get("window_s")
+        .and_then(Value::as_array)
+        .map(|ws| {
+            ws.iter()
+                .filter_map(Value::as_f64)
+                .map(|s| (s * 1e9).round() as u64)
+                .collect()
+        })
+        .unwrap_or_default();
+    if let Some(hists) = section.get("histograms").and_then(Value::as_object) {
+        for (name, h) in hists {
+            snap.histograms.push((name.clone(), snapshot_histogram(h)));
+            if let Some(wins) = h.get("windows").and_then(Value::as_array) {
+                snap.histogram_windows
+                    .push((name.clone(), wins.iter().map(snapshot_histogram).collect()));
+            }
+        }
+    }
+    if let Some(cw) = section.get("counter_windows").and_then(Value::as_object) {
+        for (name, totals) in cw {
+            let totals = totals
+                .as_array()
+                .map(|t| t.iter().filter_map(Value::as_u64).collect())
+                .unwrap_or_default();
+            snap.counter_windows.push((name.clone(), totals));
+        }
+    }
+    snap
 }
 
 /// One read from a bounded request stream.
@@ -565,6 +796,168 @@ mod tests {
     }
 
     #[test]
+    fn trace_id_parses_and_validates() {
+        let suite = tracebench::TraceBench::generate();
+        let text = darshan::write::write_text(&suite.entries[0].trace);
+        let line =
+            serde_json::to_string(&json!({ "trace": text, "trace_id": "req-7.a:b_c" })).unwrap();
+        let req = parse_job(&line, "d").unwrap();
+        assert_eq!(req.trace_id.as_deref(), Some("req-7.a:b_c"));
+        // Absent → None (the service generates one at submit time).
+        let line = serde_json::to_string(&json!({ "trace": text })).unwrap();
+        assert_eq!(parse_job(&line, "d").unwrap().trace_id, None);
+        // Empty, oversized, non-string, and unsafe-charset ids rejected.
+        for bad in [
+            json!(""),
+            json!("x".repeat(MAX_TRACE_ID_BYTES + 1)),
+            json!(17),
+            json!("has space"),
+            json!("quote\""),
+        ] {
+            let line = serde_json::to_string(&json!({ "trace": text, "trace_id": bad })).unwrap();
+            let err = parse_job(&line, "d").unwrap_err();
+            assert_eq!(err.kind, ErrorKind::InvalidRequest, "{bad:?}");
+            assert!(err.message.contains("trace_id"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn slo_request_parses_and_renders() {
+        match parse_line(r#"{"id": "s-1", "slo": true}"#, "d").unwrap() {
+            Request::Slo { id } => assert_eq!(id, "s-1"),
+            other => panic!("expected slo request, got {other:?}"),
+        }
+        let decls = ioobserve::parse_slo_file("exec_p99 < 250ms over 60s").unwrap();
+        let snap = RegistrySnapshot {
+            window_ns: vec![60_000_000_000],
+            histogram_windows: vec![(
+                "service.exec_ns".to_string(),
+                vec![HistogramSnapshot {
+                    count: 9,
+                    sum: 9 * 400_000_000,
+                    min: 400_000_000,
+                    max: 400_000_000,
+                    p50: 400_000_000,
+                    p90: 400_000_000,
+                    p99: 400_000_000,
+                    p999: 400_000_000,
+                }],
+            )],
+            ..RegistrySnapshot::default()
+        };
+        let report = ioobserve::evaluate_slos(&decls, &[&snap]);
+        let line = render_slo("s-1", &report);
+        let back: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.get("id").and_then(Value::as_str), Some("s-1"));
+        let slo = back.get("slo").unwrap();
+        assert_eq!(slo.get("pass").and_then(Value::as_bool), Some(false));
+        let check = &slo.get("checks").and_then(Value::as_array).unwrap()[0];
+        assert_eq!(
+            check.get("decl").and_then(Value::as_str),
+            Some("exec_p99 < 250ms over 60s")
+        );
+        assert_eq!(
+            check.get("observed_ns").and_then(Value::as_u64),
+            Some(400_000_000)
+        );
+        assert_eq!(check.get("pass").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn windowed_metrics_render_and_round_trip() {
+        use ioobserve::{VirtualClock, WindowSpec};
+        use std::sync::Arc;
+        let clock = Arc::new(VirtualClock::new());
+        let spec = WindowSpec::new(
+            Arc::clone(&clock) as Arc<dyn ioobserve::Clock>,
+            1_000_000_000,
+            &[10_000_000_000, 60_000_000_000],
+        );
+        let service = ioobserve::MetricsRegistry::windowed(spec);
+        service.counter("service.jobs_completed").add(8);
+        service.counter("service.cache_hits").add(2);
+        service.counter("service.errors").add(1);
+        let h = service.histogram("service.exec_ns");
+        h.record(5_000_000);
+        // An idle histogram: lifetime-empty, so its windows are empty too.
+        service.histogram("service.persist_ns");
+        let process = ioobserve::MetricsRegistry::new();
+        let line = render_metrics("m-2", &service.snapshot(), &process.snapshot());
+        let back: Value = serde_json::from_str(&line).unwrap();
+        let svc = back.get("metrics").and_then(|m| m.get("service")).unwrap();
+
+        // Offered windows and per-window counter totals are reported.
+        assert_eq!(
+            svc.get("window_s").and_then(Value::as_array).map(Vec::len),
+            Some(2)
+        );
+        assert_eq!(
+            svc.get("counter_windows")
+                .and_then(|c| c.get("service.jobs_completed"))
+                .and_then(Value::as_array)
+                .map(|t| t.iter().filter_map(Value::as_u64).collect::<Vec<_>>()),
+            Some(vec![8, 8])
+        );
+        // Rates: 8 jobs in 10s = 0.8 jobs/s, hit ratio 2/8.
+        let rates = svc.get("rates").and_then(Value::as_array).unwrap();
+        assert!((rates[0].get("jobs_per_s").and_then(Value::as_f64).unwrap() - 0.8).abs() < 1e-9);
+        assert!(
+            (rates[0]
+                .get("cache_hit_ratio")
+                .and_then(Value::as_f64)
+                .unwrap()
+                - 0.25)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (rates[0]
+                .get("errors_per_s")
+                .and_then(Value::as_f64)
+                .unwrap()
+                - 0.1)
+                .abs()
+                < 1e-9
+        );
+
+        // Histogram windows: populated window carries quantiles, empty
+        // window reports null (not zero) statistics.
+        let exec = svc
+            .get("histograms")
+            .and_then(|h| h.get("service.exec_ns"))
+            .unwrap();
+        assert_eq!(exec.get("sum_ns").and_then(Value::as_u64), Some(5_000_000));
+        let windows = exec.get("windows").and_then(Value::as_array).unwrap();
+        assert_eq!(windows[0].get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            windows[0].get("p99_ns").and_then(Value::as_u64),
+            Some(5_000_000)
+        );
+        let idle = svc
+            .get("histograms")
+            .and_then(|h| h.get("service.persist_ns"))
+            .and_then(|h| h.get("windows"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(idle[0].get("count").and_then(Value::as_u64), Some(0));
+        assert!(
+            idle[0].get("p99_ns").unwrap().is_null(),
+            "empty windows must report null quantiles, not 0"
+        );
+
+        // The wire format reconstructs into a snapshot the SLO engine
+        // can evaluate: an over-bound p99 in the 10s window fails.
+        let rebuilt = snapshot_from_metrics_json(svc);
+        assert_eq!(rebuilt.window_ns, vec![10_000_000_000, 60_000_000_000]);
+        let decls = ioobserve::parse_slo_file("exec_p99 < 1ms over 10s").unwrap();
+        let report = ioobserve::evaluate_slos(&decls, &[&rebuilt]);
+        assert!(!report.pass(), "5ms p99 must violate the 1ms bound");
+        // And the indeterminate (empty-window) metric still passes.
+        let decls = ioobserve::parse_slo_file("persist_p99 < 1ns over 10s").unwrap();
+        assert!(ioobserve::evaluate_slos(&decls, &[&rebuilt]).pass());
+    }
+
+    #[test]
     fn malformed_json_carries_kind() {
         let err = parse_line("{not json", "line-9").unwrap_err();
         assert_eq!(err.kind, ErrorKind::MalformedJson);
@@ -632,12 +1025,18 @@ mod tests {
                 exec: Duration::from_millis(5),
                 ..Default::default()
             },
+            trace_id: "abc123-00000001".into(),
         };
         let line = render_result(&result);
         let back: Value = serde_json::from_str(&line).unwrap();
         assert_eq!(back.get("id").and_then(Value::as_str), Some("j"));
         assert_eq!(back.get("llm_calls").and_then(Value::as_i64), Some(3));
         assert_eq!(back.get("worker").and_then(Value::as_i64), Some(2));
+        assert_eq!(
+            back.get("trace_id").and_then(Value::as_str),
+            Some("abc123-00000001"),
+            "the job's trace context is echoed in the reply"
+        );
         // Issue labels use the documented stable snake_case keys.
         assert_eq!(
             back.get("issues"),

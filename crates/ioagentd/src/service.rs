@@ -23,12 +23,16 @@ use crate::cache::LruCache;
 use crate::queue::{BoundedQueue, QueueClosed, TryPushError};
 use darshan::DarshanTrace;
 use ioagent_core::{AgentConfig, IoAgent};
-use ioobserve::{Counter, FloatCounter, Histogram, MetricsRegistry, RegistrySnapshot};
+use ioobserve::{
+    Counter, FloatCounter, Gauge, Histogram, MetricsRegistry, MonotonicClock, RegistrySnapshot,
+    WindowSpec,
+};
 use iostore::{ResultKey, ResultStore, StateDir};
 use simllm::{Diagnosis, SimLlm};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -181,6 +185,13 @@ pub struct JobRequest {
     pub model: String,
     /// Agent configuration.
     pub config: AgentConfig,
+    /// Caller-supplied trace context (`None` → the service generates
+    /// one at submit time). Flows into the job's root span as the
+    /// `trace_id` attribute and is echoed in the [`JobResult`], so span
+    /// files from several processes (client + daemon) can be correlated.
+    /// Deliberately **not** part of the cache fingerprint: two identical
+    /// jobs under different trace ids share one cached diagnosis.
+    pub trace_id: Option<String>,
 }
 
 impl JobRequest {
@@ -191,6 +202,7 @@ impl JobRequest {
             trace,
             model: model.into(),
             config: AgentConfig::default(),
+            trace_id: None,
         }
     }
 
@@ -250,6 +262,27 @@ pub struct JobResult {
     pub worker: usize,
     /// Token/cost/latency accounting.
     pub metrics: JobMetrics,
+    /// The job's trace context: the request's own `trace_id` when one
+    /// was supplied, otherwise the service-generated id. Matches the
+    /// `trace_id` attribute on the job's root span.
+    pub trace_id: String,
+}
+
+/// Per-process seed for generated trace ids, so ids from concurrent
+/// daemons (multi-process trace merging is the point) cannot collide.
+static TRACE_ID_SEED: OnceLock<u64> = OnceLock::new();
+static TRACE_ID_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_trace_id() -> String {
+    let seed = *TRACE_ID_SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        simllm::rng::stable_hash(&format!("{}:{nanos}", std::process::id()))
+    });
+    let seq = TRACE_ID_SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("{seed:016x}-{seq:08x}")
 }
 
 /// Why a submission was refused.
@@ -311,6 +344,8 @@ pub struct ServiceStats {
 struct QueuedJob {
     request: JobRequest,
     key: ResultKey,
+    /// Resolved trace context (caller-supplied or generated at submit).
+    trace_id: String,
     enqueued: Instant,
     /// Enqueue time on the tracer's clock (0 with tracing off), so the
     /// worker can emit the `job` root span and its `stage.queue_wait`
@@ -330,6 +365,7 @@ struct ServiceCounters {
     jobs_completed: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
+    errors: Arc<Counter>,
     llm_calls: Arc<Counter>,
     input_tokens: Arc<Counter>,
     output_tokens: Arc<Counter>,
@@ -337,15 +373,23 @@ struct ServiceCounters {
     queue_wait_ns: Arc<Histogram>,
     exec_ns: Arc<Histogram>,
     persist_ns: Arc<Histogram>,
+    workers: Arc<Gauge>,
+    workers_busy: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
 }
 
 impl ServiceCounters {
     fn new() -> Self {
-        let registry = MetricsRegistry::new();
+        // Windowed with the standard spec so the same instruments answer
+        // lifetime *and* last-10s/last-60s reads ({"metrics": true},
+        // `top`, the SLO gate) without a second recording path.
+        let registry =
+            MetricsRegistry::windowed(WindowSpec::standard(Arc::new(MonotonicClock::new())));
         ServiceCounters {
             jobs_completed: registry.counter("service.jobs_completed"),
             cache_hits: registry.counter("service.cache_hits"),
             cache_misses: registry.counter("service.cache_misses"),
+            errors: registry.counter("service.errors"),
             llm_calls: registry.counter("service.llm_calls"),
             input_tokens: registry.counter("service.input_tokens"),
             output_tokens: registry.counter("service.output_tokens"),
@@ -353,6 +397,9 @@ impl ServiceCounters {
             queue_wait_ns: registry.histogram("service.queue_wait_ns"),
             exec_ns: registry.histogram("service.exec_ns"),
             persist_ns: registry.histogram("service.persist_ns"),
+            workers: registry.gauge("service.workers"),
+            workers_busy: registry.gauge("service.workers_busy"),
+            queue_depth: registry.gauge("service.queue_depth"),
             registry,
         }
     }
@@ -539,6 +586,7 @@ impl DiagnosisService {
             rpc_latency: config.simulated_rpc_latency,
             intra_threads: config.intra_threads.max(1),
         });
+        shared.counters.workers.set(config.workers.max(1) as u64);
         let workers = (0..config.workers.max(1))
             .map(|worker_idx| {
                 let shared = Arc::clone(&shared);
@@ -586,6 +634,7 @@ impl DiagnosisService {
     pub fn submit(&self, request: JobRequest) -> Result<JobTicket, SubmitError> {
         Self::validate_models(&request)?;
         let key = request.fingerprint();
+        let trace_id = request.trace_id.clone().unwrap_or_else(fresh_trace_id);
         let (reply, receiver) = mpsc::channel();
         let ticket = JobTicket {
             id: request.id.clone(),
@@ -601,6 +650,7 @@ impl DiagnosisService {
                 cached: true,
                 worker: usize::MAX,
                 metrics: JobMetrics::default(),
+                trace_id,
             };
             self.shared.record(&result);
             let _ = reply.send(result);
@@ -610,6 +660,7 @@ impl DiagnosisService {
         let job = QueuedJob {
             request,
             key,
+            trace_id,
             enqueued: Instant::now(),
             enqueued_ns: ioobserve::tracer().now_ns(),
             reply,
@@ -627,6 +678,7 @@ impl DiagnosisService {
     pub fn try_submit(&self, request: JobRequest) -> Result<JobTicket, SubmitError> {
         Self::validate_models(&request)?;
         let key = request.fingerprint();
+        let trace_id = request.trace_id.clone().unwrap_or_else(fresh_trace_id);
         let (reply, receiver) = mpsc::channel();
         let ticket = JobTicket {
             id: request.id.clone(),
@@ -639,6 +691,7 @@ impl DiagnosisService {
                 cached: true,
                 worker: usize::MAX,
                 metrics: JobMetrics::default(),
+                trace_id,
             };
             self.shared.record(&result);
             let _ = reply.send(result);
@@ -647,6 +700,7 @@ impl DiagnosisService {
         let job = QueuedJob {
             request,
             key,
+            trace_id,
             enqueued: Instant::now(),
             enqueued_ns: ioobserve::tracer().now_ns(),
             reply,
@@ -704,10 +758,25 @@ impl DiagnosisService {
     }
 
     /// Snapshot of the service's own metrics registry (the `service.*`
-    /// counters and latency histograms behind [`DiagnosisService::stats`]).
-    /// Process-wide stage metrics live in [`ioobserve::metrics`].
+    /// counters and latency histograms behind [`DiagnosisService::stats`],
+    /// each also answering last-10s/last-60s windowed reads).
+    /// Process-wide stage metrics live in [`ioobserve::metrics`]. The
+    /// `service.queue_depth` gauge is refreshed at snapshot time.
     pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.shared
+            .counters
+            .queue_depth
+            .set(self.shared.queue.len() as u64);
         self.shared.counters.registry.snapshot()
+    }
+
+    /// Count one request-level failure (malformed line, unknown model,
+    /// full queue, …) against the windowed `service.errors` counter.
+    /// Front ends call this when they render an error reply, so the
+    /// errors/s rate and any `errors`-based SLO see protocol rejections
+    /// as well as service-side refusals.
+    pub fn note_error(&self) {
+        self.shared.counters.errors.inc();
     }
 
     /// Jobs currently waiting in the queue.
@@ -753,6 +822,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         .expect("intra-job thread pool");
     let tracer = ioobserve::tracer();
     while let Some(job) = shared.queue.pop() {
+        shared.counters.workers_busy.add(1);
         let queue_wait = job.enqueued.elapsed();
         let started = Instant::now();
 
@@ -764,6 +834,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         // — all job work runs on this thread).
         let mut job_span = tracer.span_at("job", job.enqueued_ns, 0);
         job_span.set_attr("id", &job.request.id);
+        job_span.set_attr("trace_id", &job.trace_id);
         job_span.set_attr("model", &job.request.model);
         job_span.set_attr("worker", worker_idx);
         drop(tracer.span_at("stage.queue_wait", job.enqueued_ns, job_span.id()));
@@ -780,6 +851,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
                     exec: started.elapsed(),
                     ..Default::default()
                 },
+                trace_id: job.trace_id,
             },
             None => {
                 if !shared.rpc_latency.is_zero() {
@@ -810,6 +882,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
                         queue_wait,
                         exec: started.elapsed(),
                     },
+                    trace_id: job.trace_id,
                 }
             }
         };
@@ -820,6 +893,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         shared.record(&result);
         // The submitter may have given up on the ticket; that is fine.
         let _ = job.reply.send(result);
+        shared.counters.workers_busy.sub(1);
     }
     tracer.flush();
 }

@@ -1,0 +1,301 @@
+//! Terminal dashboard rendering for `ioagentd top`.
+//!
+//! The subcommand polls `{"metrics": true}` over TCP, reconstructs the
+//! two registry snapshots from the wire format
+//! ([`crate::protocol::snapshot_from_metrics_json`]), and renders them
+//! with [`render_dashboard`]: windowed rates, queue depth and worker
+//! occupancy, windowed latency quantiles for the `service.*` histograms,
+//! and per-stage latency bars from the process-global stage histograms.
+//!
+//! Rendering is a pure function of the snapshots so it is unit-testable
+//! without a daemon; empty windows print `-` (never a fake 0), matching
+//! the `null` statistics on the wire.
+
+use ioobserve::{fmt_ns, HistogramSnapshot, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Width of the longest per-stage latency bar.
+const BAR_WIDTH: usize = 28;
+
+fn counter(snap: &RegistrySnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn gauge(snap: &RegistrySnapshot, name: &str) -> u64 {
+    snap.gauges
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn counter_window(snap: &RegistrySnapshot, name: &str, idx: usize) -> u64 {
+    snap.counter_windows
+        .iter()
+        .find(|(n, _)| n == name)
+        .and_then(|(_, t)| t.get(idx))
+        .copied()
+        .unwrap_or(0)
+}
+
+fn window_label(ns: u64) -> String {
+    let secs = ns as f64 / 1e9;
+    if (secs - secs.round()).abs() < 1e-9 {
+        format!("last {}s", secs.round() as u64)
+    } else {
+        format!("last {secs}s")
+    }
+}
+
+/// `p50/p90/p99` cell for one histogram window, `-` when it is empty.
+fn quantile_cell(h: &HistogramSnapshot) -> String {
+    if h.count == 0 {
+        "-".to_string()
+    } else {
+        format!(
+            "{}/{}/{} (n={})",
+            fmt_ns(h.p50),
+            fmt_ns(h.p90),
+            fmt_ns(h.p99),
+            h.count
+        )
+    }
+}
+
+/// Render one refresh of the dashboard from the service and process
+/// registry snapshots (as reconstructed from a `{"metrics": true}`
+/// reply).
+pub fn render_dashboard(service: &RegistrySnapshot, process: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+
+    // Header: occupancy and lifetime totals.
+    let workers = gauge(service, "service.workers");
+    let busy = gauge(service, "service.workers_busy");
+    let queue = gauge(service, "service.queue_depth");
+    let jobs = counter(service, "service.jobs_completed");
+    let hits = counter(service, "service.cache_hits");
+    let errors = counter(service, "service.errors");
+    let _ = writeln!(
+        out,
+        "ioagentd top — queue {queue}  workers {busy}/{workers} busy  \
+         jobs {jobs} ({hits} cached)  errors {errors}"
+    );
+
+    // Windowed rates.
+    if service.window_ns.is_empty() {
+        let _ = writeln!(out, "(no windowed metrics offered by this daemon)");
+    } else {
+        let _ = writeln!(
+            out,
+            "\n{:<12} {:>10} {:>10} {:>10}",
+            "rates", "jobs/s", "errors/s", "cache-hit"
+        );
+        for (i, &ns) in service.window_ns.iter().enumerate() {
+            let secs = ns as f64 / 1e9;
+            let jobs_w = counter_window(service, "service.jobs_completed", i);
+            let errors_w = counter_window(service, "service.errors", i);
+            let hits_w = counter_window(service, "service.cache_hits", i);
+            let hit_cell = if jobs_w == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}%", 100.0 * hits_w as f64 / jobs_w as f64)
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10.2} {:>10.2} {:>10}",
+                window_label(ns),
+                jobs_w as f64 / secs,
+                errors_w as f64 / secs,
+                hit_cell
+            );
+        }
+    }
+
+    // Windowed service latency quantiles, one column per window.
+    let svc_rows: Vec<&(String, Vec<HistogramSnapshot>)> = service
+        .histogram_windows
+        .iter()
+        .filter(|(name, _)| name.starts_with("service."))
+        .collect();
+    if !svc_rows.is_empty() {
+        let mut header = format!("\n{:<26}", "latency p50/p90/p99");
+        for &ns in &service.window_ns {
+            let _ = write!(header, " {:>30}", window_label(ns));
+        }
+        let _ = writeln!(out, "{header}");
+        for (name, wins) in svc_rows {
+            let mut row = format!("{:<26}", name.trim_start_matches("service."));
+            for w in wins {
+                let _ = write!(row, " {:>30}", quantile_cell(w));
+            }
+            let _ = writeln!(out, "{row}");
+        }
+    }
+
+    // Per-stage latency bars from the process registry: the last
+    // (longest) window's p90, scaled to the slowest stage. Falls back to
+    // lifetime quantiles when the process registry is not windowed.
+    let stage_p90 = |name: &str| -> Option<(String, u64, u64)> {
+        if let Some((_, wins)) = process.histogram_windows.iter().find(|(n, _)| n == name) {
+            let w = wins.last()?;
+            (w.count > 0).then(|| (name.to_string(), w.p90, w.count))
+        } else {
+            let (_, h) = process.histograms.iter().find(|(n, _)| n == name)?;
+            (h.count > 0).then(|| (name.to_string(), h.p90, h.count))
+        }
+    };
+    let mut stages: Vec<(String, u64, u64)> = process
+        .histograms
+        .iter()
+        .map(|(n, _)| n)
+        .chain(process.histogram_windows.iter().map(|(n, _)| n))
+        .filter(|n| n.starts_with("stage."))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .filter_map(|n| stage_p90(n))
+        .collect();
+    stages.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    if !stages.is_empty() {
+        let max = stages
+            .iter()
+            .map(|(_, p90, _)| *p90)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let _ = writeln!(out, "\nstage p90 (windowed when offered)");
+        for (name, p90, count) in &stages {
+            let bar = (*p90 as u128 * BAR_WIDTH as u128 / max as u128) as usize;
+            let _ = writeln!(
+                out,
+                "{:<22} {:<BAR_WIDTH$} {:>10} (n={count})",
+                name.trim_start_matches("stage.").trim_end_matches("_ns"),
+                "#".repeat(bar.max(1)),
+                fmt_ns(*p90),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(count: u64, v: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count,
+            sum: v * count,
+            min: v,
+            max: v,
+            p50: v,
+            p90: v,
+            p99: v,
+            p999: v,
+        }
+    }
+
+    fn service_snap() -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: vec![
+                ("service.cache_hits".into(), 4),
+                ("service.errors".into(), 1),
+                ("service.jobs_completed".into(), 16),
+            ],
+            gauges: vec![
+                ("service.queue_depth".into(), 3),
+                ("service.workers".into(), 4),
+                ("service.workers_busy".into(), 2),
+            ],
+            histograms: vec![("service.exec_ns".into(), hist(16, 40_000_000))],
+            window_ns: vec![10_000_000_000, 60_000_000_000],
+            counter_windows: vec![
+                ("service.cache_hits".into(), vec![1, 4]),
+                ("service.errors".into(), vec![0, 1]),
+                ("service.jobs_completed".into(), vec![5, 16]),
+            ],
+            histogram_windows: vec![(
+                "service.exec_ns".into(),
+                vec![hist(0, 0), hist(16, 40_000_000)],
+            )],
+            ..RegistrySnapshot::default()
+        }
+    }
+
+    fn process_snap() -> RegistrySnapshot {
+        RegistrySnapshot {
+            histograms: vec![
+                ("stage.llm_ns".into(), hist(90, 30_000_000)),
+                ("stage.retrieve_ns".into(), hist(90, 3_000_000)),
+            ],
+            window_ns: vec![10_000_000_000, 60_000_000_000],
+            histogram_windows: vec![
+                (
+                    "stage.llm_ns".into(),
+                    vec![hist(10, 30_000_000), hist(90, 30_000_000)],
+                ),
+                (
+                    "stage.retrieve_ns".into(),
+                    vec![hist(10, 3_000_000), hist(90, 3_000_000)],
+                ),
+            ],
+            ..RegistrySnapshot::default()
+        }
+    }
+
+    #[test]
+    fn dashboard_shows_occupancy_rates_and_stages() {
+        let text = render_dashboard(&service_snap(), &process_snap());
+        assert!(text.contains("queue 3"), "{text}");
+        assert!(text.contains("workers 2/4 busy"), "{text}");
+        assert!(text.contains("last 10s"), "{text}");
+        assert!(text.contains("last 60s"), "{text}");
+        // 5 jobs / 10s.
+        assert!(text.contains("0.50"), "{text}");
+        // Stage rows present, slowest bar longest.
+        assert!(text.contains("llm"), "{text}");
+        assert!(text.contains("retrieve"), "{text}");
+        let llm_bar = text
+            .lines()
+            .find(|l| l.starts_with("llm"))
+            .unwrap()
+            .matches('#')
+            .count();
+        let ret_bar = text
+            .lines()
+            .find(|l| l.starts_with("retrieve"))
+            .unwrap()
+            .matches('#')
+            .count();
+        assert!(llm_bar > ret_bar, "llm {llm_bar} vs retrieve {ret_bar}");
+    }
+
+    #[test]
+    fn empty_windows_render_dash_not_zero() {
+        let text = render_dashboard(&service_snap(), &process_snap());
+        // exec_ns window 0 (last 10s) is empty → "-" cell, never "0ns".
+        let exec_line = text.lines().find(|l| l.starts_with("exec_ns")).unwrap();
+        assert!(exec_line.contains('-'), "{exec_line}");
+        assert!(!exec_line.contains("0ns"), "{exec_line}");
+        // The populated 60s window reports its quantiles.
+        assert!(exec_line.contains("40.00ms"), "{exec_line}");
+    }
+
+    #[test]
+    fn handles_lifetime_only_snapshots() {
+        let service = RegistrySnapshot {
+            counters: vec![("service.jobs_completed".into(), 2)],
+            ..RegistrySnapshot::default()
+        };
+        let process = RegistrySnapshot {
+            histograms: vec![("stage.llm_ns".into(), hist(5, 1_000))],
+            ..RegistrySnapshot::default()
+        };
+        let text = render_dashboard(&service, &process);
+        assert!(text.contains("no windowed metrics"), "{text}");
+        assert!(text.contains("llm"), "{text}");
+    }
+}

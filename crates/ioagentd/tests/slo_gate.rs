@@ -1,0 +1,163 @@
+//! SLO gate end-to-end: start a real `ioagentd --listen 127.0.0.1:0
+//! --slo ioagentd.slo`, push a batch over TCP, then
+//!
+//! - probe `{"slo": true}` in-band and expect a passing report,
+//! - run `ioagentd slo-check <addr>` (daemon-side declarations) and
+//!   expect exit 0,
+//! - run `ioagentd slo-check <addr> --slo <impossible>` and expect
+//!   exit 1 — the CI gate must actually be able to fail,
+//! - run `ioagentd top <addr> --once` and keep the frame as a CI
+//!   artifact in `target/obs-smoke/`.
+//!
+//! This is the test CI runs as its SLO gate; the committed declarations
+//! live in `ioagentd.slo` at the repository root.
+
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawn the daemon on an OS-assigned port and scrape the bound
+    /// address from its `[ioagentd] listening on …` stderr line.
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut args = vec!["--workers", "2", "--listen", "127.0.0.1:0"];
+        args.extend_from_slice(extra);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ioagentd"))
+            .args(&args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn ioagentd");
+        let stderr = child.stderr.take().expect("stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon exited before listening")
+                .expect("stderr line");
+            if let Some(rest) = line.strip_prefix("[ioagentd] listening on ") {
+                break rest.trim().to_string();
+            }
+        };
+        // Keep draining stderr so the daemon never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, addr }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Push `n` distinct jobs through one TCP connection and return the
+/// reply to a trailing `{"slo": true}` probe.
+fn drive_jobs_and_probe_slo(addr: &str, n: usize) -> Value {
+    let suite = tracebench::TraceBench::generate();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    for (i, entry) in suite.entries.iter().cycle().take(n).enumerate() {
+        let line = json!({
+            "id": format!("slo-job-{i}"),
+            "trace": darshan::write::write_text(&entry.trace),
+            "model": "gpt-4o-mini",
+        });
+        writeln!(writer, "{}", serde_json::to_string(&line).unwrap()).expect("send job");
+    }
+    writer
+        .write_all(b"{\"id\": \"slo-probe\", \"slo\": true}\n")
+        .expect("send probe");
+    writer.flush().expect("flush");
+    let mut replies = Vec::new();
+    for _ in 0..=n {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        replies.push(serde_json::from_str::<Value>(line.trim()).expect("reply is JSON"));
+    }
+    for r in &replies[..n] {
+        assert!(r.get("error").is_none(), "job failed: {r:?}");
+    }
+    replies.pop().expect("slo probe reply")
+}
+
+fn run_subcommand(args: &[&str]) -> (std::process::ExitStatus, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ioagentd"))
+        .args(args)
+        .output()
+        .expect("run subcommand");
+    (out.status, String::from_utf8(out.stdout).expect("utf-8"))
+}
+
+#[test]
+fn slo_check_gates_a_live_daemon() {
+    let slo_file = repo_root().join("ioagentd.slo");
+    let slo_arg = slo_file.to_str().unwrap();
+    let daemon = Daemon::spawn(&["--slo", slo_arg]);
+
+    // Warm the windows with a batch, probing SLOs in-band on the same
+    // connection: the reply must carry a passing report for the two
+    // committed declarations.
+    let probe = drive_jobs_and_probe_slo(&daemon.addr, 8);
+    let slo = probe.get("slo").expect("slo section");
+    assert_eq!(
+        slo.get("pass").and_then(Value::as_bool),
+        Some(true),
+        "{probe:?}"
+    );
+    let checks = slo.get("checks").and_then(Value::as_array).expect("checks");
+    assert_eq!(checks.len(), 2, "both committed declarations evaluated");
+    for c in checks {
+        assert_eq!(c.get("pass").and_then(Value::as_bool), Some(true), "{c:?}");
+        assert!(
+            c.get("observed_ns").and_then(Value::as_i64).unwrap() > 0,
+            "windowed quantile must be a real observation: {c:?}"
+        );
+    }
+
+    // The CI gate: daemon-side declarations, exit 0 on pass.
+    let (status, stdout) = run_subcommand(&["slo-check", &daemon.addr]);
+    assert!(status.success(), "slo-check failed:\n{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+    assert!(!stdout.contains("FAIL"), "{stdout}");
+
+    // …and it can actually fail: client-side declarations nothing meets.
+    let impossible = std::env::temp_dir().join(format!("impossible-{}.slo", std::process::id()));
+    std::fs::write(&impossible, "exec_p99 < 1ns over 60s\n").expect("write slo");
+    let (status, stdout) = run_subcommand(&[
+        "slo-check",
+        &daemon.addr,
+        "--slo",
+        impossible.to_str().unwrap(),
+    ]);
+    let _ = std::fs::remove_file(&impossible);
+    assert_eq!(status.code(), Some(1), "violation must exit 1:\n{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+
+    // A single `top` frame renders occupancy, rates, and stage bars.
+    let (status, frame) = run_subcommand(&["top", &daemon.addr, "--once"]);
+    assert!(status.success(), "top --once failed:\n{frame}");
+    assert!(frame.contains("ioagentd top"), "{frame}");
+    assert!(frame.contains("last 60s"), "{frame}");
+    assert!(frame.contains("exec_ns"), "{frame}");
+    assert!(frame.contains('#'), "stage bars missing:\n{frame}");
+
+    // Leave the frame where CI uploads artifacts from.
+    let artifacts = repo_root().join("target/obs-smoke");
+    std::fs::create_dir_all(&artifacts).expect("create artifact dir");
+    std::fs::write(artifacts.join("top.txt"), &frame).expect("write top frame");
+}

@@ -30,37 +30,84 @@
 pub mod clock;
 pub mod metrics;
 pub mod report;
+pub mod slo;
 pub mod span;
+pub mod window;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use metrics::{
     Counter, FloatCounter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
 };
-pub use report::{fold_spans, StageRow, TraceReport, JOB_SPAN, STAGE_PREFIX};
-pub use span::{parse_spans, Span, SpanRecord, Tracer};
+pub use report::{
+    fmt_ns, fold_spans, merge_process_spans, render_slowest, slowest_jobs, JobDigest, StageRow,
+    TraceReport, JOB_SPAN, STAGE_PREFIX,
+};
+pub use slo::{evaluate as evaluate_slos, parse_slo_file, SloCheck, SloDecl, SloReport};
+pub use span::{parse_spans, Span, SpanRecord, TailRule, TailThreshold, Tracer};
+pub use window::WindowSpec;
 
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, OnceLock};
 
-static GLOBAL_TRACER: OnceLock<Tracer> = OnceLock::new();
+static CURRENT_TRACER: AtomicPtr<Tracer> = AtomicPtr::new(std::ptr::null_mut());
 static DISABLED_TRACER: Tracer = Tracer::disabled();
 static GLOBAL_METRICS: OnceLock<MetricsRegistry> = OnceLock::new();
 
 /// The process-global tracer. Disabled (and free) unless
-/// [`init_tracer`] installed one.
+/// [`init_tracer`] / [`install_tracer`] installed one.
 pub fn tracer() -> &'static Tracer {
-    GLOBAL_TRACER.get().unwrap_or(&DISABLED_TRACER)
+    let p = CURRENT_TRACER.load(Ordering::Acquire);
+    if p.is_null() {
+        &DISABLED_TRACER
+    } else {
+        // SAFETY: the pointer was leaked by init_tracer/install_tracer
+        // and is never freed, so it is valid for 'static.
+        unsafe { &*p }
+    }
 }
 
 /// Install the process-global tracer. First call wins; returns `false`
 /// (and drops `t`) if one was already installed. Call early — spans
 /// opened before this see the disabled tracer.
 pub fn init_tracer(t: Tracer) -> bool {
-    GLOBAL_TRACER.set(t).is_ok()
+    let boxed = Box::into_raw(Box::new(t));
+    match CURRENT_TRACER.compare_exchange(
+        std::ptr::null_mut(),
+        boxed,
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    ) {
+        Ok(_) => true,
+        Err(_) => {
+            // SAFETY: boxed was just created above and never published.
+            drop(unsafe { Box::from_raw(boxed) });
+            false
+        }
+    }
 }
 
-/// The process-global metrics registry (always available).
+/// Replace the process-global tracer unconditionally, returning the new
+/// one. The previous tracer (if any) is intentionally **leaked**:
+/// `tracer()` hands out `'static` references and spans opened against
+/// the old tracer may still be live on other threads. This is a tool for
+/// benches and multi-arm tests that measure several tracer modes in one
+/// process — services install once via [`init_tracer`].
+pub fn install_tracer(t: Tracer) -> &'static Tracer {
+    let boxed = Box::into_raw(Box::new(t));
+    CURRENT_TRACER.swap(boxed, Ordering::AcqRel);
+    // SAFETY: boxed is leaked (never freed), so the reference is 'static.
+    unsafe { &*boxed }
+}
+
+/// The process-global metrics registry (always available). Windowed
+/// with the standard spec — 2.5 s slices, last-10s/last-60s windows on a
+/// monotonic clock anchored at first use — so stage histograms recorded
+/// deep in the pipeline answer "right now" questions, not just lifetime
+/// ones.
 pub fn metrics() -> &'static MetricsRegistry {
-    GLOBAL_METRICS.get_or_init(MetricsRegistry::new)
+    GLOBAL_METRICS.get_or_init(|| {
+        MetricsRegistry::windowed(WindowSpec::standard(Arc::new(MonotonicClock::new())))
+    })
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! buckets. With 64-bit values that is `16 + 60×16 = 976` buckets of 8
 //! bytes — ~8 KiB per histogram, constant regardless of sample count.
 
+use crate::window::{CountWindow, HistWindow, WindowSpec};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -26,21 +27,44 @@ const SUB_BUCKETS: usize = 1 << SUB_BITS; // 16
 /// each exponent 4..=63.
 const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS; // 976
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count, optionally windowed (a
+/// windowed counter also lands each increment in a time-slice ring so
+/// reads can answer "events in the last W seconds" — the source of
+/// rates).
 #[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
+pub struct Counter {
+    value: AtomicU64,
+    window: Option<CountWindow>,
+}
 
 impl Counter {
+    /// A counter whose increments also feed a slice ring per `spec`.
+    pub fn windowed(spec: WindowSpec) -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+            window: Some(CountWindow::new(spec)),
+        }
+    }
+
     pub fn inc(&self) {
         self.add(1);
     }
 
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if let Some(w) = &self.window {
+            w.add(n);
+        }
     }
 
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Per-window totals (spec order), or `None` for a lifetime-only
+    /// counter.
+    pub fn window_totals(&self) -> Option<Vec<u64>> {
+        self.window.as_ref().map(CountWindow::totals)
     }
 }
 
@@ -51,6 +75,27 @@ pub struct Gauge(AtomicU64);
 impl Gauge {
     pub fn set(&self, v: u64) {
         self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increment the level (e.g. a worker going busy).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrement the level, saturating at 0.
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            match self.0.compare_exchange_weak(
+                cur,
+                cur.saturating_sub(n),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     pub fn get(&self) -> u64 {
@@ -89,7 +134,9 @@ impl FloatCounter {
     }
 }
 
-/// Fixed-footprint log-linear histogram of `u64` samples.
+/// Fixed-footprint log-linear histogram of `u64` samples, optionally
+/// windowed (samples also land in a time-slice ring so reads can answer
+/// "p99 over the last W seconds").
 #[derive(Debug)]
 pub struct Histogram {
     buckets: Vec<AtomicU64>,
@@ -97,6 +144,7 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    window: Option<Box<HistWindow>>,
 }
 
 impl Default for Histogram {
@@ -107,6 +155,7 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            window: None,
         }
     }
 }
@@ -133,13 +182,67 @@ fn bucket_upper(idx: usize) -> u64 {
 }
 
 impl Histogram {
-    /// Record one sample. Two relaxed RMWs plus min/max updates.
+    /// A histogram whose samples also feed a slice ring per `spec`.
+    pub fn windowed(spec: WindowSpec) -> Histogram {
+        Histogram {
+            window: Some(Box::new(HistWindow::new(spec))),
+            ..Histogram::default()
+        }
+    }
+
+    /// Record one sample. Two relaxed RMWs plus min/max updates (plus
+    /// the same again into the current slice, when windowed).
     pub fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        if let Some(w) = &self.window {
+            w.record(v);
+        }
+    }
+
+    /// Add this histogram's lifetime contents into `dst` — the read path
+    /// of ring windows and the way per-service registries roll up into a
+    /// fleet view. Concurrent writers may leave `dst` torn by a few
+    /// samples (monitoring data, not a ledger). `dst`'s own window ring,
+    /// if any, is untouched: merged samples carry no timestamps.
+    pub fn merge_into(&self, dst: &Histogram) {
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.buckets[idx].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        dst.count
+            .fetch_add(self.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        dst.sum
+            .fetch_add(self.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        // An empty source has min = u64::MAX and max = 0 — both no-ops.
+        dst.min
+            .fetch_min(self.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        dst.max
+            .fetch_max(self.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Zero every lifetime cell (ring slices reuse recycled histograms
+    /// through this). Not atomic as a whole: concurrent recorders may
+    /// land samples mid-reset.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Per-window summaries (spec order), or `None` for a lifetime-only
+    /// histogram.
+    pub fn window_snapshots(&self) -> Option<Vec<HistogramSnapshot>> {
+        self.window.as_ref().map(|w| w.snapshots())
     }
 
     /// Record a duration in nanoseconds.
@@ -219,46 +322,85 @@ impl HistogramSnapshot {
 /// Lookups take a read lock once per call site *per acquisition* — call
 /// sites are expected to fetch their instrument once (an `Arc`) and hold
 /// it, so the registry lock never sits on a hot path.
+///
+/// A registry built with [`MetricsRegistry::windowed`] creates windowed
+/// counters and histograms, and its [`RegistrySnapshot`] additionally
+/// carries per-window totals/quantiles.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     floats: RwLock<BTreeMap<String, Arc<FloatCounter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    window: Option<WindowSpec>,
 }
 
-fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+fn get_or_insert<T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
     if let Some(v) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
         return Arc::clone(v);
     }
     let mut w = map.write().unwrap_or_else(|e| e.into_inner());
-    Arc::clone(w.entry(name.to_string()).or_default())
+    Arc::clone(
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
 }
 
 impl MetricsRegistry {
+    /// A lifetime-only registry (no windows).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A registry whose counters and histograms also answer windowed
+    /// reads per `spec`.
+    pub fn windowed(spec: WindowSpec) -> Self {
+        MetricsRegistry {
+            window: Some(spec),
+            ..Self::default()
+        }
+    }
+
+    /// The windows this registry's instruments offer (empty when
+    /// lifetime-only).
+    pub fn window_ns(&self) -> Vec<u64> {
+        self.window
+            .as_ref()
+            .map(|s| s.windows_ns().to_vec())
+            .unwrap_or_default()
+    }
+
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        get_or_insert(&self.counters, name)
+        get_or_insert(&self.counters, name, || match &self.window {
+            Some(spec) => Counter::windowed(spec.clone()),
+            None => Counter::default(),
+        })
     }
 
     pub fn float_counter(&self, name: &str) -> Arc<FloatCounter> {
-        get_or_insert(&self.floats, name)
+        get_or_insert(&self.floats, name, FloatCounter::default)
     }
 
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        get_or_insert(&self.gauges, name)
+        get_or_insert(&self.gauges, name, Gauge::default)
     }
 
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        get_or_insert(&self.histograms, name)
+        get_or_insert(&self.histograms, name, || match &self.window {
+            Some(spec) => Histogram::windowed(spec.clone()),
+            None => Histogram::default(),
+        })
     }
 
-    /// Everything in the registry, summarized, names sorted.
+    /// Everything in the registry, summarized, names sorted. Windowed
+    /// registries also fill `window_ns` / `counter_windows` /
+    /// `histogram_windows` (parallel to `window_ns`, ascending).
     pub fn snapshot(&self) -> RegistrySnapshot {
-        RegistrySnapshot {
+        let mut snap = RegistrySnapshot {
             counters: self
                 .counters
                 .read()
@@ -287,17 +429,77 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            window_ns: self.window_ns(),
+            counter_windows: Vec::new(),
+            histogram_windows: Vec::new(),
+        };
+        if self.window.is_some() {
+            snap.counter_windows = self
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .filter_map(|(k, v)| v.window_totals().map(|t| (k.clone(), t)))
+                .collect();
+            snap.histogram_windows = self
+                .histograms
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .filter_map(|(k, v)| v.window_snapshots().map(|s| (k.clone(), s)))
+                .collect();
+        }
+        snap
+    }
+
+    /// Add this registry's lifetime values into `dst`: counters and
+    /// histograms accumulate ([`Histogram::merge_into`]), float counters
+    /// add, gauges last-write-win. Window rings are not merged — merged
+    /// samples carry no timestamps — so `dst` answers windowed reads
+    /// only for what was recorded against it directly. This is the
+    /// fleet-rollup path: several per-service registries folded into one
+    /// process view.
+    pub fn merge_into(&self, dst: &MetricsRegistry) {
+        for (name, c) in self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            dst.counter(name).add(c.get());
+        }
+        for (name, f) in self.floats.read().unwrap_or_else(|e| e.into_inner()).iter() {
+            dst.float_counter(name).add(f.get());
+        }
+        for (name, g) in self.gauges.read().unwrap_or_else(|e| e.into_inner()).iter() {
+            dst.gauge(name).set(g.get());
+        }
+        for (name, h) in self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            h.merge_into(&dst.histogram(name));
         }
     }
 }
 
 /// Point-in-time copy of a whole [`MetricsRegistry`].
+///
+/// For a windowed registry, `window_ns` lists the offered windows
+/// (ascending) and `counter_windows` / `histogram_windows` carry one
+/// entry per window in that same order. All three are empty for
+/// lifetime-only registries.
 #[derive(Debug, Clone, Default)]
 pub struct RegistrySnapshot {
     pub counters: Vec<(String, u64)>,
     pub floats: Vec<(String, f64)>,
     pub gauges: Vec<(String, u64)>,
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    pub window_ns: Vec<u64>,
+    pub counter_windows: Vec<(String, Vec<u64>)>,
+    pub histogram_windows: Vec<(String, Vec<HistogramSnapshot>)>,
 }
 
 #[cfg(test)]
@@ -404,6 +606,97 @@ mod tests {
             th.join().unwrap();
         }
         assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn merge_into_accumulates_and_reset_clears() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for v in [1u64, 5, 900, 70_000] {
+            a.record(v);
+        }
+        for v in [3u64, 1_000_000] {
+            b.record(v);
+        }
+        let all = Histogram::default();
+        a.merge_into(&all);
+        b.merge_into(&all);
+        let direct = Histogram::default();
+        for v in [1u64, 5, 900, 70_000, 3, 1_000_000] {
+            direct.record(v);
+        }
+        assert_eq!(all.snapshot(), direct.snapshot());
+        // Merging an empty histogram changes nothing (min/max sentinels
+        // must not leak through).
+        Histogram::default().merge_into(&all);
+        assert_eq!(all.snapshot(), direct.snapshot());
+        all.reset();
+        assert_eq!(all.snapshot(), Histogram::default().snapshot());
+    }
+
+    #[test]
+    fn gauge_add_sub_saturates() {
+        let g = Gauge::default();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub saturates instead of wrapping");
+    }
+
+    #[test]
+    fn windowed_registry_snapshot_carries_windows() {
+        use crate::clock::VirtualClock;
+        let clock = Arc::new(VirtualClock::new());
+        let spec = crate::window::WindowSpec::new(
+            Arc::clone(&clock) as Arc<dyn crate::clock::Clock>,
+            1_000_000_000,
+            &[2_000_000_000, 10_000_000_000],
+        );
+        let r = MetricsRegistry::windowed(spec);
+        r.counter("jobs").add(4);
+        r.histogram("lat").record(500);
+        clock.advance(3_000_000_000);
+        r.counter("jobs").inc();
+        r.histogram("lat").record(900);
+        let snap = r.snapshot();
+        assert_eq!(snap.window_ns, vec![2_000_000_000, 10_000_000_000]);
+        assert_eq!(
+            snap.counter_windows,
+            vec![("jobs".to_string(), vec![1, 5])],
+            "short window sees the recent inc, long window everything"
+        );
+        let (name, wins) = &snap.histogram_windows[0];
+        assert_eq!(name, "lat");
+        assert_eq!((wins[0].count, wins[0].min), (1, 900));
+        assert_eq!((wins[1].count, wins[1].min), (2, 500));
+        // Lifetime view is unaffected by expiry.
+        assert_eq!(snap.histograms[0].1.count, 2);
+        // A plain registry reports no windows at all.
+        let plain = MetricsRegistry::new().snapshot();
+        assert!(plain.window_ns.is_empty());
+        assert!(plain.histogram_windows.is_empty());
+    }
+
+    #[test]
+    fn registry_merge_into_rolls_up_lifetime_values() {
+        let svc1 = MetricsRegistry::new();
+        let svc2 = MetricsRegistry::new();
+        svc1.counter("jobs").add(3);
+        svc2.counter("jobs").add(4);
+        svc1.float_counter("cost").add(0.5);
+        svc2.float_counter("cost").add(0.25);
+        svc1.gauge("depth").set(9);
+        svc1.histogram("lat").record(100);
+        svc2.histogram("lat").record(300);
+        let fleet = MetricsRegistry::new();
+        svc1.merge_into(&fleet);
+        svc2.merge_into(&fleet);
+        assert_eq!(fleet.counter("jobs").get(), 7);
+        assert!((fleet.float_counter("cost").get() - 0.75).abs() < 1e-12);
+        assert_eq!(fleet.gauge("depth").get(), 9);
+        let h = fleet.histogram("lat").snapshot();
+        assert_eq!((h.count, h.min, h.max), (2, 100, 300));
     }
 
     #[test]

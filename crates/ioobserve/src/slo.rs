@@ -1,0 +1,439 @@
+//! SLO declarations checked against windowed quantiles.
+//!
+//! A service-level objective here is one line of text:
+//!
+//! ```text
+//! exec_p99 < 250ms over 60s
+//! queue_wait_p999 <= 2s over 60s
+//! stage.llm_p90 < 100ms over 10s
+//! ```
+//!
+//! Left of the operator is a metric plus a quantile suffix. Bare names
+//! resolve into the service registry (`exec` → `service.exec_ns`);
+//! dotted names are taken as-is against any offered registry, with
+//! `_ns` appended when missing (`stage.llm` → `stage.llm_ns`). The
+//! quantile must be one of the four every
+//! [`HistogramSnapshot`](crate::metrics::HistogramSnapshot) answers:
+//! `p50`, `p90`, `p99`, `p999`. The bound takes `ns`/`us`/`ms`/`s`
+//! suffixes, and the trailing `over <duration>` picks which rolling
+//! window ([`WindowSpec`](crate::window::WindowSpec)) to judge.
+//!
+//! Evaluation is deliberately burn-rate-shaped rather than lifetime-
+//! shaped: a violation five minutes ago that has since recovered does
+//! not fail the check, and hours of good samples cannot mask a
+//! regression happening right now.
+//!
+//! # No data
+//!
+//! An empty window (or a metric that has never been recorded — registry
+//! instruments are created lazily) makes a check *indeterminate*, which
+//! counts as a pass: a just-started idle daemon is not in violation.
+//! Asking for a window the registry does not offer is a configuration
+//! error and fails loudly.
+
+use crate::metrics::{HistogramSnapshot, RegistrySnapshot};
+use crate::report::fmt_ns;
+use std::fmt::Write as _;
+
+/// One of the four quantiles a histogram snapshot can answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantile {
+    P50,
+    P90,
+    P99,
+    P999,
+}
+
+impl Quantile {
+    pub fn label(self) -> &'static str {
+        match self {
+            Quantile::P50 => "p50",
+            Quantile::P90 => "p90",
+            Quantile::P99 => "p99",
+            Quantile::P999 => "p999",
+        }
+    }
+
+    fn of(self, h: &HistogramSnapshot) -> u64 {
+        match self {
+            Quantile::P50 => h.p50,
+            Quantile::P90 => h.p90,
+            Quantile::P99 => h.p99,
+            Quantile::P999 => h.p999,
+        }
+    }
+}
+
+/// One parsed SLO line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloDecl {
+    /// The declaration as written (normalized whitespace) — what
+    /// reports print.
+    pub text: String,
+    /// Fully-resolved histogram name, e.g. `service.exec_ns`.
+    pub metric: String,
+    pub quantile: Quantile,
+    /// `true` for `<`, `false` for `<=`.
+    pub strict: bool,
+    pub bound_ns: u64,
+    pub window_ns: u64,
+}
+
+fn parse_duration_ns(s: &str) -> Result<u64, String> {
+    let split = s
+        .find(|c: char| !c.is_ascii_digit())
+        .ok_or_else(|| format!("duration {s:?} is missing a unit (ns/us/ms/s)"))?;
+    let (digits, unit) = s.split_at(split);
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad duration {s:?}: want <integer><unit>"))?;
+    let scale = match unit {
+        "ns" => 1,
+        "us" => 1_000,
+        "ms" => 1_000_000,
+        "s" => 1_000_000_000,
+        other => return Err(format!("unknown duration unit {other:?} in {s:?}")),
+    };
+    Ok(n.saturating_mul(scale))
+}
+
+/// Parse one line; `Ok(None)` for blanks and `#` comments.
+pub fn parse_slo_line(line: &str) -> Result<Option<SloDecl>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let [lhs, op, bound, over, window] = tokens.as_slice() else {
+        return Err(format!(
+            "want `<metric>_p<q> </<= <bound> over <window>`, got {line:?}"
+        ));
+    };
+    if *over != "over" {
+        return Err(format!("expected `over`, got {over:?} in {line:?}"));
+    }
+    let strict = match *op {
+        "<" => true,
+        "<=" => false,
+        other => return Err(format!("unsupported operator {other:?} (want < or <=)")),
+    };
+    let (metric_part, digits) = lhs
+        .rsplit_once("_p")
+        .filter(|(m, d)| !m.is_empty() && !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+        .ok_or_else(|| format!("metric {lhs:?} needs a _p50/_p90/_p99/_p999 suffix"))?;
+    let quantile = match digits {
+        "50" => Quantile::P50,
+        "90" => Quantile::P90,
+        "99" => Quantile::P99,
+        "999" => Quantile::P999,
+        other => {
+            return Err(format!(
+                "unsupported quantile p{other} (histograms answer p50/p90/p99/p999)"
+            ))
+        }
+    };
+    let mut metric = if metric_part.contains('.') {
+        metric_part.to_string()
+    } else {
+        format!("service.{metric_part}")
+    };
+    if !metric.ends_with("_ns") {
+        metric.push_str("_ns");
+    }
+    Ok(Some(SloDecl {
+        text: tokens.join(" "),
+        metric,
+        quantile,
+        strict,
+        bound_ns: parse_duration_ns(bound)?,
+        window_ns: parse_duration_ns(window)?,
+    }))
+}
+
+/// Parse a whole SLO file; errors carry 1-based line numbers.
+pub fn parse_slo_file(text: &str) -> Result<Vec<SloDecl>, String> {
+    let mut decls = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(decl) = parse_slo_line(line).map_err(|e| format!("line {}: {e}", i + 1))? {
+            decls.push(decl);
+        }
+    }
+    Ok(decls)
+}
+
+/// The outcome of one declaration against one probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloCheck {
+    pub decl: SloDecl,
+    /// The windowed quantile, or `None` when the window held no samples
+    /// (indeterminate — counts as a pass).
+    pub observed_ns: Option<u64>,
+    /// Samples in the judged window.
+    pub samples: u64,
+    pub pass: bool,
+    /// Human-readable note for indeterminate/misconfigured checks.
+    pub note: Option<String>,
+}
+
+/// All checks from one probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    pub checks: Vec<SloCheck>,
+}
+
+impl SloReport {
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Render for terminals and CI logs.
+    pub fn render(&self) -> String {
+        let passed = self.checks.iter().filter(|c| c.pass).count();
+        let mut out = format!("SLO check: {passed} of {} pass\n", self.checks.len());
+        let width = self
+            .checks
+            .iter()
+            .map(|c| c.decl.text.len())
+            .max()
+            .unwrap_or(0);
+        for c in &self.checks {
+            let verdict = if c.pass { "PASS" } else { "FAIL" };
+            let _ = write!(out, "  {verdict}  {:<width$}  ", c.decl.text);
+            match (&c.observed_ns, &c.note) {
+                (Some(obs), _) => {
+                    let _ = writeln!(
+                        out,
+                        "observed {} {} (n={})",
+                        c.decl.quantile.label(),
+                        fmt_ns(*obs),
+                        c.samples
+                    );
+                }
+                (None, Some(note)) => {
+                    let _ = writeln!(out, "{note}");
+                }
+                (None, None) => {
+                    let _ = writeln!(out, "no data in window");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Judge `decls` against one or more registry snapshots (service first,
+/// then process-global — first snapshot offering the metric wins).
+pub fn evaluate(decls: &[SloDecl], snaps: &[&RegistrySnapshot]) -> SloReport {
+    let checks = decls
+        .iter()
+        .map(|decl| {
+            let Some((snap, windows)) = snaps.iter().find_map(|s| {
+                s.histogram_windows
+                    .iter()
+                    .find(|(name, _)| *name == decl.metric)
+                    .map(|(_, w)| (*s, w))
+            }) else {
+                return SloCheck {
+                    decl: decl.clone(),
+                    observed_ns: None,
+                    samples: 0,
+                    pass: true,
+                    note: Some("no data (metric not yet recorded)".to_string()),
+                };
+            };
+            let Some(idx) = snap.window_ns.iter().position(|&w| w == decl.window_ns) else {
+                let offered = snap
+                    .window_ns
+                    .iter()
+                    .map(|&w| fmt_ns(w))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return SloCheck {
+                    decl: decl.clone(),
+                    observed_ns: None,
+                    samples: 0,
+                    pass: false,
+                    note: Some(format!(
+                        "window {} not offered (have: {offered})",
+                        fmt_ns(decl.window_ns)
+                    )),
+                };
+            };
+            let h = &windows[idx];
+            if h.count == 0 {
+                return SloCheck {
+                    decl: decl.clone(),
+                    observed_ns: None,
+                    samples: 0,
+                    pass: true,
+                    note: None,
+                };
+            }
+            let observed = decl.quantile.of(h);
+            let pass = if decl.strict {
+                observed < decl.bound_ns
+            } else {
+                observed <= decl.bound_ns
+            };
+            SloCheck {
+                decl: decl.clone(),
+                observed_ns: Some(observed),
+                samples: h.count,
+                pass,
+                note: None,
+            }
+        })
+        .collect();
+    SloReport { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_grammar() {
+        let d = parse_slo_line("exec_p99 < 250ms over 60s")
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.metric, "service.exec_ns");
+        assert_eq!(d.quantile, Quantile::P99);
+        assert!(d.strict);
+        assert_eq!(d.bound_ns, 250_000_000);
+        assert_eq!(d.window_ns, 60_000_000_000);
+
+        let d = parse_slo_line("queue_wait_p999 <= 2s over 10s")
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.metric, "service.queue_wait_ns");
+        assert_eq!(d.quantile, Quantile::P999);
+        assert!(!d.strict);
+        assert_eq!(d.bound_ns, 2_000_000_000);
+
+        // Dotted names are taken as-is (plus the _ns convention).
+        let d = parse_slo_line("stage.llm_p90 < 100ms over 10s")
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.metric, "stage.llm_ns");
+        let d = parse_slo_line("service.exec_ns_p50 < 1s over 60s")
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.metric, "service.exec_ns");
+
+        assert_eq!(parse_slo_line("").unwrap(), None);
+        assert_eq!(parse_slo_line("  # a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_declarations() {
+        for bad in [
+            "exec_p99 < 250ms",           // no window
+            "exec_p99 < 250ms over",      // missing window value
+            "exec_p95 < 250ms over 60s",  // unsupported quantile
+            "exec < 250ms over 60s",      // no quantile suffix
+            "exec_p99 > 250ms over 60s",  // unsupported operator
+            "exec_p99 < 250 over 60s",    // bound without unit
+            "exec_p99 < 250ms above 60s", // not 'over'
+            "exec_p99 < 250xs over 60s",  // bad unit
+            "_p99 < 1ms over 60s",        // empty metric
+        ] {
+            assert!(parse_slo_line(bad).is_err(), "{bad:?} must not parse");
+        }
+        let err = parse_slo_file("exec_p99 < 1ms over 60s\nbroken").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    fn snap_with(metric: &str, windows: &[(u64, HistogramSnapshot)]) -> RegistrySnapshot {
+        RegistrySnapshot {
+            window_ns: windows.iter().map(|(w, _)| *w).collect(),
+            histogram_windows: vec![(
+                metric.to_string(),
+                windows.iter().map(|(_, h)| *h).collect(),
+            )],
+            ..RegistrySnapshot::default()
+        }
+    }
+
+    fn hist(count: u64, p99: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count,
+            sum: p99 * count,
+            min: p99,
+            max: p99,
+            p50: p99,
+            p90: p99,
+            p99,
+            p999: p99,
+        }
+    }
+
+    #[test]
+    fn evaluates_pass_fail_and_no_data() {
+        let decls = parse_slo_file(
+            "# latency floor\nexec_p99 < 250ms over 60s\nexec_p50 <= 100ms over 10s",
+        )
+        .unwrap();
+        let snap = snap_with(
+            "service.exec_ns",
+            &[
+                (10_000_000_000, hist(5, 100_000_000)),
+                (60_000_000_000, hist(40, 300_000_000)),
+            ],
+        );
+        let report = evaluate(&decls, &[&snap]);
+        assert!(!report.pass());
+        assert!(!report.checks[0].pass, "p99 300ms >= bound 250ms");
+        assert_eq!(report.checks[0].observed_ns, Some(300_000_000));
+        assert_eq!(report.checks[0].samples, 40);
+        assert!(report.checks[1].pass, "<= is inclusive");
+
+        // Empty window and absent metric are both indeterminate passes.
+        let empty = snap_with("service.exec_ns", &[(60_000_000_000, hist(0, 0))]);
+        let decls =
+            parse_slo_file("exec_p99 < 1ns over 60s\nqueue_wait_p99 < 1ns over 60s").unwrap();
+        let report = evaluate(&decls, &[&empty]);
+        assert!(report.pass());
+        assert_eq!(report.checks[0].observed_ns, None);
+        assert!(report.checks[1]
+            .note
+            .as_ref()
+            .unwrap()
+            .contains("not yet recorded"));
+
+        // Asking for a window the registry doesn't offer fails loudly.
+        let decls = parse_slo_file("exec_p99 < 1s over 5s").unwrap();
+        let report = evaluate(&decls, &[&empty]);
+        assert!(!report.pass());
+        assert!(report.checks[0]
+            .note
+            .as_ref()
+            .unwrap()
+            .contains("not offered"));
+    }
+
+    #[test]
+    fn first_snapshot_offering_the_metric_wins() {
+        let service = snap_with("service.exec_ns", &[(60_000_000_000, hist(3, 50))]);
+        let process = snap_with("stage.llm_ns", &[(60_000_000_000, hist(7, 80))]);
+        let decls =
+            parse_slo_file("exec_p99 < 1ms over 60s\nstage.llm_p99 < 1ms over 60s").unwrap();
+        let report = evaluate(&decls, &[&service, &process]);
+        assert!(report.pass());
+        assert_eq!(report.checks[0].samples, 3);
+        assert_eq!(report.checks[1].samples, 7);
+    }
+
+    #[test]
+    fn render_mentions_every_check() {
+        let decls = parse_slo_file("exec_p99 < 250ms over 60s").unwrap();
+        let snap = snap_with(
+            "service.exec_ns",
+            &[(60_000_000_000, hist(12, 400_000_000))],
+        );
+        let text = evaluate(&decls, &[&snap]).render();
+        assert!(text.contains("0 of 1 pass"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("exec_p99 < 250ms over 60s"));
+        assert!(text.contains("observed p99 400.00ms (n=12)"));
+    }
+}

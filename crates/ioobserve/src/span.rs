@@ -35,7 +35,10 @@
 //! equal with tracing on and off.
 
 use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::Histogram;
+use crate::report::JOB_SPAN;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -44,6 +47,11 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Per-thread buffer size that forces a flush to the shared sink.
 const FLUSH_BYTES: usize = 32 * 1024;
+
+/// Completed `job` roots a percentile tail rule needs before it starts
+/// flushing — below this the quantile estimate is noise, so nothing is
+/// kept (the conservative direction for an overhead-bounded feature).
+const TAIL_WARMUP_JOBS: u64 = 32;
 
 fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -54,7 +62,7 @@ fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 // ---------------------------------------------------------------------------
 
 /// One completed span, as written to (and read back from) the NDJSON sink.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SpanRecord {
     /// Unique id within the tracer (starts at 1; 0 is "no span").
     pub id: u64,
@@ -367,11 +375,152 @@ impl Drop for ThreadBufs {
 }
 
 thread_local! {
-    /// Stack of live spans on this thread: (tracer token, span id).
-    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Stack of live spans on this thread: (tracer token, span id, root
+    /// span id). The root is carried so tail sampling can attribute fine
+    /// spans to their job without touching any shared state on the hot
+    /// path (it is 0 for non-tail tracers, which never read it).
+    static SPAN_STACK: RefCell<Vec<(usize, u64, u64)>> = const { RefCell::new(Vec::new()) };
     /// Per-thread rendered-span buffers, one per sink this thread has
     /// written to (almost always exactly one).
     static BUFFERS: RefCell<ThreadBufs> = RefCell::new(ThreadBufs::default());
+    /// Tail-sampling fine spans awaiting their root's verdict, as
+    /// `(tracer token, root span id, record)`. A fine span whose root is
+    /// live on *this* thread's stack buffers here — a plain push, no
+    /// lock — and is drained when that root drops (necessarily on this
+    /// thread, after all of its children). Only cross-thread fine spans
+    /// fall back to the tracer's shared `pending` map.
+    static TAIL_LOCAL: RefCell<Vec<(usize, u64, SpanRecord)>> = const { RefCell::new(Vec::new()) };
+}
+
+// ---------------------------------------------------------------------------
+// Tail-based sampling
+// ---------------------------------------------------------------------------
+
+/// When a `tail:`-sampled job keeps its fine-detail spans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TailThreshold {
+    /// Keep jobs whose root span lasted at least this many milliseconds.
+    Millis(u64),
+    /// Keep jobs at or above this quantile of job durations seen so far
+    /// (`p99` → 0.99). Needs [`TAIL_WARMUP_JOBS`] completed jobs before
+    /// anything is kept.
+    Percentile(f64),
+}
+
+/// The argument of `--trace-sample tail:<ms|pN>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailRule {
+    pub threshold: TailThreshold,
+}
+
+impl TailRule {
+    /// Parse the part after `tail:` — `250ms` or a percentile like
+    /// `p99`. One or two digits read as a percent (`p5`, `p50`, `p99`);
+    /// longer forms are the colloquial nines family (`p999` = 99.9%,
+    /// `p9999` = 99.99%).
+    pub fn parse(s: &str) -> Result<TailRule, String> {
+        if let Some(ms) = s.strip_suffix("ms") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad tail threshold {s:?}: want <integer>ms or pN"))?;
+            return Ok(TailRule {
+                threshold: TailThreshold::Millis(ms),
+            });
+        }
+        if let Some(digits) = s.strip_prefix('p') {
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) && digits.len() <= 6
+            {
+                let n: u64 = digits.parse().expect("all digits");
+                // One or two digits: a percent. Longer: the nines
+                // family only. Either way the fraction is n / 10^k in a
+                // single division (no compounding float error).
+                let ok_family = digits.len() <= 2 || digits.starts_with("99");
+                let p = n as f64 / 10f64.powi(digits.len().max(2) as i32);
+                if ok_family && (0.01..1.0).contains(&p) {
+                    return Ok(TailRule {
+                        threshold: TailThreshold::Percentile(p),
+                    });
+                }
+            }
+        }
+        Err(format!(
+            "bad tail threshold {s:?}: want <integer>ms (e.g. 250ms) or a percentile strictly \
+             between p1 and p100 (e.g. p99, p999)"
+        ))
+    }
+}
+
+impl std::fmt::Display for TailRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.threshold {
+            TailThreshold::Millis(ms) => write!(f, "tail:{ms}ms"),
+            TailThreshold::Percentile(p) => {
+                // 0.99 -> p99, 0.999 -> p999, 0.05 -> p5.
+                let percent = p * 100.0;
+                if (percent - percent.round()).abs() < 1e-9 {
+                    write!(f, "tail:p{}", percent.round() as u64)
+                } else {
+                    write!(f, "tail:p{}", format!("{percent}").replace('.', ""))
+                }
+            }
+        }
+    }
+}
+
+/// Shared state of a tail-sampling tracer: which live *coarse* span
+/// belongs to which root, the undecided fine spans per root, and the
+/// job-duration distribution that percentile rules threshold against.
+///
+/// The hot path (one fine span per LLM call / fragment / scan, hundreds
+/// per job) resolves its root from the thread-local span stack and
+/// buffers its unrendered record in the thread-local `TAIL_LOCAL` — no
+/// shared state is touched at all. Rendering to NDJSON happens only for
+/// kept jobs. Coarse spans (a handful per job) register in `roots` so
+/// cross-thread children with an explicit parent id can find their
+/// root; only those cross-thread fine spans use the shared `pending`
+/// map.
+#[derive(Debug)]
+struct TailState {
+    rule: TailRule,
+    /// Live *coarse* span id → its root span id. Entries live exactly as
+    /// long as the span guard; cross-thread children resolve their root
+    /// here at open time (the parent guard is necessarily still alive
+    /// then). Fine spans are never registered: in practice they parent
+    /// only same-thread children, which resolve via the span stack, and
+    /// an unresolvable fine span is written unconditionally, never lost.
+    roots: Mutex<HashMap<u64, u64>>,
+    /// Root span id → unrendered fine-span records awaiting the
+    /// verdict. Only *cross-thread* fine spans land here; same-thread
+    /// ones (the hot path) buffer in the thread-local `TAIL_LOCAL`.
+    pending: Mutex<HashMap<u64, Vec<SpanRecord>>>,
+    /// Durations of completed `job` roots.
+    job_ns: Histogram,
+}
+
+impl TailState {
+    fn new(rule: TailRule) -> TailState {
+        TailState {
+            rule,
+            roots: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            job_ns: Histogram::default(),
+        }
+    }
+
+    /// Current keep-threshold in nanoseconds (`u64::MAX` = keep nothing,
+    /// used while a percentile rule warms up).
+    fn threshold_ns(&self) -> u64 {
+        match self.rule.threshold {
+            TailThreshold::Millis(ms) => ms.saturating_mul(1_000_000),
+            TailThreshold::Percentile(p) => {
+                if self.job_ns.count() < TAIL_WARMUP_JOBS {
+                    u64::MAX
+                } else {
+                    self.job_ns.quantile(p)
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -386,6 +535,9 @@ struct TracerInner {
     /// default: the coarse stage tiling costs a handful of spans per job,
     /// while per-call / per-fragment detail costs hundreds.
     fine: bool,
+    /// Tail-based sampling: buffer fine spans per job and keep them only
+    /// for slow or errored jobs. Implies `fine`.
+    tail: Option<TailState>,
 }
 
 /// Hands out spans. Cheap to share (`Arc` inside); a disabled tracer is a
@@ -438,6 +590,7 @@ impl Tracer {
                 sink: Arc::new(SinkState { kind }),
                 next_id: AtomicU64::new(1),
                 fine: false,
+                tail: None,
             })),
         }
     }
@@ -450,6 +603,28 @@ impl Tracer {
             inner.fine = true;
         }
         self
+    }
+
+    /// Turn on tail-based sampling: fine spans are recorded (implies
+    /// [`Tracer::with_fine_detail`]) but buffered per job, and written
+    /// out only when the job's root span is slow (per `rule`) or carries
+    /// an `error` attribute. Coarse spans are always written. Non-`job`
+    /// roots keep their fine spans unconditionally — the rule speaks
+    /// about jobs. Builder-style — call before the tracer is shared.
+    pub fn with_tail_sampling(mut self, rule: TailRule) -> Tracer {
+        if let Some(inner) = self.inner.as_mut().and_then(Arc::get_mut) {
+            inner.fine = true;
+            inner.tail = Some(TailState::new(rule));
+        }
+        self
+    }
+
+    /// The tail-sampling rule, if sampling is on.
+    pub fn tail_sampling(&self) -> Option<TailRule> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.tail.as_ref())
+            .map(|t| t.rule)
     }
 
     /// Whether fine-grained spans are being recorded.
@@ -478,18 +653,7 @@ impl Tracer {
     /// Open a span whose parent is the innermost live span on this
     /// thread (0 if none).
     pub fn span(&self, name: &str) -> Span {
-        let Some(inner) = &self.inner else {
-            return Span { state: None };
-        };
-        let token = Arc::as_ptr(inner) as usize;
-        let parent = SPAN_STACK.with(|s| {
-            s.borrow()
-                .iter()
-                .rev()
-                .find(|(t, _)| *t == token)
-                .map_or(0, |(_, id)| *id)
-        });
-        self.open(inner, name, inner.clock.now_ns(), parent)
+        self.span_stacked(name, false)
     }
 
     /// Fine-detail variant of [`Tracer::span`]: records only when
@@ -498,16 +662,34 @@ impl Tracer {
     /// a default trace.
     pub fn span_fine(&self, name: &str) -> Span {
         if self.fine_detail() {
-            self.span(name)
+            self.span_stacked(name, true)
         } else {
             Span { state: None }
         }
     }
 
+    fn span_stacked(&self, name: &str, fine: bool) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { state: None };
+        };
+        let token = Arc::as_ptr(inner) as usize;
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(t, _, _)| *t == token)
+                .map_or(0, |(_, id, _)| *id)
+        });
+        self.open(inner, name, inner.clock.now_ns(), parent, fine)
+    }
+
     /// Fine-detail variant of [`Tracer::span_child`].
     pub fn span_child_fine(&self, name: &str, parent: u64) -> Span {
         if self.fine_detail() {
-            self.span_child(name, parent)
+            let Some(inner) = &self.inner else {
+                return Span { state: None };
+            };
+            self.open(inner, name, inner.clock.now_ns(), parent, true)
         } else {
             Span { state: None }
         }
@@ -519,7 +701,7 @@ impl Tracer {
         let Some(inner) = &self.inner else {
             return Span { state: None };
         };
-        self.open(inner, name, inner.clock.now_ns(), parent)
+        self.open(inner, name, inner.clock.now_ns(), parent, false)
     }
 
     /// Open a span with an explicit start time and parent — for phases
@@ -530,13 +712,45 @@ impl Tracer {
         let Some(inner) = &self.inner else {
             return Span { state: None };
         };
-        self.open(inner, name, start_ns, parent)
+        self.open(inner, name, start_ns, parent, false)
     }
 
-    fn open(&self, inner: &Arc<TracerInner>, name: &str, start_ns: u64, parent: u64) -> Span {
+    fn open(
+        &self,
+        inner: &Arc<TracerInner>,
+        name: &str,
+        start_ns: u64,
+        parent: u64,
+        fine: bool,
+    ) -> Span {
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let token = Arc::as_ptr(inner) as usize;
-        SPAN_STACK.with(|s| s.borrow_mut().push((token, id)));
+        let mut root = 0;
+        if let Some(tail) = &inner.tail {
+            // Resolve this span's root while the parent guard is still
+            // alive. Same-thread parents (the overwhelmingly common case,
+            // and every fine-span open) resolve from the thread-local
+            // stack; only cross-thread children with an explicit parent
+            // id fall back to the shared map of live coarse spans.
+            root = if parent == 0 {
+                id
+            } else {
+                SPAN_STACK
+                    .with(|s| {
+                        s.borrow()
+                            .iter()
+                            .rev()
+                            .find(|(t, pid, _)| *t == token && *pid == parent)
+                            .map(|(_, _, r)| *r)
+                    })
+                    .or_else(|| lock(&tail.roots).get(&parent).copied())
+                    .unwrap_or(0)
+            };
+            if !fine {
+                lock(&tail.roots).insert(id, root);
+            }
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push((token, id, root)));
         Span {
             state: Some(SpanState {
                 tracer: Arc::clone(inner),
@@ -548,6 +762,8 @@ impl Tracer {
                     end_ns: 0,
                     attrs: Vec::new(),
                 },
+                fine,
+                root,
             }),
         }
     }
@@ -593,6 +809,12 @@ fn flush_thread_buffer(sink: &Arc<SinkState>) {
 struct SpanState {
     tracer: Arc<TracerInner>,
     record: SpanRecord,
+    /// Opened via a `span_fine` variant — under tail sampling these are
+    /// buffered per root instead of written immediately.
+    fine: bool,
+    /// Root span id resolved at open time (0 = unknown; only meaningful
+    /// under tail sampling).
+    root: u64,
 }
 
 /// A live span; ends (and is recorded) when dropped.
@@ -633,18 +855,78 @@ impl Drop for Span {
         };
         s.record.end_ns = s.tracer.clock.now_ns();
         let token = Arc::as_ptr(&s.tracer) as usize;
+        let buffer_locally = s.fine && s.root != 0 && s.tracer.tail.is_some();
         // Pop this span from the thread's stack (it is almost always the
-        // top; out-of-order drops just remove the matching entry).
+        // top; out-of-order drops just remove the matching entry), and —
+        // for tail-sampled fine spans, in the same borrow — check whether
+        // the root is live on this thread, which decides where the record
+        // buffers.
+        let mut root_is_local = false;
         SPAN_STACK.with(|st| {
             let mut stack = st.borrow_mut();
             if let Some(pos) = stack
                 .iter()
-                .rposition(|&(t, id)| t == token && id == s.record.id)
+                .rposition(|&(t, id, _)| t == token && id == s.record.id)
             {
                 stack.remove(pos);
             }
+            if buffer_locally {
+                root_is_local = stack
+                    .iter()
+                    .rev()
+                    .any(|&(t, id, _)| t == token && id == s.root);
+            }
         });
         let is_root = s.record.parent == 0;
+        if let Some(tail) = &s.tracer.tail {
+            if !s.fine {
+                lock(&tail.roots).remove(&s.record.id);
+            }
+            if is_root {
+                // The verdict point: this root's buffered fine spans are
+                // either rendered and flushed (before the root line, so
+                // children precede their job in the file) or dropped
+                // unrendered — the common, fast case. Same-thread spans
+                // sit in this thread's buffer; cross-thread ones in the
+                // shared map.
+                let local: Vec<SpanRecord> = TAIL_LOCAL.with(|p| {
+                    p.borrow_mut()
+                        .extract_if(.., |&mut (t, r, _)| t == token && r == s.record.id)
+                        .map(|(_, _, rec)| rec)
+                        .collect()
+                });
+                let shared = lock(&tail.pending).remove(&s.record.id);
+                let keep = if s.record.name == JOB_SPAN {
+                    let threshold = tail.threshold_ns();
+                    let duration = s.record.duration_ns();
+                    tail.job_ns.record(duration);
+                    s.record.attr("error").is_some() || duration >= threshold
+                } else {
+                    true
+                };
+                if keep {
+                    let mut text = String::new();
+                    for rec in local.iter().chain(shared.iter().flatten()) {
+                        text.push_str(&rec.to_ndjson());
+                        text.push('\n');
+                    }
+                    if !text.is_empty() {
+                        s.tracer.sink.append(&text);
+                    }
+                }
+            } else if buffer_locally {
+                let rec = std::mem::take(&mut s.record);
+                if root_is_local {
+                    TAIL_LOCAL.with(|p| p.borrow_mut().push((token, s.root, rec)));
+                } else {
+                    lock(&tail.pending).entry(s.root).or_default().push(rec);
+                }
+                return;
+            }
+            // Fine spans whose root is unknown (explicit parent that was
+            // never seen) fall through and are written unconditionally —
+            // never guessed, never lost.
+        }
         let line = s.record.to_ndjson();
         BUFFERS.with(|b| {
             let mut bufs = b.borrow_mut();
@@ -843,6 +1125,154 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 4, "span ids are unique across threads");
+    }
+
+    #[test]
+    fn tail_rule_parse_and_display() {
+        assert_eq!(
+            TailRule::parse("250ms").unwrap().threshold,
+            TailThreshold::Millis(250)
+        );
+        assert_eq!(
+            TailRule::parse("p99").unwrap().threshold,
+            TailThreshold::Percentile(0.99)
+        );
+        assert_eq!(
+            TailRule::parse("p999").unwrap().threshold,
+            TailThreshold::Percentile(0.999)
+        );
+        assert_eq!(
+            TailRule::parse("p5").unwrap().threshold,
+            TailThreshold::Percentile(0.05)
+        );
+        assert_eq!(
+            TailRule::parse("p9999").unwrap().threshold,
+            TailThreshold::Percentile(0.9999)
+        );
+        for bad in [
+            "", "250", "ms", "p", "p0", "p100", "p100.5", "p123", "pxx", "-3ms", "tail:p99",
+        ] {
+            assert!(TailRule::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert_eq!(TailRule::parse("250ms").unwrap().to_string(), "tail:250ms");
+        assert_eq!(TailRule::parse("p99").unwrap().to_string(), "tail:p99");
+        assert_eq!(TailRule::parse("p999").unwrap().to_string(), "tail:p999");
+    }
+
+    fn tail_tracer(clock: &Arc<VirtualClock>, rule: &str) -> Tracer {
+        Tracer::with_clock_memory(Box::new(Arc::clone(clock)))
+            .with_tail_sampling(TailRule::parse(rule).unwrap())
+    }
+
+    #[test]
+    fn tail_sampling_drops_fine_spans_of_fast_jobs() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = tail_tracer(&clock, "10ms");
+        assert!(t.fine_detail(), "tail sampling implies fine detail");
+        assert_eq!(
+            t.tail_sampling().unwrap().threshold,
+            TailThreshold::Millis(10)
+        );
+
+        // Fast job: 1 ms. Fine spans vanish, coarse stage spans stay.
+        let job = t.span("job");
+        let _ = job.id();
+        {
+            let _stage = t.span("stage.llm");
+            drop(t.span_fine("llm.call"));
+            clock.advance(1_000_000);
+        }
+        drop(job);
+        let names: Vec<String> = t.drain_memory().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["stage.llm", "job"]);
+    }
+
+    #[test]
+    fn tail_sampling_keeps_slow_and_errored_jobs() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = tail_tracer(&clock, "10ms");
+
+        // Slow job: 20 ms. Fine spans flush, before the root line.
+        {
+            let _job = t.span("job");
+            drop(t.span_fine("llm.call"));
+            clock.advance(20_000_000);
+        }
+        let names: Vec<String> = t.drain_memory().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["llm.call", "job"]);
+
+        // Fast but errored job: kept too.
+        {
+            let mut job = t.span("job");
+            drop(t.span_fine("llm.call"));
+            clock.advance(1_000_000);
+            job.set_attr("error", "queue_full");
+        }
+        let records = t.drain_memory();
+        assert!(records.iter().any(|r| r.name == "llm.call"));
+
+        // Cross-thread fine child resolves its root through the live map
+        // and is judged with its job.
+        let job = t.span("job");
+        let job_id = job.id();
+        let th = {
+            let t2 = Tracer {
+                inner: t.inner.clone(),
+            };
+            let clock2 = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                drop(t2.span_child_fine("vecindex.scan", job_id));
+                clock2.advance(30_000_000);
+            })
+        };
+        th.join().unwrap();
+        drop(job);
+        let records = t.drain_memory();
+        assert!(
+            records.iter().any(|r| r.name == "vecindex.scan"),
+            "slow job keeps cross-thread fine span"
+        );
+    }
+
+    #[test]
+    fn tail_sampling_non_job_roots_always_keep_fine_spans() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = tail_tracer(&clock, "1000ms");
+        {
+            let _conn = t.span("conn");
+            drop(t.span_fine("read_line"));
+        }
+        let names: Vec<String> = t.drain_memory().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["read_line", "conn"], "rule only speaks about jobs");
+    }
+
+    #[test]
+    fn tail_percentile_warms_up_before_keeping_anything() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = tail_tracer(&clock, "p50");
+        // 40 jobs of 10 ms each; the first 32 are warmup (nothing kept),
+        // after which each 10 ms job sits at p50 and is kept.
+        let mut kept_before_warmup = 0;
+        let mut kept_after_warmup = 0;
+        for i in 0..40 {
+            {
+                let _job = t.span("job");
+                drop(t.span_fine("llm.call"));
+                clock.advance(10_000_000);
+            }
+            let fine = t
+                .drain_memory()
+                .iter()
+                .filter(|r| r.name == "llm.call")
+                .count();
+            if i < 32 {
+                kept_before_warmup += fine;
+            } else {
+                kept_after_warmup += fine;
+            }
+        }
+        assert_eq!(kept_before_warmup, 0, "warmup keeps nothing");
+        assert_eq!(kept_after_warmup, 8, "at-threshold jobs kept after warmup");
     }
 
     #[test]

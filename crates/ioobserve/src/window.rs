@@ -1,0 +1,388 @@
+//! Rolling time-windowed metrics: a ring of slices rotated on a
+//! [`Clock`] tick, merged on read.
+//!
+//! Lifetime histograms answer "what has this process seen since it
+//! started", which is the wrong question for operating a service — a
+//! latency regression five minutes ago is invisible under hours of good
+//! samples. A [`WindowSpec`] attaches a ring of short **slices** (2.5 s
+//! by default) to an instrument; each sample lands in both the lifetime
+//! instrument and the slice covering "now", and a windowed read merges
+//! the slices younger than the window into one summary via
+//! [`Histogram::merge_into`]. No timers, no background threads: slices
+//! are reclaimed lazily by the next writer that lands on an expired one
+//! (epoch CAS), so an idle instrument costs nothing.
+//!
+//! # Precision and races
+//!
+//! A window of W ns with S-ns slices covers between W and W+S ns of
+//! samples depending on where "now" falls inside the current slice —
+//! windowed quantiles are operational signals, not ledgers. Likewise a
+//! reader may observe a slice mid-reset and miss (or double-see) a
+//! handful of samples; both are bounded by one slice and irrelevant at
+//! monitoring timescales. Lifetime values are never affected.
+//!
+//! # Memory
+//!
+//! Each windowed histogram carries `slices × ~8 KiB` of buckets — with
+//! the standard spec (2.5 s slices, 60 s max window, 25 slices) that is
+//! ~200 KiB per histogram, paid once per named instrument.
+
+use crate::clock::Clock;
+use crate::metrics::{Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Slice width for [`WindowSpec::standard`]: 2.5 s.
+pub const DEFAULT_SLICE_NS: u64 = 2_500_000_000;
+/// Windows for [`WindowSpec::standard`]: last 10 s and last 60 s.
+pub const DEFAULT_WINDOWS_NS: [u64; 2] = [10_000_000_000, 60_000_000_000];
+
+/// Epoch value marking a slice that has never been written.
+const EMPTY_EPOCH: u64 = u64::MAX;
+
+/// How an instrument's ring of slices is laid out: the clock that dates
+/// samples, the slice width, and the windows offered on read.
+#[derive(Clone)]
+pub struct WindowSpec {
+    clock: Arc<dyn Clock>,
+    slice_ns: u64,
+    windows_ns: Vec<u64>,
+}
+
+impl std::fmt::Debug for WindowSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowSpec")
+            .field("slice_ns", &self.slice_ns)
+            .field("windows_ns", &self.windows_ns)
+            .finish()
+    }
+}
+
+impl WindowSpec {
+    /// A spec with explicit slice width and windows. Windows are sorted,
+    /// deduplicated, and each is at least one slice wide.
+    ///
+    /// # Panics
+    ///
+    /// If `slice_ns` is 0 or `windows_ns` is empty.
+    pub fn new(clock: Arc<dyn Clock>, slice_ns: u64, windows_ns: &[u64]) -> WindowSpec {
+        assert!(slice_ns > 0, "slice width must be positive");
+        assert!(!windows_ns.is_empty(), "at least one window required");
+        let mut windows: Vec<u64> = windows_ns.iter().map(|&w| w.max(slice_ns)).collect();
+        windows.sort_unstable();
+        windows.dedup();
+        WindowSpec {
+            clock,
+            slice_ns,
+            windows_ns: windows,
+        }
+    }
+
+    /// The standard service spec: 2.5 s slices, last-10s and last-60s
+    /// windows (~25 slices).
+    pub fn standard(clock: Arc<dyn Clock>) -> WindowSpec {
+        WindowSpec::new(clock, DEFAULT_SLICE_NS, &DEFAULT_WINDOWS_NS)
+    }
+
+    /// The windows offered on read, ascending.
+    pub fn windows_ns(&self) -> &[u64] {
+        &self.windows_ns
+    }
+
+    /// Slice width.
+    pub fn slice_ns(&self) -> u64 {
+        self.slice_ns
+    }
+
+    /// Number of ring slices: enough to cover the largest window plus
+    /// the partially-filled current slice.
+    fn slice_count(&self) -> usize {
+        let max = *self.windows_ns.last().expect("spec has windows");
+        (max.div_ceil(self.slice_ns) + 1) as usize
+    }
+
+    /// The slice index of "now" on the spec's clock.
+    fn epoch(&self) -> u64 {
+        self.clock.now_ns() / self.slice_ns
+    }
+}
+
+/// Claim the ring slot for `epoch`, lazily resetting it if it still
+/// holds an older (or never-written) epoch. Returns whether the slot now
+/// belongs to `epoch` — a lost CAS means another writer claimed it
+/// (same epoch: fine, record anyway) so the answer is still yes.
+fn claim_epoch(slot: &AtomicU64, epoch: u64, reset: impl FnOnce()) {
+    let cur = slot.load(Ordering::Acquire);
+    if cur != epoch
+        && slot
+            .compare_exchange(cur, epoch, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    {
+        // Winner resets the recycled slice. A racing writer that already
+        // loaded the new epoch can slip a sample in before the reset
+        // finishes and lose it — bounded, monitoring-grade.
+        reset();
+    }
+}
+
+/// Is `epoch` within `window_ns` of `now_epoch`? Excludes slices from
+/// the future (the clock jumped backwards) and never-written slices.
+fn in_window(epoch: u64, now_epoch: u64, window_ns: u64, slice_ns: u64) -> bool {
+    epoch != EMPTY_EPOCH && epoch <= now_epoch && now_epoch - epoch < window_ns.div_ceil(slice_ns)
+}
+
+/// Ring of per-slice histograms behind a windowed [`Histogram`].
+#[derive(Debug)]
+pub(crate) struct HistWindow {
+    spec: WindowSpec,
+    slices: Vec<HistSlice>,
+}
+
+#[derive(Debug)]
+struct HistSlice {
+    epoch: AtomicU64,
+    hist: Histogram,
+}
+
+impl HistWindow {
+    pub(crate) fn new(spec: WindowSpec) -> HistWindow {
+        let slices = (0..spec.slice_count())
+            .map(|_| HistSlice {
+                epoch: AtomicU64::new(EMPTY_EPOCH),
+                hist: Histogram::default(),
+            })
+            .collect();
+        HistWindow { spec, slices }
+    }
+
+    pub(crate) fn record(&self, v: u64) {
+        let epoch = self.spec.epoch();
+        let slice = &self.slices[(epoch % self.slices.len() as u64) as usize];
+        claim_epoch(&slice.epoch, epoch, || slice.hist.reset());
+        slice.hist.record(v);
+    }
+
+    /// Merge every slice younger than `window_ns` into one summary.
+    pub(crate) fn merged(&self, window_ns: u64) -> HistogramSnapshot {
+        let now_epoch = self.spec.epoch();
+        let out = Histogram::default();
+        for slice in &self.slices {
+            let e = slice.epoch.load(Ordering::Acquire);
+            if in_window(e, now_epoch, window_ns, self.spec.slice_ns) {
+                slice.hist.merge_into(&out);
+            }
+        }
+        out.snapshot()
+    }
+
+    /// One merged summary per spec window, in [`WindowSpec::windows_ns`]
+    /// order.
+    pub(crate) fn snapshots(&self) -> Vec<HistogramSnapshot> {
+        self.spec
+            .windows_ns
+            .iter()
+            .map(|&w| self.merged(w))
+            .collect()
+    }
+}
+
+/// Ring of per-slice totals behind a windowed
+/// [`Counter`](crate::metrics::Counter) — the source of rates
+/// (events in the last W ns / W).
+#[derive(Debug)]
+pub(crate) struct CountWindow {
+    spec: WindowSpec,
+    slices: Vec<CountSlice>,
+}
+
+#[derive(Debug)]
+struct CountSlice {
+    epoch: AtomicU64,
+    value: AtomicU64,
+}
+
+impl CountWindow {
+    pub(crate) fn new(spec: WindowSpec) -> CountWindow {
+        let slices = (0..spec.slice_count())
+            .map(|_| CountSlice {
+                epoch: AtomicU64::new(EMPTY_EPOCH),
+                value: AtomicU64::new(0),
+            })
+            .collect();
+        CountWindow { spec, slices }
+    }
+
+    pub(crate) fn add(&self, n: u64) {
+        let epoch = self.spec.epoch();
+        let slice = &self.slices[(epoch % self.slices.len() as u64) as usize];
+        claim_epoch(&slice.epoch, epoch, || {
+            slice.value.store(0, Ordering::Release)
+        });
+        slice.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Events recorded within the last `window_ns`.
+    pub(crate) fn total(&self, window_ns: u64) -> u64 {
+        let now_epoch = self.spec.epoch();
+        self.slices
+            .iter()
+            .filter(|s| {
+                in_window(
+                    s.epoch.load(Ordering::Acquire),
+                    now_epoch,
+                    window_ns,
+                    self.spec.slice_ns,
+                )
+            })
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// One total per spec window, in [`WindowSpec::windows_ns`] order.
+    pub(crate) fn totals(&self) -> Vec<u64> {
+        self.spec
+            .windows_ns
+            .iter()
+            .map(|&w| self.total(w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn spec(clock: &Arc<VirtualClock>) -> WindowSpec {
+        // 1 s slices, 4 s and 10 s windows — small enough to reason about.
+        WindowSpec::new(
+            Arc::clone(clock) as Arc<dyn Clock>,
+            1_000_000_000,
+            &[4_000_000_000, 10_000_000_000],
+        )
+    }
+
+    #[test]
+    fn spec_normalizes_windows() {
+        let clock: Arc<VirtualClock> = Arc::default();
+        let s = WindowSpec::new(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            1_000,
+            &[5_000, 2_000, 5_000, 10],
+        );
+        // Sorted, deduped, sub-slice window rounded up to one slice.
+        assert_eq!(s.windows_ns(), &[1_000, 2_000, 5_000]);
+        assert_eq!(s.slice_count(), 6);
+    }
+
+    #[test]
+    fn samples_fall_out_of_the_window_as_slices_expire() {
+        let clock = Arc::new(VirtualClock::new());
+        let w = HistWindow::new(spec(&clock));
+        w.record(100);
+        clock.advance(1_000_000_000);
+        w.record(200);
+        assert_eq!(w.merged(4_000_000_000).count, 2);
+        // Advance until the first sample's slice (epoch 0) leaves the 4 s
+        // window but stays inside the 10 s one.
+        clock.advance(3_000_000_000); // now at epoch 4
+        let short = w.merged(4_000_000_000);
+        assert_eq!(short.count, 1);
+        assert_eq!(short.min, 200);
+        assert_eq!(w.merged(10_000_000_000).count, 2);
+        // And past the long window too (the last sample landed at t=1s,
+        // so it ages out once the clock passes t=11s).
+        clock.advance(7_000_000_000); // epoch 11
+        assert_eq!(w.merged(10_000_000_000).count, 0);
+    }
+
+    #[test]
+    fn ring_slots_are_recycled_for_new_epochs() {
+        let clock = Arc::new(VirtualClock::new());
+        let w = HistWindow::new(spec(&clock));
+        // The ring has 11 slices; land on the same slot twice.
+        w.record(1);
+        clock.advance(11_000_000_000);
+        w.record(2);
+        let snap = w.merged(10_000_000_000);
+        assert_eq!(snap.count, 1, "old occupant of the slot was reset");
+        assert_eq!(snap.min, 2);
+    }
+
+    #[test]
+    fn backward_clock_jump_excludes_future_slices() {
+        let clock = Arc::new(VirtualClock::new());
+        let w = HistWindow::new(spec(&clock));
+        clock.set(5_000_000_000);
+        w.record(500);
+        // Clock jumps backwards: the epoch-5 slice is now "the future"
+        // and must not pollute the window.
+        clock.set(1_000_000_000);
+        w.record(100);
+        let snap = w.merged(10_000_000_000);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.min, 100);
+        // Jumping forward again brings the old slice back into view —
+        // it was never erased, only excluded.
+        clock.set(5_500_000_000);
+        assert_eq!(w.merged(10_000_000_000).count, 2);
+    }
+
+    #[test]
+    fn empty_window_reports_zero_count_not_fake_quantiles() {
+        let clock = Arc::new(VirtualClock::new());
+        let w = HistWindow::new(spec(&clock));
+        let snap = w.merged(4_000_000_000);
+        assert_eq!(
+            (snap.count, snap.p50, snap.p999, snap.min, snap.max),
+            (0, 0, 0, 0, 0),
+            "renderers key off count == 0 to print '-'"
+        );
+    }
+
+    #[test]
+    fn snapshots_align_with_spec_windows() {
+        let clock = Arc::new(VirtualClock::new());
+        let w = HistWindow::new(spec(&clock));
+        w.record(10);
+        clock.advance(5_000_000_000);
+        w.record(20);
+        let snaps = w.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].count, 1, "4 s window sees only the new sample");
+        assert_eq!(snaps[1].count, 2, "10 s window sees both");
+    }
+
+    #[test]
+    fn count_window_rates_and_expiry() {
+        let clock = Arc::new(VirtualClock::new());
+        let c = CountWindow::new(spec(&clock));
+        c.add(3);
+        clock.advance(2_000_000_000);
+        c.add(2);
+        assert_eq!(c.total(4_000_000_000), 5);
+        clock.advance(3_000_000_000);
+        assert_eq!(c.total(4_000_000_000), 2, "first burst expired");
+        assert_eq!(c.totals(), vec![2, 5]);
+        clock.advance(20_000_000_000);
+        assert_eq!(c.totals(), vec![0, 0]);
+    }
+
+    #[test]
+    fn windowed_merge_matches_direct_histogram() {
+        // Everything recorded within one window must summarize exactly
+        // like a plain histogram fed the same samples.
+        let clock = Arc::new(VirtualClock::new());
+        let w = HistWindow::new(spec(&clock));
+        let direct = Histogram::default();
+        for i in 0..500u64 {
+            let v = i * 37 % 9_001;
+            w.record(v);
+            direct.record(v);
+            if i % 100 == 99 {
+                clock.advance(500_000_000);
+            }
+        }
+        assert_eq!(w.merged(10_000_000_000), direct.snapshot());
+    }
+}

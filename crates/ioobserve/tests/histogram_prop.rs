@@ -49,4 +49,39 @@ proptest! {
         prop_assert_eq!(snap.min, *sorted.first().unwrap());
         prop_assert_eq!(snap.max, *sorted.last().unwrap());
     }
+
+    /// Partitioning a sample stream into arbitrary slices, recording
+    /// each slice into its own histogram, and merging them must be
+    /// indistinguishable from one histogram fed every sample — the
+    /// invariant the ring-window read path rests on.
+    #[test]
+    fn merging_slices_equals_one_histogram(
+        samples in collection::vec(0u64..5_000_000_000, 1..400),
+        cuts in collection::vec(0usize..400, 0..8),
+    ) {
+        let whole = Histogram::default();
+        for &s in &samples {
+            whole.record(s);
+        }
+
+        // Split at the (sorted, clamped) cut points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (samples.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(samples.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let merged = Histogram::default();
+        for pair in bounds.windows(2) {
+            let slice_hist = Histogram::default();
+            for &s in &samples[pair[0]..pair[1]] {
+                slice_hist.record(s);
+            }
+            slice_hist.merge_into(&merged);
+        }
+
+        prop_assert_eq!(merged.snapshot(), whole.snapshot());
+        for &q in &[0.001, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q), "q={}", q);
+        }
+    }
 }
