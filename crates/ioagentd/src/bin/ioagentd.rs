@@ -36,6 +36,22 @@
 //!   --slo FILE         SLO declarations (`exec_p99 < 250ms over 60s`,
 //!                      one per line) served by in-band {"slo": true}
 //!                      probes and `ioagentd slo-check`
+//!   --deadline-ms N    per-job deadline budget, measured from submit;
+//!                      jobs that expire in the queue are shed, jobs that
+//!                      expire mid-execution are cancelled (default: none;
+//!                      a request's own `deadline_ms` field overrides)
+//!   --max-retries N    LLM delivery attempts beyond the first before a
+//!                      job fails with `retries_exhausted` (default: 2)
+//!   --retry-backoff-ms N  decorrelated-backoff base between retries;
+//!                      the cap is 25x the base (default: 2)
+//!   --hedge-ms N       hedge a slow LLM attempt with a duplicate request
+//!                      after max(N ms, observed p95 attempt latency);
+//!                      first answer wins, the loser is cancelled
+//!                      (default: off)
+//!   --llm-faults SPEC  simulate heavy-tailed latency and injected faults
+//!                      in the LLM layer; SPEC is comma-separated k=v,
+//!                      e.g. `ttft=800us,tps=150000,tail_p=0.03,
+//!                      timeout_p=0.005,timeout=50ms` (default: off)
 //!   -h, --help         print this help
 //! ```
 //!
@@ -67,11 +83,12 @@
 //! metrics probe and redraws a terminal dashboard. `ioagentd slo-check`
 //! exits nonzero when a daemon violates its SLOs — the CI gate.
 
-use ioagentd::{protocol, DiagnosisService, ServiceConfig};
+use ioagentd::{protocol, DiagnosisService, HedgePolicy, ResiliencePolicy, ServiceConfig};
 use ioobserve::SloDecl;
 use std::io::{BufRead, BufReader, Write};
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
@@ -95,6 +112,14 @@ fn usage() -> ! {
            --trace-sample S   tail sampling: tail:<dur>ms | tail:pN\n\
                               (keep fine spans of slow/errored jobs only)\n\
            --slo FILE         SLO declarations for {{\"slo\": true}} probes\n\
+           --deadline-ms N    per-job deadline from submit; expired jobs\n\
+                              are shed (queued) or cancelled (executing)\n\
+           --max-retries N    LLM retries before retries_exhausted (def: 2)\n\
+           --retry-backoff-ms N  retry backoff base, cap = 25x (def: 2)\n\
+           --hedge-ms N       duplicate slow LLM attempts after\n\
+                              max(N ms, p95 attempt latency); first wins\n\
+           --llm-faults SPEC  inject heavy-tailed latency + faults into\n\
+                              the LLM layer (k=v, comma-separated)\n\
            -h, --help         print this help\n\n\
          SUBCOMMANDS:\n\
            trace-report PATH  fold a span NDJSON file (or a --trace-dir\n\
@@ -351,6 +376,8 @@ fn main() {
     let mut tail_rule: Option<ioobserve::TailRule> = None;
     let mut slo_decls: Vec<SloDecl> = Vec::new();
     let mut explicit_queue = false;
+    let mut policy = ResiliencePolicy::default();
+    let mut explicit_policy = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -405,6 +432,40 @@ fn main() {
                     std::process::exit(1);
                 });
             }
+            "--deadline-ms" => {
+                let ms = parse_count(&mut args, "--deadline-ms").max(1) as u64;
+                config = config.deadline(Duration::from_millis(ms));
+            }
+            "--max-retries" => {
+                policy = policy.retries(parse_count(&mut args, "--max-retries") as u32);
+                explicit_policy = true;
+            }
+            "--retry-backoff-ms" => {
+                let base = parse_count(&mut args, "--retry-backoff-ms").max(1) as u64;
+                policy = policy.backoff(
+                    Duration::from_millis(base),
+                    Duration::from_millis(base.saturating_mul(25)),
+                );
+                explicit_policy = true;
+            }
+            "--hedge-ms" => {
+                let ms = parse_count(&mut args, "--hedge-ms").max(1) as u64;
+                policy = policy.hedged(HedgePolicy {
+                    min_delay: Duration::from_millis(ms),
+                    ..HedgePolicy::default()
+                });
+                explicit_policy = true;
+            }
+            "--llm-faults" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match simllm::FaultPlan::parse(&spec) {
+                    Ok(plan) => config = config.fault_plan(plan),
+                    Err(e) => {
+                        eprintln!("--llm-faults: {e}");
+                        usage();
+                    }
+                }
+            }
             "-h" | "--help" => usage(),
             other => {
                 eprintln!("unknown option {other:?}");
@@ -416,6 +477,9 @@ fn main() {
     // an explicit --queue (however tight) is the operator's call.
     if !explicit_queue {
         config.queue_capacity = 2 * config.workers;
+    }
+    if explicit_policy {
+        config = config.resilience(policy);
     }
     // A probe width without a cluster count would silently fall back to
     // the exact flat scan — surface the misconfiguration instead.
@@ -476,6 +540,29 @@ fn main() {
         config.queue_capacity,
         config.cache_capacity
     );
+    if let Some(d) = config.deadline {
+        eprintln!("[ioagentd] deadline: {} ms per job", d.as_millis());
+    }
+    if let Some(p) = &config.resilience {
+        eprintln!(
+            "[ioagentd] resilience: max_retries {}, backoff {}..{} ms, hedging {}",
+            p.max_retries
+                .map_or_else(|| "unbounded".to_string(), |n| n.to_string()),
+            p.backoff_base.as_millis(),
+            p.backoff_cap.as_millis(),
+            p.hedge.map_or_else(
+                || "off".to_string(),
+                |h| format!(
+                    "after max({} ms, p{:.0})",
+                    h.min_delay.as_millis(),
+                    h.quantile * 100.0
+                )
+            ),
+        );
+    }
+    if config.fault_plan.is_some() {
+        eprintln!("[ioagentd] llm fault injection on");
+    }
     let ivf = config.ivf_params();
     let service = Arc::new(DiagnosisService::start(config));
     if let Some(p) = ivf {
@@ -593,7 +680,15 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
         let mut served = 0u64;
         for outcome in rx {
             let line = match outcome {
-                Outcome::Ticket(ticket) => protocol::render_result(&ticket.wait()),
+                Outcome::Ticket(ticket) => {
+                    let result = ticket.wait();
+                    if result.failure.is_some() {
+                        // Failed jobs render as error replies; count them
+                        // into the same errors/s window as parse errors.
+                        printer_service.note_error();
+                    }
+                    protocol::render_result(&result)
+                }
                 Outcome::Error(line) => {
                     printer_service.note_error();
                     line

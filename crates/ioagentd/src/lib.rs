@@ -29,11 +29,13 @@
 pub mod cache;
 pub mod protocol;
 pub mod queue;
+pub mod resilience;
 pub mod service;
 pub mod top;
 
 pub use cache::LruCache;
 pub use queue::BoundedQueue;
+pub use resilience::{HedgePolicy, JobFailure, ResilienceCounters, ResiliencePolicy, ResilientLlm};
 pub use service::{
     DiagnosisService, IndexProvenance, IvfParams, JobMetrics, JobRequest, JobResult, JobTicket,
     Retriever, ServiceConfig, ServiceStats, SubmitError,

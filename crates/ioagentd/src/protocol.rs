@@ -19,6 +19,7 @@
 //!  "queue_wait_ms": 0.1, "exec_ms": 42.0, "worker": 3}
 //! ```
 
+use crate::resilience::JobFailure;
 use crate::service::{JobRequest, JobResult, ServiceStats, SubmitError};
 use ioagent_core::{AgentConfig, MergeStrategy};
 use ioobserve::{HistogramSnapshot, RegistrySnapshot, SloReport};
@@ -55,6 +56,17 @@ pub enum ErrorKind {
     QueueFull,
     /// The service is shutting down and accepts no new jobs.
     Shutdown,
+    /// An injected LLM timeout ended the job (retries disabled).
+    LlmTimeout,
+    /// An injected LLM rate-limit error ended the job (retries disabled).
+    LlmRateLimited,
+    /// An injected truncated LLM response ended the job (retries
+    /// disabled).
+    LlmTruncated,
+    /// The job's deadline expired (in the queue or mid-execution).
+    DeadlineExceeded,
+    /// Every allowed LLM delivery attempt faulted.
+    RetriesExhausted,
 }
 
 impl ErrorKind {
@@ -67,6 +79,27 @@ impl ErrorKind {
             ErrorKind::UnknownModel => "unknown_model",
             ErrorKind::QueueFull => "queue_full",
             ErrorKind::Shutdown => "shutdown",
+            ErrorKind::LlmTimeout => "llm_timeout",
+            ErrorKind::LlmRateLimited => "llm_rate_limited",
+            ErrorKind::LlmTruncated => "llm_truncated",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::RetriesExhausted => "retries_exhausted",
+        }
+    }
+}
+
+impl From<&JobFailure> for ErrorKind {
+    fn from(f: &JobFailure) -> ErrorKind {
+        match f {
+            JobFailure::DeadlineExceededQueued | JobFailure::DeadlineExceeded => {
+                ErrorKind::DeadlineExceeded
+            }
+            JobFailure::RetriesExhausted { .. } => ErrorKind::RetriesExhausted,
+            JobFailure::Fault(kind) => match kind {
+                simllm::FaultKind::Timeout => ErrorKind::LlmTimeout,
+                simllm::FaultKind::RateLimited => ErrorKind::LlmRateLimited,
+                simllm::FaultKind::Truncated => ErrorKind::LlmTruncated,
+            },
         }
     }
 }
@@ -207,11 +240,27 @@ fn parse_request_value(value: Value, id: String) -> Result<JobRequest, RequestEr
             Some(t.to_string())
         }
     };
+    let deadline = match value.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let ms = v
+                .as_f64()
+                .filter(|ms| ms.is_finite() && *ms > 0.0)
+                .ok_or_else(|| {
+                    fail(
+                        &id,
+                        format!("deadline_ms must be a positive number, got {v:?}"),
+                    )
+                })?;
+            Some(std::time::Duration::from_secs_f64(ms / 1e3))
+        }
+    };
 
     let mut request =
         JobRequest::from_trace_text(id.clone(), trace_text, model).map_err(|e| fail(&id, e))?;
     request.config = config;
     request.trace_id = trace_id;
+    request.deadline = deadline;
     Ok(request)
 }
 
@@ -239,8 +288,14 @@ fn validate_trace_id(t: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Render a completed job as one compact JSON line.
+/// Render a completed job as one compact JSON line. Failed jobs render
+/// as error replies: the same `{"error", "error_kind", "id"}` shape as
+/// request-level rejections, with the failure's kind
+/// (`deadline_exceeded`, `retries_exhausted`, `llm_*`).
 pub fn render_result(result: &JobResult) -> String {
+    if let Some(failure) = &result.failure {
+        return render_error(&result.id, failure.into(), &failure.message());
+    }
     let issues: Vec<Value> = result
         .diagnosis
         .issues
@@ -297,6 +352,15 @@ pub fn render_stats(
             "persisted_entries": stats.persisted_entries,
             "journal_bytes": stats.journal_bytes,
             "queue_depth": queue_depth,
+            "jobs_failed": stats.jobs_failed,
+            "shed_total": stats.shed_total,
+            "deadline_exceeded": stats.deadline_exceeded,
+            "retries": stats.retries,
+            "hedges": stats.hedges,
+            "hedge_wins": stats.hedge_wins,
+            "faults_timeout": stats.faults_timeout,
+            "faults_rate_limited": stats.faults_rate_limited,
+            "faults_truncated": stats.faults_truncated,
         }),
     });
     serde_json::to_string(&response).expect("serialize stats")
@@ -681,6 +745,15 @@ mod tests {
             cache_misses: 4,
             persisted_entries: 5,
             journal_bytes: 1234,
+            jobs_failed: 6,
+            shed_total: 2,
+            deadline_exceeded: 4,
+            retries: 11,
+            hedges: 9,
+            hedge_wins: 5,
+            faults_timeout: 3,
+            faults_rate_limited: 2,
+            faults_truncated: 1,
             ..Default::default()
         };
         let line = render_stats("probe-1", &stats, true, 2);
@@ -693,6 +766,19 @@ mod tests {
         assert_eq!(s.get("journal_bytes").and_then(Value::as_i64), Some(1234));
         assert_eq!(s.get("persistence").and_then(Value::as_bool), Some(true));
         assert_eq!(s.get("queue_depth").and_then(Value::as_i64), Some(2));
+        // Resilience counters ride along in the same probe.
+        assert_eq!(s.get("jobs_failed").and_then(Value::as_i64), Some(6));
+        assert_eq!(s.get("shed_total").and_then(Value::as_i64), Some(2));
+        assert_eq!(s.get("deadline_exceeded").and_then(Value::as_i64), Some(4));
+        assert_eq!(s.get("retries").and_then(Value::as_i64), Some(11));
+        assert_eq!(s.get("hedges").and_then(Value::as_i64), Some(9));
+        assert_eq!(s.get("hedge_wins").and_then(Value::as_i64), Some(5));
+        assert_eq!(s.get("faults_timeout").and_then(Value::as_i64), Some(3));
+        assert_eq!(
+            s.get("faults_rate_limited").and_then(Value::as_i64),
+            Some(2)
+        );
+        assert_eq!(s.get("faults_truncated").and_then(Value::as_i64), Some(1));
     }
 
     #[test]
@@ -793,6 +879,39 @@ mod tests {
             render_error("j3", (&down).into(), &down.to_string()),
             r#"{"error":"service is shutting down","error_kind":"shutdown","id":"j3"}"#
         );
+        // Resilience-layer failures reuse the same reply shape. Each of
+        // the five kinds is pinned byte-for-byte.
+        let shed = JobFailure::DeadlineExceededQueued;
+        assert_eq!(
+            render_error("j4", (&shed).into(), &shed.message()),
+            r#"{"error":"deadline expired while the job was queued; shed without executing","error_kind":"deadline_exceeded","id":"j4"}"#
+        );
+        let late = JobFailure::DeadlineExceeded;
+        assert_eq!(
+            render_error("j5", (&late).into(), &late.message()),
+            r#"{"error":"deadline expired during execution","error_kind":"deadline_exceeded","id":"j5"}"#
+        );
+        let spent = JobFailure::RetriesExhausted {
+            attempts: 4,
+            last: simllm::FaultKind::Timeout,
+        };
+        assert_eq!(
+            render_error("j6", (&spent).into(), &spent.message()),
+            r#"{"error":"all 4 delivery attempts faulted (last: llm_timeout)","error_kind":"retries_exhausted","id":"j6"}"#
+        );
+        for (kind, wire) in [
+            (simllm::FaultKind::Timeout, "llm_timeout"),
+            (simllm::FaultKind::RateLimited, "llm_rate_limited"),
+            (simllm::FaultKind::Truncated, "llm_truncated"),
+        ] {
+            let fault = JobFailure::Fault(kind);
+            assert_eq!(
+                render_error("j7", (&fault).into(), &fault.message()),
+                format!(
+                    r#"{{"error":"llm fault with retries disabled: {wire}","error_kind":"{wire}","id":"j7"}}"#
+                )
+            );
+        }
     }
 
     #[test]
@@ -819,6 +938,63 @@ mod tests {
             assert_eq!(err.kind, ErrorKind::InvalidRequest, "{bad:?}");
             assert!(err.message.contains("trace_id"), "{}", err.message);
         }
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_validates() {
+        let suite = tracebench::TraceBench::generate();
+        let text = darshan::write::write_text(&suite.entries[0].trace);
+        // Absent → no per-request deadline (the daemon default applies).
+        let line = serde_json::to_string(&json!({ "trace": text })).unwrap();
+        assert_eq!(parse_job(&line, "d").unwrap().deadline, None);
+        // Present → the request carries its own deadline budget.
+        let line = serde_json::to_string(&json!({ "trace": text, "deadline_ms": 250 })).unwrap();
+        assert_eq!(
+            parse_job(&line, "d").unwrap().deadline,
+            Some(Duration::from_millis(250))
+        );
+        // Fractional milliseconds are honoured.
+        let line = serde_json::to_string(&json!({ "trace": text, "deadline_ms": 0.5 })).unwrap();
+        assert_eq!(
+            parse_job(&line, "d").unwrap().deadline,
+            Some(Duration::from_micros(500))
+        );
+        // Explicit null means "no deadline", same as absent.
+        let line =
+            serde_json::to_string(&json!({ "trace": text, "deadline_ms": Value::Null })).unwrap();
+        assert_eq!(parse_job(&line, "d").unwrap().deadline, None);
+        // Zero, negative, and non-numeric budgets are rejected.
+        for bad in [json!(0), json!(-5), json!("fast"), json!(true)] {
+            let line =
+                serde_json::to_string(&json!({ "trace": text, "deadline_ms": bad })).unwrap();
+            let err = parse_job(&line, "d").unwrap_err();
+            assert_eq!(err.kind, ErrorKind::InvalidRequest, "{bad:?}");
+            assert!(err.message.contains("deadline_ms"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn failed_result_renders_as_error_reply() {
+        let result = JobResult {
+            id: "late-1".into(),
+            diagnosis: Diagnosis {
+                tool: "ioagent-gpt-4o".into(),
+                text: String::new(),
+                issues: vec![],
+                references: vec![],
+            },
+            cached: false,
+            worker: 0,
+            metrics: crate::service::JobMetrics::default(),
+            trace_id: "abc123-00000001".into(),
+            failure: Some(JobFailure::DeadlineExceededQueued),
+        };
+        // A failed job is rendered as a structured error, never as a
+        // (vacuous) diagnosis payload.
+        assert_eq!(
+            render_result(&result),
+            r#"{"error":"deadline expired while the job was queued; shed without executing","error_kind":"deadline_exceeded","id":"late-1"}"#
+        );
     }
 
     #[test]
@@ -877,6 +1053,9 @@ mod tests {
         service.counter("service.jobs_completed").add(8);
         service.counter("service.cache_hits").add(2);
         service.counter("service.errors").add(1);
+        service.counter("service.retries").add(5);
+        service.counter("service.hedges").add(3);
+        service.counter("service.shed_total").add(1);
         let h = service.histogram("service.exec_ns");
         h.record(5_000_000);
         // An idle histogram: lifetime-empty, so its windows are empty too.
@@ -945,6 +1124,23 @@ mod tests {
             "empty windows must report null quantiles, not 0"
         );
 
+        // Resilience counters participate in the same windowing: both
+        // offered windows carry the lifetime-so-far totals.
+        for (name, want) in [
+            ("service.retries", 5u64),
+            ("service.hedges", 3),
+            ("service.shed_total", 1),
+        ] {
+            assert_eq!(
+                svc.get("counter_windows")
+                    .and_then(|c| c.get(name))
+                    .and_then(Value::as_array)
+                    .map(|t| t.iter().filter_map(Value::as_u64).collect::<Vec<_>>()),
+                Some(vec![want, want]),
+                "{name}"
+            );
+        }
+
         // The wire format reconstructs into a snapshot the SLO engine
         // can evaluate: an over-bound p99 in the 10s window fails.
         let rebuilt = snapshot_from_metrics_json(svc);
@@ -955,6 +1151,22 @@ mod tests {
         // And the indeterminate (empty-window) metric still passes.
         let decls = ioobserve::parse_slo_file("persist_p99 < 1ns over 10s").unwrap();
         assert!(ioobserve::evaluate_slos(&decls, &[&rebuilt]).pass());
+
+        // Rotation: once the clock moves past the short window, the
+        // resilience counters age out of the 10s view but survive in
+        // the 60s one — stale retries must not pollute fresh rates.
+        clock.advance(11_000_000_000);
+        let line = render_metrics("m-3", &service.snapshot(), &process.snapshot());
+        let back: Value = serde_json::from_str(&line).unwrap();
+        let svc = back.get("metrics").and_then(|m| m.get("service")).unwrap();
+        assert_eq!(
+            svc.get("counter_windows")
+                .and_then(|c| c.get("service.retries"))
+                .and_then(Value::as_array)
+                .map(|t| t.iter().filter_map(Value::as_u64).collect::<Vec<_>>()),
+            Some(vec![0, 5]),
+            "retries must age out of the 10s window but stay in the 60s one"
+        );
     }
 
     #[test]
@@ -1026,6 +1238,7 @@ mod tests {
                 ..Default::default()
             },
             trace_id: "abc123-00000001".into(),
+            failure: None,
         };
         let line = render_result(&result);
         let back: Value = serde_json::from_str(&line).unwrap();

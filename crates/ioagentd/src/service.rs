@@ -21,6 +21,7 @@
 
 use crate::cache::LruCache;
 use crate::queue::{BoundedQueue, QueueClosed, TryPushError};
+use crate::resilience::{JobFailure, ResilienceCounters, ResiliencePolicy, ResilientLlm};
 use darshan::DarshanTrace;
 use ioagent_core::{AgentConfig, IoAgent};
 use ioobserve::{
@@ -28,7 +29,7 @@ use ioobserve::{
     WindowSpec,
 };
 use iostore::{ResultKey, ResultStore, StateDir};
-use simllm::{Diagnosis, SimLlm};
+use simllm::{Diagnosis, FaultPlan, SimLlm};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -82,6 +83,20 @@ pub struct ServiceConfig {
     /// the clusters, at least one). `>= ivf_clusters` is exact mode —
     /// byte-identical to the flat scan.
     pub ivf_nprobe: usize,
+    /// Default per-job deadline, measured from enqueue (`None` — the
+    /// default — is no deadline). A job whose deadline expires in the
+    /// queue is shed at dequeue; mid-execution expiry cancels in-flight
+    /// LLM attempts. Per-request `deadline_ms` overrides this.
+    pub deadline: Option<Duration>,
+    /// Failure model installed on every job's backbone LLM (`None` — the
+    /// default — keeps the fault-free simulator). Content is unaffected:
+    /// the plan only injects latency and delivery faults.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry/backoff/hedge policy for LLM calls inside each job. `None`
+    /// with no deadline means the pre-existing infinite-patience
+    /// behaviour; `None` with a deadline applies
+    /// [`ResiliencePolicy::unbounded`] so the deadline alone bounds jobs.
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +113,9 @@ impl Default for ServiceConfig {
             state_dir: None,
             ivf_clusters: 0,
             ivf_nprobe: 0,
+            deadline: None,
+            fault_plan: None,
+            resilience: None,
         }
     }
 }
@@ -151,6 +169,24 @@ impl ServiceConfig {
         self
     }
 
+    /// Builder-style default per-job deadline override.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style failure-model override for every job's backbone LLM.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style retry/backoff/hedge policy override.
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = Some(policy);
+        self
+    }
+
     /// The IVF parameters this configuration asks for (`None` = flat).
     /// `ivf_nprobe` is meaningful only with `ivf_clusters > 0`; on its
     /// own it is ignored (the daemon's CLI warns about that combination).
@@ -192,6 +228,11 @@ pub struct JobRequest {
     /// Deliberately **not** part of the cache fingerprint: two identical
     /// jobs under different trace ids share one cached diagnosis.
     pub trace_id: Option<String>,
+    /// Per-job deadline override, measured from enqueue (`None` inherits
+    /// [`ServiceConfig::deadline`]). Like `trace_id`, deliberately not
+    /// part of the cache fingerprint: the deadline changes whether a
+    /// diagnosis is delivered in time, never what it says.
+    pub deadline: Option<Duration>,
 }
 
 impl JobRequest {
@@ -203,7 +244,14 @@ impl JobRequest {
             model: model.into(),
             config: AgentConfig::default(),
             trace_id: None,
+            deadline: None,
         }
+    }
+
+    /// Builder-style per-job deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Parse `darshan-parser` text into a job.
@@ -266,6 +314,10 @@ pub struct JobResult {
     /// was supplied, otherwise the service-generated id. Matches the
     /// `trace_id` attribute on the job's root span.
     pub trace_id: String,
+    /// Why the job produced no diagnosis (`None` on success). Failed
+    /// jobs carry an empty [`Diagnosis`], are never cached, and render
+    /// as protocol error replies with the matching `error_kind`.
+    pub failure: Option<JobFailure>,
 }
 
 /// Per-process seed for generated trace ids, so ids from concurrent
@@ -339,6 +391,25 @@ pub struct ServiceStats {
     pub persisted_entries: u64,
     /// Journal file size in bytes (0 with persistence off).
     pub journal_bytes: u64,
+    /// Jobs that failed (deadline, fault, retries exhausted). Disjoint
+    /// from `jobs_completed`.
+    pub jobs_failed: u64,
+    /// Jobs shed at dequeue because their deadline expired in the queue.
+    pub shed_total: u64,
+    /// Jobs failed on a deadline (shed in queue or expired mid-exec).
+    pub deadline_exceeded: u64,
+    /// Retry rounds entered across all jobs.
+    pub retries: u64,
+    /// Hedged duplicate requests launched.
+    pub hedges: u64,
+    /// Races the hedged duplicate won.
+    pub hedge_wins: u64,
+    /// Injected timeout faults observed.
+    pub faults_timeout: u64,
+    /// Injected rate-limit faults observed.
+    pub faults_rate_limited: u64,
+    /// Injected truncation faults observed.
+    pub faults_truncated: u64,
 }
 
 struct QueuedJob {
@@ -351,6 +422,9 @@ struct QueuedJob {
     /// worker can emit the `job` root span and its `stage.queue_wait`
     /// child with the true enqueue instant as their start.
     enqueued_ns: u64,
+    /// Absolute deadline (request override or config default, anchored
+    /// at submit). Expired-in-queue jobs are shed at dequeue.
+    deadline_at: Option<Instant>,
     reply: mpsc::Sender<JobResult>,
 }
 
@@ -376,6 +450,12 @@ struct ServiceCounters {
     workers: Arc<Gauge>,
     workers_busy: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
+    jobs_failed: Arc<Counter>,
+    shed_total: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    /// Retry/hedge/fault instruments, grouped for handing to each job's
+    /// [`ResilientLlm`] (clones share the same atomics).
+    resilience: ResilienceCounters,
 }
 
 impl ServiceCounters {
@@ -400,6 +480,18 @@ impl ServiceCounters {
             workers: registry.gauge("service.workers"),
             workers_busy: registry.gauge("service.workers_busy"),
             queue_depth: registry.gauge("service.queue_depth"),
+            jobs_failed: registry.counter("service.jobs_failed"),
+            shed_total: registry.counter("service.shed_total"),
+            deadline_exceeded: registry.counter("service.deadline_exceeded"),
+            resilience: ResilienceCounters {
+                retries: registry.counter("service.retries"),
+                hedges: registry.counter("service.hedges"),
+                hedge_wins: registry.counter("service.hedge_wins"),
+                fault_timeout: registry.counter("service.faults.timeout"),
+                fault_rate_limited: registry.counter("service.faults.rate_limited"),
+                fault_truncated: registry.counter("service.faults.truncated"),
+                attempt_ns: registry.histogram("service.llm_attempt_ns"),
+            },
             registry,
         }
     }
@@ -414,11 +506,37 @@ struct Shared {
     store: Option<Mutex<ResultStore>>,
     rpc_latency: Duration,
     intra_threads: usize,
+    /// Default per-job deadline (request `deadline` overrides).
+    deadline: Option<Duration>,
+    /// Failure model for every job's backbone LLM.
+    fault_plan: Option<FaultPlan>,
+    /// Retry/backoff/hedge policy (see [`ServiceConfig::resilience`]).
+    resilience: Option<ResiliencePolicy>,
 }
 
 impl Shared {
     fn record(&self, result: &JobResult) {
         let c = &self.counters;
+        if let Some(failure) = &result.failure {
+            // Failed jobs count separately: they never enter
+            // `jobs_completed`, the cache-hit/miss split, or the latency
+            // histograms (the SLO quantiles describe delivered work).
+            // Spend that happened before the failure still counts.
+            c.jobs_failed.inc();
+            match failure {
+                JobFailure::DeadlineExceededQueued => {
+                    c.shed_total.inc();
+                    c.deadline_exceeded.inc();
+                }
+                JobFailure::DeadlineExceeded => c.deadline_exceeded.inc(),
+                JobFailure::RetriesExhausted { .. } | JobFailure::Fault(_) => {}
+            }
+            c.llm_calls.add(result.metrics.llm_calls as u64);
+            c.input_tokens.add(result.metrics.input_tokens as u64);
+            c.output_tokens.add(result.metrics.output_tokens as u64);
+            c.cost_usd.add(result.metrics.cost_usd);
+            return;
+        }
         c.jobs_completed.inc();
         if result.cached {
             c.cache_hits.inc();
@@ -585,6 +703,9 @@ impl DiagnosisService {
             store: store.map(Mutex::new),
             rpc_latency: config.simulated_rpc_latency,
             intra_threads: config.intra_threads.max(1),
+            deadline: config.deadline,
+            fault_plan: config.fault_plan.clone(),
+            resilience: config.resilience,
         });
         shared.counters.workers.set(config.workers.max(1) as u64);
         let workers = (0..config.workers.max(1))
@@ -642,7 +763,8 @@ impl DiagnosisService {
         };
 
         // Fast path: answer from the cache (LRU, then journal
-        // read-through) without touching the queue.
+        // read-through) without touching the queue. Cache hits are free,
+        // so they are served even under an already-tight deadline.
         if let Some(diagnosis) = self.shared.lookup(&key) {
             let result = JobResult {
                 id: request.id,
@@ -651,24 +773,36 @@ impl DiagnosisService {
                 worker: usize::MAX,
                 metrics: JobMetrics::default(),
                 trace_id,
+                failure: None,
             };
             self.shared.record(&result);
             let _ = reply.send(result);
             return Ok(ticket);
         }
 
+        let deadline_at = self.deadline_at(&request);
         let job = QueuedJob {
             request,
             key,
             trace_id,
             enqueued: Instant::now(),
             enqueued_ns: ioobserve::tracer().now_ns(),
+            deadline_at,
             reply,
         };
         match self.shared.queue.push(job) {
             Ok(()) => Ok(ticket),
             Err(QueueClosed(_)) => Err(SubmitError::ShuttingDown),
         }
+    }
+
+    /// Resolve the job's absolute deadline at submit time: the request
+    /// override, else the service default, anchored to now (enqueue).
+    fn deadline_at(&self, request: &JobRequest) -> Option<Instant> {
+        request
+            .deadline
+            .or(self.shared.deadline)
+            .map(|d| Instant::now() + d)
     }
 
     /// [`DiagnosisService::submit`] without backpressure blocking: a full
@@ -692,17 +826,20 @@ impl DiagnosisService {
                 worker: usize::MAX,
                 metrics: JobMetrics::default(),
                 trace_id,
+                failure: None,
             };
             self.shared.record(&result);
             let _ = reply.send(result);
             return Ok(ticket);
         }
+        let deadline_at = self.deadline_at(&request);
         let job = QueuedJob {
             request,
             key,
             trace_id,
             enqueued: Instant::now(),
             enqueued_ns: ioobserve::tracer().now_ns(),
+            deadline_at,
             reply,
         };
         match self.shared.queue.try_push(job) {
@@ -746,6 +883,15 @@ impl DiagnosisService {
             cost_usd: c.cost_usd.get(),
             persisted_entries: 0,
             journal_bytes: 0,
+            jobs_failed: c.jobs_failed.get(),
+            shed_total: c.shed_total.get(),
+            deadline_exceeded: c.deadline_exceeded.get(),
+            retries: c.resilience.retries.get(),
+            hedges: c.resilience.hedges.get(),
+            hedge_wins: c.resilience.hedge_wins.get(),
+            faults_timeout: c.resilience.fault_timeout.get(),
+            faults_rate_limited: c.resilience.fault_rate_limited.get(),
+            faults_truncated: c.resilience.fault_truncated.get(),
         };
         if let Some(store) = &self.shared.store {
             let store = store
@@ -839,12 +985,14 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         job_span.set_attr("worker", worker_idx);
         drop(tracer.span_at("stage.queue_wait", job.enqueued_ns, job_span.id()));
 
-        // A duplicate may have completed while this job sat in the queue.
-        let result = match shared.lookup(&job.key) {
-            Some(diagnosis) => JobResult {
+        // Shed before any work: a deadline that expired in the queue
+        // means the client has already given up — executing now would
+        // burn a worker on an answer nobody reads.
+        let result = if job.deadline_at.is_some_and(|d| Instant::now() >= d) {
+            JobResult {
                 id: job.request.id,
-                diagnosis,
-                cached: true,
+                diagnosis: empty_diagnosis(&job.request.model),
+                cached: false,
                 worker: worker_idx,
                 metrics: JobMetrics {
                     queue_wait,
@@ -852,40 +1000,37 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
                     ..Default::default()
                 },
                 trace_id: job.trace_id,
-            },
-            None => {
-                if !shared.rpc_latency.is_zero() {
-                    let _rpc_span = tracer.span("stage.rpc_wait");
-                    std::thread::sleep(shared.rpc_latency);
-                }
-                // Fresh per-job models: usage accounting stays job-local.
-                let model = SimLlm::new(&job.request.model);
-                let agent = IoAgent::with_shared_retriever(
-                    &model,
-                    job.request.config.clone(),
-                    Arc::clone(&shared.retriever),
-                );
-                let diagnosis = intra_pool.install(|| agent.diagnose(&job.request.trace));
-                let backbone = model.usage();
-                let reflection = agent.reflection_usage();
-                shared.remember(&job.key, &diagnosis);
-                JobResult {
+                failure: Some(JobFailure::DeadlineExceededQueued),
+            }
+        } else {
+            // A duplicate may have completed while this job sat in the
+            // queue.
+            match shared.lookup(&job.key) {
+                Some(diagnosis) => JobResult {
                     id: job.request.id,
                     diagnosis,
-                    cached: false,
+                    cached: true,
                     worker: worker_idx,
                     metrics: JobMetrics {
-                        llm_calls: backbone.calls + reflection.calls,
-                        input_tokens: backbone.input_tokens + reflection.input_tokens,
-                        output_tokens: backbone.output_tokens + reflection.output_tokens,
-                        cost_usd: backbone.cost_usd + reflection.cost_usd,
                         queue_wait,
                         exec: started.elapsed(),
+                        ..Default::default()
                     },
                     trace_id: job.trace_id,
+                    failure: None,
+                },
+                None => {
+                    if !shared.rpc_latency.is_zero() {
+                        let _rpc_span = tracer.span("stage.rpc_wait");
+                        std::thread::sleep(shared.rpc_latency);
+                    }
+                    execute_fresh(shared, &job, worker_idx, &intra_pool, queue_wait, started)
                 }
             }
         };
+        if let Some(failure) = &result.failure {
+            job_span.set_attr("error", failure.error_kind());
+        }
         job_span.set_attr("cached", result.cached);
         // End (and flush) the job's spans before bookkeeping so the
         // recorded wall time covers exactly enqueue → result ready.
@@ -896,4 +1041,91 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         shared.counters.workers_busy.sub(1);
     }
     tracer.flush();
+}
+
+/// Run one cache-missing job to completion (or failure) on this worker.
+///
+/// The backbone model carries the service's fault plan, and — whenever a
+/// deadline or resilience policy is configured — a [`ResilientLlm`]
+/// wrapper that retries, hedges, and enforces the deadline around every
+/// LLM call the pipeline issues. Failed jobs return an empty diagnosis
+/// and are never cached; the spend they accumulated before failing is
+/// still accounted.
+fn execute_fresh(
+    shared: &Shared,
+    job: &QueuedJob,
+    worker_idx: usize,
+    intra_pool: &rayon::ThreadPool,
+    queue_wait: Duration,
+    started: Instant,
+) -> JobResult {
+    // Fresh per-job models: usage accounting stays job-local.
+    let mut model = SimLlm::new(&job.request.model);
+    if let Some(plan) = &shared.fault_plan {
+        model = model.with_fault_plan(plan.clone());
+    }
+    let (diagnosis, backbone, reflection, failure) =
+        if shared.resilience.is_some() || job.deadline_at.is_some() {
+            let policy = shared
+                .resilience
+                .unwrap_or_else(ResiliencePolicy::unbounded);
+            let model = ResilientLlm::new(
+                model,
+                policy,
+                job.deadline_at,
+                shared.counters.resilience.clone(),
+            );
+            let agent = IoAgent::with_shared_retriever(
+                &model,
+                job.request.config.clone(),
+                Arc::clone(&shared.retriever),
+            );
+            let diagnosis = intra_pool.install(|| agent.diagnose(&job.request.trace));
+            let reflection = agent.reflection_usage();
+            (diagnosis, model.usage(), reflection, model.take_failure())
+        } else {
+            let agent = IoAgent::with_shared_retriever(
+                &model,
+                job.request.config.clone(),
+                Arc::clone(&shared.retriever),
+            );
+            let diagnosis = intra_pool.install(|| agent.diagnose(&job.request.trace));
+            let reflection = agent.reflection_usage();
+            (diagnosis, model.usage(), reflection, None)
+        };
+    let diagnosis = match failure {
+        // A failed job's partial pipeline output is meaningless; drop it.
+        Some(_) => empty_diagnosis(&job.request.model),
+        None => {
+            shared.remember(&job.key, &diagnosis);
+            diagnosis
+        }
+    };
+    JobResult {
+        id: job.request.id.clone(),
+        diagnosis,
+        cached: false,
+        worker: worker_idx,
+        metrics: JobMetrics {
+            llm_calls: backbone.calls + reflection.calls,
+            input_tokens: backbone.input_tokens + reflection.input_tokens,
+            output_tokens: backbone.output_tokens + reflection.output_tokens,
+            cost_usd: backbone.cost_usd + reflection.cost_usd,
+            queue_wait,
+            exec: started.elapsed(),
+        },
+        trace_id: job.trace_id.clone(),
+        failure,
+    }
+}
+
+/// Placeholder diagnosis carried by failed jobs (the protocol renders
+/// the failure, not this).
+fn empty_diagnosis(model: &str) -> Diagnosis {
+    Diagnosis {
+        tool: format!("ioagent-{model}"),
+        text: String::new(),
+        issues: Vec::new(),
+        references: Vec::new(),
+    }
 }

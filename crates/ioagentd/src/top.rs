@@ -85,6 +85,25 @@ pub fn render_dashboard(service: &RegistrySnapshot, process: &RegistrySnapshot) 
          jobs {jobs} ({hits} cached)  errors {errors}"
     );
 
+    // Resilience row: only once the daemon has ever retried, hedged,
+    // shed, or seen an injected fault — a quiet daemon keeps the old
+    // two-line header.
+    let retries = counter(service, "service.retries");
+    let hedges = counter(service, "service.hedges");
+    let hedge_wins = counter(service, "service.hedge_wins");
+    let shed = counter(service, "service.shed_total");
+    let failed = counter(service, "service.jobs_failed");
+    let faults = counter(service, "service.faults.timeout")
+        + counter(service, "service.faults.rate_limited")
+        + counter(service, "service.faults.truncated");
+    if retries + hedges + shed + failed + faults > 0 {
+        let _ = writeln!(
+            out,
+            "resilience — retries {retries}  hedges {hedges} ({hedge_wins} won)  \
+             faults {faults}  shed {shed}  failed {failed}"
+        );
+    }
+
     // Windowed rates.
     if service.window_ns.is_empty() {
         let _ = writeln!(out, "(no windowed metrics offered by this daemon)");
@@ -271,6 +290,31 @@ mod tests {
             .matches('#')
             .count();
         assert!(llm_bar > ret_bar, "llm {llm_bar} vs retrieve {ret_bar}");
+    }
+
+    #[test]
+    fn resilience_row_appears_only_under_pressure() {
+        // A quiet daemon: no resilience row at all.
+        let quiet = render_dashboard(&service_snap(), &process_snap());
+        assert!(!quiet.contains("resilience"), "{quiet}");
+        // Under faults the row summarises retries/hedges/shed/failed.
+        let mut snap = service_snap();
+        snap.counters.extend([
+            ("service.retries".into(), 7),
+            ("service.hedges".into(), 4),
+            ("service.hedge_wins".into(), 3),
+            ("service.shed_total".into(), 2),
+            ("service.jobs_failed".into(), 5),
+            ("service.faults.timeout".into(), 6),
+            ("service.faults.rate_limited".into(), 1),
+            ("service.faults.truncated".into(), 1),
+        ]);
+        let text = render_dashboard(&snap, &process_snap());
+        assert!(text.contains("retries 7"), "{text}");
+        assert!(text.contains("hedges 4 (3 won)"), "{text}");
+        assert!(text.contains("faults 8"), "{text}");
+        assert!(text.contains("shed 2"), "{text}");
+        assert!(text.contains("failed 5"), "{text}");
     }
 
     #[test]

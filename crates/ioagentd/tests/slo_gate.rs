@@ -110,8 +110,8 @@ fn slo_check_gates_a_live_daemon() {
     let daemon = Daemon::spawn(&["--slo", slo_arg]);
 
     // Warm the windows with a batch, probing SLOs in-band on the same
-    // connection: the reply must carry a passing report for the two
-    // committed declarations.
+    // connection: the reply must carry a passing report for the three
+    // committed declarations (exec p99/p999 and queue-wait p99).
     let probe = drive_jobs_and_probe_slo(&daemon.addr, 8);
     let slo = probe.get("slo").expect("slo section");
     assert_eq!(
@@ -120,7 +120,7 @@ fn slo_check_gates_a_live_daemon() {
         "{probe:?}"
     );
     let checks = slo.get("checks").and_then(Value::as_array).expect("checks");
-    assert_eq!(checks.len(), 2, "both committed declarations evaluated");
+    assert_eq!(checks.len(), 3, "all committed declarations evaluated");
     for c in checks {
         assert_eq!(c.get("pass").and_then(Value::as_bool), Some(true), "{c:?}");
         assert!(

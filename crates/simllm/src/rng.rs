@@ -24,6 +24,24 @@ pub fn rng_for(model: &str, prompt: &str, salt: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
 }
 
+/// RNG for the latency/fault domain of one delivery *attempt*.
+///
+/// Content draws come from [`rng_for`] and deliberately ignore the
+/// attempt number — a retry or hedged duplicate must reproduce the exact
+/// same text. Timing and faults live in this separate domain, keyed by
+/// attempt, so each delivery attempt draws an independent latency and
+/// fault outcome while remaining bit-identical across runs. The domain
+/// tag keeps position 0 of this stream uncorrelated with position 0 of
+/// the content stream even at `attempt == 0`.
+pub fn rng_for_attempt(model: &str, prompt: &str, salt: u64, attempt: u32) -> ChaCha8Rng {
+    let seed = stable_hash("fault-domain")
+        ^ stable_hash(model)
+        ^ stable_hash(prompt).rotate_left(17)
+        ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (attempt as u64).wrapping_mul(0xd1b5_4a32_d192_ed03);
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
 /// Symmetric uniform noise in [-amplitude, +amplitude].
 pub fn noise(rng: &mut ChaCha8Rng, amplitude: f64) -> f64 {
     use rand::Rng;
@@ -56,6 +74,26 @@ mod tests {
         let mut a = rng_for("gpt-4o", "hello", 1);
         let mut b = rng_for("llama-3-70b", "hello", 1);
         assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn attempt_domain_is_separate_and_attempt_keyed() {
+        // Same attempt lane replays; different lanes decorrelate.
+        let mut a = rng_for_attempt("gpt-4o", "hello", 1, 0);
+        let mut b = rng_for_attempt("gpt-4o", "hello", 1, 0);
+        for _ in 0..8 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = rng_for_attempt("gpt-4o", "hello", 1, 1);
+        assert_ne!(
+            rng_for_attempt("gpt-4o", "hello", 1, 0).gen::<u64>(),
+            c.gen::<u64>()
+        );
+        // The fault domain never collides with the content domain.
+        assert_ne!(
+            rng_for("gpt-4o", "hello", 1).gen::<u64>(),
+            rng_for_attempt("gpt-4o", "hello", 1, 0).gen::<u64>()
+        );
     }
 
     #[test]
