@@ -59,6 +59,26 @@ impl IvfParams {
     }
 }
 
+/// SQ8 scan-tier configuration: scan probed clusters over int8 codes to
+/// pick a `rerank_pool`-sized candidate pool, then rerank the pool with
+/// exact f32 cosine. Requires IVF ([`IvfParams`]); the returned top-k
+/// carries exact scores, and a pool covering every probed row is
+/// byte-identical to the f32 probe path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sq8Params {
+    /// Candidate-pool size reranked in exact f32 (0 → the vecindex
+    /// default, [`vecindex::DEFAULT_SQ8_RERANK_POOL`]).
+    pub rerank_pool: usize,
+}
+
+impl Default for Sq8Params {
+    fn default() -> Self {
+        Sq8Params {
+            rerank_pool: vecindex::DEFAULT_SQ8_RERANK_POOL,
+        }
+    }
+}
+
 /// Where a retriever's index came from (see [`Retriever::build_or_load`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexProvenance {
@@ -85,6 +105,23 @@ impl Retriever {
     /// [`Retriever::build`], optionally clustering the index for IVF
     /// probing. `None` keeps the flat exact scan.
     pub fn build_with(ivf: Option<IvfParams>) -> Self {
+        Self::build_tuned(ivf, None)
+    }
+
+    /// [`Retriever::build_with`], optionally stacking the SQ8 scan tier on
+    /// top of the clustering.
+    ///
+    /// # Panics
+    ///
+    /// `sq8` without `ivf` is a configuration error — the SQ8 tier scans
+    /// probed clusters, so there is nothing for it to do on a flat index —
+    /// and panics rather than silently serving a different engine than
+    /// the caller configured.
+    pub fn build_tuned(ivf: Option<IvfParams>, sq8: Option<Sq8Params>) -> Self {
+        assert!(
+            sq8.is_none() || ivf.is_some(),
+            "SQ8 requires IVF clustering (set IvfParams too)"
+        );
         let mut index = VectorIndex::new(Embedder::default(), DEFAULT_CHUNK_SIZE, DEFAULT_OVERLAP);
         for doc in knowledge::corpus() {
             let text = format!("{}. {}", doc.title, doc.body);
@@ -92,6 +129,9 @@ impl Retriever {
         }
         if let Some(p) = ivf {
             index.enable_ivf(p.clusters, p.nprobe);
+        }
+        if let Some(p) = sq8 {
+            index.enable_sq8(p.rerank_pool);
         }
         Retriever { index, top_k: 15 }
     }
@@ -147,6 +187,34 @@ impl Retriever {
         state: &iostore::StateDir,
         ivf: Option<IvfParams>,
     ) -> (Self, IndexProvenance) {
+        Self::build_or_load_tuned(state, ivf, None)
+    }
+
+    /// [`Retriever::build_or_load_with`] that also reconciles an SQ8
+    /// scan-tier request against the snapshot:
+    ///
+    /// - snapshot already carries a codebook (v3) → served as-is, the
+    ///   rerank pool is a runtime knob adjusted in place;
+    /// - snapshot clustered but codebook-less (v2) → the tier is
+    ///   **lazily trained** — no re-embedding, no re-clustering — and the
+    ///   snapshot re-saved as v3 so the next start skips the training;
+    /// - SQ8 off but the snapshot carries a codebook → the tier is
+    ///   detached in memory (the v3 snapshot is left in place for
+    ///   SQ8-enabled consumers), so retrieval stays byte-identical to the
+    ///   f32 probe path.
+    ///
+    /// # Panics
+    ///
+    /// `sq8` without `ivf` panics, as in [`Retriever::build_tuned`].
+    pub fn build_or_load_tuned(
+        state: &iostore::StateDir,
+        ivf: Option<IvfParams>,
+        sq8: Option<Sq8Params>,
+    ) -> (Self, IndexProvenance) {
+        assert!(
+            sq8.is_none() || ivf.is_some(),
+            "SQ8 requires IVF clustering (set IvfParams too)"
+        );
         let spec = Self::index_spec();
         let path = state.index_path();
         match iostore::load_index(&path, &spec) {
@@ -166,16 +234,34 @@ impl Retriever {
                         true
                     }
                 };
-                if reclustered {
-                    // Best-effort: persist the clustering for the next
-                    // start; a failed save only costs that start a
-                    // re-clustering, never correctness.
+                // SQ8 reconciliation runs after the IVF arm: re-clustering
+                // drops any loaded codebook, so `(Some(p), None)` below
+                // also covers "reclustered, retrain the tier".
+                let retrained = match (sq8, index.sq8()) {
+                    (None, None) => false,
+                    (None, Some(_)) => {
+                        index.disable_sq8();
+                        false
+                    }
+                    (Some(p), Some(_)) => {
+                        index.set_sq8_rerank_pool(p.rerank_pool);
+                        false
+                    }
+                    (Some(p), None) => {
+                        index.enable_sq8(p.rerank_pool);
+                        true
+                    }
+                };
+                if reclustered || retrained {
+                    // Best-effort: persist the clustering/codebook for the
+                    // next start; a failed save only costs that start a
+                    // re-derivation, never correctness.
                     let _ = iostore::save_index(&path, &index, spec.corpus_hash);
                 }
                 (Retriever::from_index(index), IndexProvenance::Snapshot)
             }
             Err(err) => {
-                let retriever = Retriever::build_with(ivf);
+                let retriever = Retriever::build_tuned(ivf, sq8);
                 let mut reason = err.to_string();
                 if let Err(save_err) =
                     iostore::save_index(&path, retriever.index(), spec.corpus_hash)
@@ -450,6 +536,79 @@ mod tests {
         // …while an IVF-off consumer of the same snapshot detaches it.
         let (flat_again, _) = Retriever::build_or_load(&state);
         assert!(flat_again.index().ivf().is_none());
+    }
+
+    /// SQ8 with `nprobe = clusters` and a pool covering every probed row
+    /// (exact mode) must ground queries identically to the flat build —
+    /// same sources, same scores, despite scanning int8 codes first.
+    #[test]
+    fn exact_sq8_retriever_grounds_identically_to_flat() {
+        let flat = Retriever::build();
+        let sq8 = Retriever::build_tuned(
+            Some(IvfParams {
+                clusters: 8,
+                nprobe: 8,
+            }),
+            Some(Sq8Params {
+                rerank_pool: flat.len(),
+            }),
+        );
+        assert!(sq8.index().sq8().is_some());
+        let mini = SimLlm::new("gpt-4o-mini");
+        for q in [
+            "the mean stripe width is 1.0 on a single OST",
+            "metadata operations dominate the runtime",
+        ] {
+            let a: Vec<(String, u32)> = flat
+                .retrieve(q, &mini)
+                .into_iter()
+                .map(|s| (s.doc_id, s.score.to_bits()))
+                .collect();
+            let b: Vec<(String, u32)> = sq8
+                .retrieve(q, &mini)
+                .into_iter()
+                .map(|s| (s.doc_id, s.score.to_bits()))
+                .collect();
+            assert_eq!(a, b, "q={q:?}");
+        }
+    }
+
+    /// A clustered-but-codebook-less (v2-style) snapshot served to an
+    /// SQ8-configured daemon lazily trains the tier — no re-embedding, no
+    /// re-clustering — and persists it as v3 for the next start.
+    #[test]
+    fn v2_snapshot_lazily_trains_sq8_and_resaves() {
+        let (_guard, state) = TempState::new("lazy-sq8");
+        let params = IvfParams::with_default_nprobe(16);
+        // Write a clustered, codebook-less snapshot, as a pre-SQ8
+        // deployment would have.
+        let (clustered, _) = Retriever::build_or_load_with(&state, Some(params));
+        let assignments = clustered.index().ivf().unwrap().assignments().to_vec();
+
+        let sq8 = Some(Sq8Params { rerank_pool: 64 });
+        let (tiered, provenance) = Retriever::build_or_load_tuned(&state, Some(params), sq8);
+        assert_eq!(provenance, IndexProvenance::Snapshot, "no rebuild");
+        let tier = tiered.index().sq8().expect("lazily trained");
+        assert_eq!(tier.rerank_pool(), 64);
+        assert_eq!(
+            tiered.index().ivf().unwrap().assignments(),
+            assignments.as_slice(),
+            "training the tier must not re-cluster"
+        );
+
+        // Next start loads the codebook from the v3 snapshot bit-for-bit.
+        let (again, provenance) = Retriever::build_or_load_tuned(&state, Some(params), sq8);
+        assert_eq!(provenance, IndexProvenance::Snapshot);
+        let bits = |v: &[f32]| -> Vec<u32> { v.iter().map(|f| f.to_bits()).collect() };
+        let loaded = again.index().sq8().unwrap();
+        assert_eq!(bits(loaded.min()), bits(tier.min()));
+        assert_eq!(bits(loaded.scale()), bits(tier.scale()));
+
+        // …while an SQ8-off consumer of the same snapshot detaches the
+        // tier but keeps the clustering.
+        let (plain, _) = Retriever::build_or_load_with(&state, Some(params));
+        assert!(plain.index().sq8().is_none());
+        assert!(plain.index().ivf().is_some());
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-pub use ioagent_core::rag::{IndexProvenance, IvfParams, Retriever};
+pub use ioagent_core::rag::{IndexProvenance, IvfParams, Retriever, Sq8Params};
 
 /// Service sizing knobs.
 ///
@@ -83,6 +83,17 @@ pub struct ServiceConfig {
     /// the clusters, at least one). `>= ivf_clusters` is exact mode —
     /// byte-identical to the flat scan.
     pub ivf_nprobe: usize,
+    /// Scan probed clusters over int8 (SQ8) codes, then rerank a
+    /// candidate pool with exact f32 cosine (`false` — the default —
+    /// scans full f32). Requires `ivf_clusters > 0`: the service panics
+    /// at start on `sq8` without clustering rather than silently serving
+    /// a different engine than configured (the daemon's CLI rejects the
+    /// combination up front). Returned scores are always exact.
+    pub sq8: bool,
+    /// SQ8 candidate-pool size reranked in exact f32 per query; 0 picks
+    /// the default (`vecindex::DEFAULT_SQ8_RERANK_POOL`). A pool
+    /// covering every probed row is byte-identical to the f32 probe path.
+    pub sq8_rerank_pool: usize,
     /// Default per-job deadline, measured from enqueue (`None` — the
     /// default — is no deadline). A job whose deadline expires in the
     /// queue is shed at dequeue; mid-execution expiry cancels in-flight
@@ -113,6 +124,8 @@ impl Default for ServiceConfig {
             state_dir: None,
             ivf_clusters: 0,
             ivf_nprobe: 0,
+            sq8: false,
+            sq8_rerank_pool: 0,
             deadline: None,
             fault_plan: None,
             resilience: None,
@@ -169,6 +182,15 @@ impl ServiceConfig {
         self
     }
 
+    /// Builder-style SQ8 scan-tier override: scan probed clusters over
+    /// int8 codes and rerank a `rerank_pool`-sized candidate pool in
+    /// exact f32 (0 → the default pool). Requires [`ServiceConfig::ivf`].
+    pub fn sq8(mut self, rerank_pool: usize) -> Self {
+        self.sq8 = true;
+        self.sq8_rerank_pool = rerank_pool;
+        self
+    }
+
     /// Builder-style default per-job deadline override.
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
@@ -200,6 +222,21 @@ impl ServiceConfig {
             IvfParams {
                 clusters: self.ivf_clusters,
                 nprobe: self.ivf_nprobe,
+            }
+        })
+    }
+
+    /// The SQ8 parameters this configuration asks for (`None` = full-f32
+    /// scans). Meaningful only together with [`ServiceConfig::ivf_params`]
+    /// being `Some` — the retriever build panics otherwise.
+    pub fn sq8_params(&self) -> Option<Sq8Params> {
+        self.sq8.then(|| {
+            if self.sq8_rerank_pool == 0 {
+                Sq8Params::default()
+            } else {
+                Sq8Params {
+                    rerank_pool: self.sq8_rerank_pool,
+                }
             }
         })
     }
@@ -367,7 +404,7 @@ impl std::error::Error for SubmitError {}
 ///
 /// Since the observability refactor this struct is a *snapshot view*:
 /// the live values are lock-free atomics in the service's private
-/// [`MetricsRegistry`] (see [`ServiceCounters`]), read into this struct
+/// [`MetricsRegistry`] (see the private `ServiceCounters`), read into this struct
 /// by [`DiagnosisService::stats`]. The fields — and therefore
 /// `render_stats` output — are unchanged from the `Mutex<ServiceStats>`
 /// era.
@@ -645,10 +682,11 @@ impl DiagnosisService {
     /// start.
     pub fn start(config: ServiceConfig) -> Self {
         let ivf = config.ivf_params();
+        let sq8 = config.sq8_params();
         let Some(dir) = config.state_dir.clone() else {
-            return Self::with_shared_index(config, Arc::new(Retriever::build_with(ivf)));
+            return Self::with_shared_index(config, Arc::new(Retriever::build_tuned(ivf, sq8)));
         };
-        match Self::open_state(&dir, ivf) {
+        match Self::open_state(&dir, ivf, sq8) {
             Ok((retriever, provenance, store)) => {
                 let mut service = Self::build(config, Arc::new(retriever), Some(store));
                 service.index_provenance = Some(provenance);
@@ -658,7 +696,7 @@ impl DiagnosisService {
                 eprintln!(
                     "[ioagentd] state dir {dir:?} unusable ({e}); running without persistence"
                 );
-                Self::with_shared_index(config, Arc::new(Retriever::build_with(ivf)))
+                Self::with_shared_index(config, Arc::new(Retriever::build_tuned(ivf, sq8)))
             }
         }
     }
@@ -666,13 +704,14 @@ impl DiagnosisService {
     fn open_state(
         dir: &std::path::Path,
         ivf: Option<IvfParams>,
+        sq8: Option<Sq8Params>,
     ) -> std::io::Result<(Retriever, IndexProvenance, ResultStore)> {
         let state = StateDir::new(dir)?;
         // Open the (cheap, fallible) journal before building the index, so
         // an unusable journal cannot waste a corpus build that the fallback
         // path would immediately redo.
         let store = state.open_results()?;
-        let (retriever, provenance) = Retriever::build_or_load_with(&state, ivf);
+        let (retriever, provenance) = Retriever::build_or_load_tuned(&state, ivf, sq8);
         Ok((retriever, provenance, store))
     }
 
@@ -906,7 +945,7 @@ impl DiagnosisService {
     /// Snapshot of the service's own metrics registry (the `service.*`
     /// counters and latency histograms behind [`DiagnosisService::stats`],
     /// each also answering last-10s/last-60s windowed reads).
-    /// Process-wide stage metrics live in [`ioobserve::metrics`]. The
+    /// Process-wide stage metrics live in [`ioobserve::metrics()`]. The
     /// `service.queue_depth` gauge is refreshed at snapshot time.
     pub fn metrics_snapshot(&self) -> RegistrySnapshot {
         self.shared

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! ioobserve — dependency-free observability for the I/O-diagnosis
 //! pipeline: structured span tracing, an atomic metrics registry with
 //! log-linear histograms, and trace-report folding.
@@ -7,7 +8,7 @@
 //! - [`span`]: [`Tracer`]/[`Span`] write NDJSON span records (id, parent,
 //!   name, start/end ns, attrs) through per-thread buffers to a file or
 //!   memory sink. Disabled tracers cost one branch per call.
-//! - [`metrics`]: [`MetricsRegistry`] of atomic [`Counter`]s, [`Gauge`]s,
+//! - [`mod@metrics`]: [`MetricsRegistry`] of atomic [`Counter`]s, [`Gauge`]s,
 //!   [`FloatCounter`]s, and fixed-footprint log-linear [`Histogram`]s
 //!   answering p50/p90/p99/p999 without storing samples.
 //! - [`report`]: [`fold_spans`] turns a span file into a per-stage

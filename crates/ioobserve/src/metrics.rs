@@ -9,7 +9,7 @@
 //! # Histogram layout
 //!
 //! Values are bucketed log-linearly: each power of two is split into
-//! [`SUB_BUCKETS`] = 16 linear sub-buckets, so the relative error of any
+//! `SUB_BUCKETS` = 16 linear sub-buckets, so the relative error of any
 //! reported quantile is at most 1/16 (≈6.25%). Values below 16 get exact
 //! buckets. With 64-bit values that is `16 + 60×16 = 976` buckets of 8
 //! bytes — ~8 KiB per histogram, constant regardless of sample count.
@@ -46,10 +46,12 @@ impl Counter {
         }
     }
 
+    /// Add 1.
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Add `n` to the lifetime total (and the current window slice).
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
         if let Some(w) = &self.window {
@@ -57,6 +59,7 @@ impl Counter {
         }
     }
 
+    /// Lifetime total.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -73,6 +76,7 @@ impl Counter {
 pub struct Gauge(AtomicU64);
 
 impl Gauge {
+    /// Set the instantaneous level.
     pub fn set(&self, v: u64) {
         self.0.store(v, Ordering::Relaxed);
     }
@@ -98,6 +102,7 @@ impl Gauge {
         }
     }
 
+    /// Current level.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -115,6 +120,7 @@ impl Default for FloatCounter {
 }
 
 impl FloatCounter {
+    /// Add `v` to the accumulator.
     pub fn add(&self, v: f64) {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
@@ -129,6 +135,7 @@ impl FloatCounter {
         }
     }
 
+    /// Current accumulated value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
@@ -250,10 +257,12 @@ impl Histogram {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    /// Lifetime sample count.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Lifetime sum of all samples.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
     }
@@ -301,17 +310,26 @@ impl Histogram {
 /// Summary view of a [`Histogram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSnapshot {
+    /// Samples recorded.
     pub count: u64,
+    /// Sum of all samples.
     pub sum: u64,
+    /// Smallest sample (0 when empty).
     pub min: u64,
+    /// Largest sample (0 when empty).
     pub max: u64,
+    /// Median (bucket upper bound).
     pub p50: u64,
+    /// 90th percentile (bucket upper bound).
     pub p90: u64,
+    /// 99th percentile (bucket upper bound).
     pub p99: u64,
+    /// 99.9th percentile (bucket upper bound).
     pub p999: u64,
 }
 
 impl HistogramSnapshot {
+    /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
@@ -374,6 +392,7 @@ impl MetricsRegistry {
             .unwrap_or_default()
     }
 
+    /// The counter registered as `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         get_or_insert(&self.counters, name, || match &self.window {
             Some(spec) => Counter::windowed(spec.clone()),
@@ -381,14 +400,17 @@ impl MetricsRegistry {
         })
     }
 
+    /// The float counter registered as `name`, created on first use.
     pub fn float_counter(&self, name: &str) -> Arc<FloatCounter> {
         get_or_insert(&self.floats, name, FloatCounter::default)
     }
 
+    /// The gauge registered as `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         get_or_insert(&self.gauges, name, Gauge::default)
     }
 
+    /// The histogram registered as `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         get_or_insert(&self.histograms, name, || match &self.window {
             Some(spec) => Histogram::windowed(spec.clone()),
@@ -493,12 +515,19 @@ impl MetricsRegistry {
 /// lifetime-only registries.
 #[derive(Debug, Clone, Default)]
 pub struct RegistrySnapshot {
+    /// Counter lifetime totals, name-sorted.
     pub counters: Vec<(String, u64)>,
+    /// Float-counter values, name-sorted.
     pub floats: Vec<(String, f64)>,
+    /// Gauge levels, name-sorted.
     pub gauges: Vec<(String, u64)>,
+    /// Lifetime histogram snapshots, name-sorted.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Window lengths (ns) the per-window columns below report over.
     pub window_ns: Vec<u64>,
+    /// Per-window counter totals (one entry per `window_ns` column).
     pub counter_windows: Vec<(String, Vec<u64>)>,
+    /// Per-window histogram snapshots (one per `window_ns` column).
     pub histogram_windows: Vec<(String, Vec<HistogramSnapshot>)>,
 }
 

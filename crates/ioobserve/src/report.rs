@@ -48,6 +48,7 @@ pub struct TraceReport {
     pub stages: Vec<StageRow>,
     /// Per-job stage coverage: Σ(stage durations) / job duration.
     pub coverage_min: f64,
+    /// Mean per-job stage coverage.
     pub coverage_mean: f64,
     /// Spans whose root ancestor is not a `job` span (cross-pool work
     /// that could not be attributed; reported, never guessed).

@@ -13,7 +13,7 @@
 //! dotted names are taken as-is against any offered registry, with
 //! `_ns` appended when missing (`stage.llm` → `stage.llm_ns`). The
 //! quantile must be one of the four every
-//! [`HistogramSnapshot`](crate::metrics::HistogramSnapshot) answers:
+//! [`HistogramSnapshot`] answers:
 //! `p50`, `p90`, `p99`, `p999`. The bound takes `ns`/`us`/`ms`/`s`
 //! suffixes, and the trailing `over <duration>` picks which rolling
 //! window ([`WindowSpec`](crate::window::WindowSpec)) to judge.
@@ -38,13 +38,18 @@ use std::fmt::Write as _;
 /// One of the four quantiles a histogram snapshot can answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Quantile {
+    /// Median.
     P50,
+    /// 90th percentile.
     P90,
+    /// 99th percentile.
     P99,
+    /// 99.9th percentile.
     P999,
 }
 
 impl Quantile {
+    /// The spelling used in declarations and reports (`p50` … `p999`).
     pub fn label(self) -> &'static str {
         match self {
             Quantile::P50 => "p50",
@@ -72,10 +77,13 @@ pub struct SloDecl {
     pub text: String,
     /// Fully-resolved histogram name, e.g. `service.exec_ns`.
     pub metric: String,
+    /// Quantile the bound applies to.
     pub quantile: Quantile,
     /// `true` for `<`, `false` for `<=`.
     pub strict: bool,
+    /// Latency bound, ns.
     pub bound_ns: u64,
+    /// Window the quantile is judged over, ns.
     pub window_ns: u64,
 }
 
@@ -164,12 +172,14 @@ pub fn parse_slo_file(text: &str) -> Result<Vec<SloDecl>, String> {
 /// The outcome of one declaration against one probe.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SloCheck {
+    /// The declaration judged.
     pub decl: SloDecl,
     /// The windowed quantile, or `None` when the window held no samples
     /// (indeterminate — counts as a pass).
     pub observed_ns: Option<u64>,
     /// Samples in the judged window.
     pub samples: u64,
+    /// Whether the declaration held (indeterminate counts as a pass).
     pub pass: bool,
     /// Human-readable note for indeterminate/misconfigured checks.
     pub note: Option<String>,
@@ -178,10 +188,12 @@ pub struct SloCheck {
 /// All checks from one probe.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SloReport {
+    /// One entry per declaration, in file order.
     pub checks: Vec<SloCheck>,
 }
 
 impl SloReport {
+    /// `true` when every check passed.
     pub fn pass(&self) -> bool {
         self.checks.iter().all(|c| c.pass)
     }

@@ -13,7 +13,7 @@
 //!   overhead in this mode, and in practice it is in the noise.
 //! - **Enabled**: completed spans are rendered into a **per-thread
 //!   buffer** (no lock on the span path) which is appended to the shared
-//!   sink only when it exceeds [`FLUSH_BYTES`], when a *root* span ends
+//!   sink only when it exceeds `FLUSH_BYTES`, when a *root* span ends
 //!   (one lock per job, not per span), or when the thread exits.
 //!
 //! # Parenting
@@ -28,7 +28,7 @@
 //!
 //! # Determinism
 //!
-//! Timestamps come from a [`Clock`](crate::clock::Clock); tests inject a
+//! Timestamps come from a [`Clock`]; tests inject a
 //! [`VirtualClock`](crate::clock::VirtualClock) so span boundaries are
 //! exact. Tracing never changes what the pipeline computes — the
 //! byte-identity test in `tests/observability.rs` pins diagnosis output
@@ -402,7 +402,7 @@ pub enum TailThreshold {
     /// Keep jobs whose root span lasted at least this many milliseconds.
     Millis(u64),
     /// Keep jobs at or above this quantile of job durations seen so far
-    /// (`p99` → 0.99). Needs [`TAIL_WARMUP_JOBS`] completed jobs before
+    /// (`p99` → 0.99). Needs `TAIL_WARMUP_JOBS` completed jobs before
     /// anything is kept.
     Percentile(f64),
 }
@@ -410,6 +410,7 @@ pub enum TailThreshold {
 /// The argument of `--trace-sample tail:<ms|pN>`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TailRule {
+    /// When a finished job's fine spans are worth keeping.
     pub threshold: TailThreshold,
 }
 

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Persistent state layer for the diagnosis pipeline.
 //!
 //! The pipeline (preprocess → RAG per-fragment diagnosis → tree merge) is

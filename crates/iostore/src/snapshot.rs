@@ -1,11 +1,12 @@
 //! Versioned on-disk snapshots of the knowledge [`VectorIndex`].
 //!
-//! A snapshot is a header line, one line per index entry, and (format v2,
-//! when the index carries an IVF quantizer) one trailing clustering
-//! record:
+//! A snapshot is a header line, one line per index entry, and — depending
+//! on what the index carries — up to three trailing records: the (v2) IVF
+//! clustering record, then the (v3) cluster-major permutation record, then
+//! the (v3) SQ8 codebook record:
 //!
 //! ```json
-//! {"magic": "ioagent-index", "format_version": 2, "embedder_dim": 256,
+//! {"magic": "ioagent-index", "format_version": 3, "embedder_dim": 256,
 //!  "chunk_size": 512, "overlap": 20, "corpus_hash": "0x9f2c…",
 //!  "entries": 78}
 //! {"doc_id": "k01", "citation": "[…]", "chunk_no": 0, "text": "…",
@@ -13,15 +14,31 @@
 //! …
 //! {"ivf_clusters": 16, "ivf_nprobe": 4, "ivf_centroids": "3e21…",
 //!  "ivf_assignments": "00000003…"}
+//! {"perm": "0000000400000000…"}
+//! {"sq8_min": "bf21…", "sq8_scale": "3a08…", "sq8_rerank_pool": 128}
 //! ```
+//!
+//! Byte-level field encodings, version-range rules, and the journal record
+//! grammar are specified in `docs/snapshot-format.md` at the repo root.
 //!
 //! Version 1 snapshots (pre-IVF) still load: they simply carry no
 //! clustering record, and a caller that wants IVF clusters the loaded
 //! index lazily (`Retriever::build_or_load_with` re-saves the result as
-//! v2 so the next start skips the clustering too). Centroids are stored
-//! as the same bit-exact f32 hex as entry vectors, and assignments as 8
-//! hex digits per row, so a loaded quantizer probes byte-identically to
-//! the one that was saved.
+//! v2 so the next start skips the clustering too). Likewise, v2 snapshots
+//! carry no SQ8 codebook; a caller that wants the SQ8 tier trains one
+//! lazily and re-saves as v3. Centroids are stored as the same bit-exact
+//! f32 hex as entry vectors, and assignments as 8 hex digits per row, so
+//! a loaded quantizer probes byte-identically to the one that was saved.
+//!
+//! The v3 permutation record is *redundant by construction* — the
+//! cluster-major row order is derived deterministically from the
+//! assignment table — and is stored anyway as a cross-check: a loader
+//! re-derives the permutation and rejects the snapshot as
+//! [`SnapshotError::Corrupt`] on any mismatch, so layout drift between
+//! the writer and reader binaries is detected instead of silently
+//! mis-mapping external row ids. SQ8 codes are *not* stored: they are
+//! recomputed from the (bit-exact) vectors and the stored codebook, which
+//! reproduces them byte-identically at a fraction of the snapshot size.
 //!
 //! The header makes staleness *detectable instead of silent*: loading
 //! verifies the format version, the embedder configuration, the chunking
@@ -43,15 +60,25 @@ use std::sync::Arc;
 use vecindex::{IndexEntry, VectorArena, VectorIndex};
 
 /// Newest snapshot format version; bump on any layout change. v2 added
-/// the optional trailing IVF clustering record. [`save_index`] stamps a
+/// the optional trailing IVF clustering record; v3 added the cluster-major
+/// permutation record and the SQ8 codebook record. [`save_index`] stamps a
 /// snapshot with the **oldest version that can represent it** — a flat
 /// index is byte-identical to the v1 format, so it is written as v1 and
-/// stays loadable after a rollback to a pre-IVF binary.
-pub const SNAPSHOT_FORMAT_VERSION: i64 = 2;
+/// stays loadable after a rollback to a pre-IVF binary, and a clustered
+/// index without an SQ8 tier is written as v2 for the same reason.
+pub const SNAPSHOT_FORMAT_VERSION: i64 = 3;
 
 /// Oldest format version [`load_index`] still reads (v1 lacks the IVF
-/// record; everything else is unchanged).
+/// record, v2 lacks the permutation and SQ8 records; everything else is
+/// unchanged).
 pub const SNAPSHOT_MIN_FORMAT_VERSION: i64 = 1;
+
+/// Oldest version whose snapshots may carry the v2 IVF clustering record.
+const IVF_RECORD_MIN_VERSION: i64 = 2;
+
+/// Oldest version whose snapshots may carry the v3 permutation and SQ8
+/// codebook records.
+const SQ8_RECORD_MIN_VERSION: i64 = 3;
 
 const MAGIC: &str = "ioagent-index";
 
@@ -147,11 +174,14 @@ pub fn save_index(path: &Path, index: &VectorIndex, corpus_hash: u64) -> io::Res
     let tmp = path.with_extension("snap.tmp");
     {
         let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-        // Oldest version that can represent this index: only a clustered
-        // index needs the v2 IVF record; a flat one stays v1-readable so
-        // a rolled-back pre-IVF binary can still serve it.
-        let format_version = if index.ivf().is_some() {
+        // Oldest version that can represent this index: only an SQ8 tier
+        // needs the v3 records and only a clustered index needs the v2
+        // IVF record; a flat one stays v1-readable so a rolled-back
+        // pre-IVF binary can still serve it.
+        let format_version = if index.sq8().is_some() {
             SNAPSHOT_FORMAT_VERSION
+        } else if index.ivf().is_some() {
+            IVF_RECORD_MIN_VERSION
         } else {
             SNAPSHOT_MIN_FORMAT_VERSION
         };
@@ -176,18 +206,26 @@ pub fn save_index(path: &Path, index: &VectorIndex, corpus_hash: u64) -> io::Res
             writeln!(w, "{}", serde_json::to_string(&line).expect("entry"))?;
         }
         if let Some(ivf) = index.ivf() {
-            let assignments: String = ivf
-                .assignments()
-                .iter()
-                .map(|c| format!("{c:08x}"))
-                .collect();
             let record = json!({
                 "ivf_clusters": ivf.clusters(),
                 "ivf_nprobe": ivf.nprobe(),
                 "ivf_centroids": encode_vector(ivf.centroids()),
-                "ivf_assignments": assignments,
+                "ivf_assignments": encode_u32s(ivf.assignments()),
             });
             writeln!(w, "{}", serde_json::to_string(&record).expect("ivf record"))?;
+            if let Some(sq8) = index.sq8() {
+                // v3 only: the cluster-major permutation (redundant with
+                // the assignments, stored as a layout cross-check) and the
+                // SQ8 codebook (codes are recomputed on load).
+                let perm = json!({ "perm": encode_u32s(ivf.perm()) });
+                writeln!(w, "{}", serde_json::to_string(&perm).expect("perm record"))?;
+                let record = json!({
+                    "sq8_min": encode_vector(sq8.min()),
+                    "sq8_scale": encode_vector(sq8.scale()),
+                    "sq8_rerank_pool": sq8.rerank_pool(),
+                });
+                writeln!(w, "{}", serde_json::to_string(&record).expect("sq8 record"))?;
+            }
         }
         w.flush()?;
     }
@@ -279,6 +317,8 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
     // allocation, restoring the memory shape `add_document` builds.
     let mut shared: Option<(Arc<str>, Arc<str>)> = None;
     let mut ivf_record: Option<Value> = None;
+    let mut perm_record: Option<Value> = None;
+    let mut sq8_record: Option<Value> = None;
     for line in lines {
         if line.trim().is_empty() {
             continue;
@@ -287,8 +327,19 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
             .map_err(|e| SnapshotError::Corrupt(format!("unreadable entry: {e}")))?;
         if v.get("ivf_clusters").is_some() {
             // The (v2) clustering record trails every entry line.
+            if found_version < IVF_RECORD_MIN_VERSION {
+                return Err(SnapshotError::Corrupt(format!(
+                    "IVF record in a v{found_version} snapshot \
+                     (valid from v{IVF_RECORD_MIN_VERSION})"
+                )));
+            }
             if ivf_record.is_some() {
                 return Err(SnapshotError::Corrupt("duplicate IVF record".into()));
+            }
+            if perm_record.is_some() || sq8_record.is_some() {
+                return Err(SnapshotError::Corrupt(
+                    "IVF record after a v3 trailing record".into(),
+                ));
             }
             if entries.len() != declared_entries {
                 return Err(SnapshotError::Corrupt(format!(
@@ -299,9 +350,54 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
             ivf_record = Some(v);
             continue;
         }
-        if ivf_record.is_some() {
+        if v.get("perm").is_some() {
+            // The (v3) permutation record trails the IVF record.
+            if found_version < SQ8_RECORD_MIN_VERSION {
+                return Err(SnapshotError::Corrupt(format!(
+                    "permutation record in a v{found_version} snapshot \
+                     (valid from v{SQ8_RECORD_MIN_VERSION})"
+                )));
+            }
+            if perm_record.is_some() {
+                return Err(SnapshotError::Corrupt(
+                    "duplicate permutation record".into(),
+                ));
+            }
+            if ivf_record.is_none() {
+                return Err(SnapshotError::Corrupt(
+                    "permutation record without a preceding IVF record".into(),
+                ));
+            }
+            if sq8_record.is_some() {
+                return Err(SnapshotError::Corrupt(
+                    "permutation record after the SQ8 record".into(),
+                ));
+            }
+            perm_record = Some(v);
+            continue;
+        }
+        if v.get("sq8_min").is_some() {
+            // The (v3) SQ8 codebook record trails the permutation record.
+            if found_version < SQ8_RECORD_MIN_VERSION {
+                return Err(SnapshotError::Corrupt(format!(
+                    "SQ8 record in a v{found_version} snapshot \
+                     (valid from v{SQ8_RECORD_MIN_VERSION})"
+                )));
+            }
+            if sq8_record.is_some() {
+                return Err(SnapshotError::Corrupt("duplicate SQ8 record".into()));
+            }
+            if perm_record.is_none() {
+                return Err(SnapshotError::Corrupt(
+                    "SQ8 record without a preceding permutation record".into(),
+                ));
+            }
+            sq8_record = Some(v);
+            continue;
+        }
+        if ivf_record.is_some() || perm_record.is_some() || sq8_record.is_some() {
             return Err(SnapshotError::Corrupt(
-                "entry line after the IVF record".into(),
+                "entry line after a trailing record".into(),
             ));
         }
         let field = |name: &str| -> Result<String, SnapshotError> {
@@ -348,10 +444,56 @@ pub fn load_index(path: &Path, expected: &IndexSpec) -> Result<VectorIndex, Snap
             entries.len()
         )));
     }
+    if found_version >= SQ8_RECORD_MIN_VERSION
+        && (ivf_record.is_none() || perm_record.is_none() || sq8_record.is_none())
+    {
+        // save_index stamps the oldest representable version, so a v3
+        // header promises all three trailing records; a missing one means
+        // a torn tail.
+        return Err(SnapshotError::Corrupt(
+            "v3 snapshot missing its IVF, permutation, or SQ8 record (torn tail?)".into(),
+        ));
+    }
     let mut index = VectorIndex::from_parts(Embedder { dim }, chunk_size, overlap, entries, arena);
     if let Some(record) = ivf_record {
         let ivf = decode_ivf(&record, index.arena())?;
         index.attach_ivf(Arc::new(ivf));
+        if let Some(record) = perm_record {
+            let stored = decode_u32s(
+                record.get("perm").and_then(Value::as_str).ok_or_else(|| {
+                    SnapshotError::Corrupt("permutation field \"perm\" missing".into())
+                })?,
+                "permutation",
+            )?;
+            let derived = index.ivf().expect("IVF attached above").perm();
+            if stored.as_slice() != derived {
+                return Err(SnapshotError::Corrupt(
+                    "permutation record does not match the clustering-derived \
+                     cluster-major layout"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(record) = sq8_record {
+            let field = |name: &str| -> Result<&str, SnapshotError> {
+                record
+                    .get(name)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| SnapshotError::Corrupt(format!("SQ8 field {name:?} missing")))
+            };
+            let min = decode_vector(field("sq8_min")?)?;
+            let scale = decode_vector(field("sq8_scale")?)?;
+            let pool = record
+                .get("sq8_rerank_pool")
+                .and_then(Value::as_i64)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| {
+                    SnapshotError::Corrupt("SQ8 field \"sq8_rerank_pool\" missing".into())
+                })?;
+            index
+                .attach_sq8(min, scale, pool)
+                .map_err(|why| SnapshotError::Corrupt(format!("SQ8 record invalid: {why}")))?;
+        }
     }
     Ok(index)
 }
@@ -376,22 +518,7 @@ fn decode_ivf(record: &Value, arena: &VectorArena) -> Result<vecindex::IvfIndex,
     let clusters = number("ivf_clusters")?;
     let nprobe = number("ivf_nprobe")?;
     let centroids = decode_vector(field("ivf_centroids")?)?;
-    let hex = field("ivf_assignments")?;
-    if !hex.len().is_multiple_of(8) {
-        return Err(SnapshotError::Corrupt(
-            "IVF assignment hex length not a multiple of 8".into(),
-        ));
-    }
-    let assignments: Vec<u32> = hex
-        .as_bytes()
-        .chunks(8)
-        .map(|lane| {
-            std::str::from_utf8(lane)
-                .ok()
-                .and_then(|s| u32::from_str_radix(s, 16).ok())
-                .ok_or_else(|| SnapshotError::Corrupt("bad IVF assignment hex".into()))
-        })
-        .collect::<Result<_, _>>()?;
+    let assignments = decode_u32s(field("ivf_assignments")?, "IVF assignment")?;
     let ivf = vecindex::IvfIndex::from_parts(arena, nprobe, centroids, assignments)
         .map_err(|why| SnapshotError::Corrupt(format!("IVF record invalid: {why}")))?;
     if ivf.clusters() != clusters {
@@ -401,6 +528,33 @@ fn decode_ivf(record: &Value, arena: &VectorArena) -> Result<vecindex::IvfIndex,
         )));
     }
     Ok(ivf)
+}
+
+/// 8 hex digits per `u32` — used for cluster assignments and the
+/// cluster-major permutation table.
+fn encode_u32s(v: &[u32]) -> String {
+    let mut out = String::with_capacity(v.len() * 8);
+    for lane in v {
+        out.push_str(&format!("{lane:08x}"));
+    }
+    out
+}
+
+fn decode_u32s(hex: &str, what: &str) -> Result<Vec<u32>, SnapshotError> {
+    if !hex.len().is_multiple_of(8) {
+        return Err(SnapshotError::Corrupt(format!(
+            "{what} hex length not a multiple of 8"
+        )));
+    }
+    hex.as_bytes()
+        .chunks(8)
+        .map(|lane| {
+            std::str::from_utf8(lane)
+                .ok()
+                .and_then(|s| u32::from_str_radix(s, 16).ok())
+                .ok_or_else(|| SnapshotError::Corrupt(format!("bad {what} hex")))
+        })
+        .collect()
 }
 
 /// Bit-exact hex encoding: 8 hex digits (`f32::to_bits`) per lane.
@@ -637,6 +791,136 @@ mod tests {
         // Pad the assignment table to more rows than the snapshot holds.
         let broken = raw.replace("\"ivf_assignments\":\"", "\"ivf_assignments\":\"00000000");
         assert_ne!(raw, broken, "fixture must actually mutate the record");
+        std::fs::write(&path, broken).unwrap();
+        assert!(matches!(
+            load_index(&path, &spec(&ix)).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+
+    /// An SQ8-tiered index is written as v3 with the permutation and
+    /// codebook records, and loads back with a byte-identical codebook,
+    /// rerank pool, and probed search results.
+    #[test]
+    fn sq8_snapshots_are_v3_and_round_trip_byte_exactly() {
+        let tmp = TempDir::new("snap-sq8");
+        let path = tmp.0.join("index.snap");
+        let mut ix = small_index();
+        ix.enable_ivf(3, 2);
+        ix.enable_sq8(16);
+        save_index(&path, &ix, 0xfeed).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.contains("\"format_version\":3"));
+        assert!(raw.contains("\"perm\":"));
+        assert!(raw.contains("\"sq8_min\":"));
+        let loaded = load_index(&path, &spec(&ix)).unwrap();
+        let (a, b) = (ix.sq8().unwrap(), loaded.sq8().unwrap());
+        assert_eq!(a.rerank_pool(), b.rerank_pool());
+        assert_eq!(a.code_bytes(), b.code_bytes());
+        let bits = |v: &[f32]| -> Vec<u32> { v.iter().map(|f| f.to_bits()).collect() };
+        assert_eq!(bits(a.min()), bits(b.min()), "codebook min must survive");
+        assert_eq!(
+            bits(a.scale()),
+            bits(b.scale()),
+            "codebook scale must survive"
+        );
+        let q = "stripe count limits parallelism";
+        let hits_a: Vec<(u32, usize)> = ix
+            .search(q, 3)
+            .into_iter()
+            .map(|h| (h.score.to_bits(), h.entry_idx))
+            .collect();
+        let hits_b: Vec<(u32, usize)> = loaded
+            .search(q, 3)
+            .into_iter()
+            .map(|h| (h.score.to_bits(), h.entry_idx))
+            .collect();
+        assert_eq!(hits_a, hits_b, "SQ8 retrieval must be identical");
+        // Dropping the tier downgrades the re-save to v2, and dropping
+        // the quantizer too goes all the way back to v1.
+        ix.disable_sq8();
+        save_index(&path, &ix, 0xfeed).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            raw.contains("\"format_version\":2"),
+            "sq8-less re-save must be v2"
+        );
+        assert!(!raw.contains("\"perm\":"));
+    }
+
+    /// A permutation record that disagrees with the layout derived from
+    /// the assignment table means writer/reader drift — typed corrupt,
+    /// never a silently mis-mapped index.
+    #[test]
+    fn perm_record_mismatch_is_corrupt() {
+        let tmp = TempDir::new("snap-perm");
+        let path = tmp.0.join("index.snap");
+        let mut ix = small_index();
+        ix.enable_ivf(3, 2);
+        ix.enable_sq8(16);
+        save_index(&path, &ix, 0xfeed).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let perm = ix.ivf().unwrap().perm();
+        let (a, b) = (perm[0], perm[1]);
+        let swapped = raw.replace(
+            &format!("\"perm\":\"{a:08x}{b:08x}"),
+            &format!("\"perm\":\"{b:08x}{a:08x}"),
+        );
+        assert_ne!(raw, swapped, "fixture must actually swap two perm rows");
+        std::fs::write(&path, swapped).unwrap();
+        let err = load_index(&path, &spec(&ix)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+
+    /// The v3 records are only valid at v3: a v2-stamped snapshot that
+    /// nevertheless carries them is corrupt, as is a v3-stamped snapshot
+    /// missing them (torn tail).
+    #[test]
+    fn v3_records_obey_version_rules() {
+        let tmp = TempDir::new("snap-v3-rules");
+        let path = tmp.0.join("index.snap");
+        let mut ix = small_index();
+        ix.enable_ivf(3, 2);
+        ix.enable_sq8(16);
+        save_index(&path, &ix, 0xfeed).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+
+        let downgraded = raw.replace("\"format_version\":3", "\"format_version\":2");
+        std::fs::write(&path, downgraded).unwrap();
+        assert!(matches!(
+            load_index(&path, &spec(&ix)).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+
+        let torn: String = raw
+            .lines()
+            .take(raw.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&path, torn).unwrap();
+        assert!(matches!(
+            load_index(&path, &spec(&ix)).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+
+    /// A malformed SQ8 codebook (here: truncated to the wrong number of
+    /// lanes) fails the load with a typed corrupt error.
+    #[test]
+    fn corrupt_sq8_record_is_rejected() {
+        let tmp = TempDir::new("snap-sq8-corrupt");
+        let path = tmp.0.join("index.snap");
+        let mut ix = small_index();
+        ix.enable_ivf(3, 2);
+        ix.enable_sq8(16);
+        save_index(&path, &ix, 0xfeed).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let min_hex = encode_vector(ix.sq8().unwrap().min());
+        let broken = raw.replace(
+            &format!("\"sq8_min\":\"{min_hex}\""),
+            &format!("\"sq8_min\":\"{}\"", &min_hex[8..]),
+        );
+        assert_ne!(raw, broken, "fixture must actually truncate the codebook");
         std::fs::write(&path, broken).unwrap();
         assert!(matches!(
             load_index(&path, &spec(&ix)).unwrap_err(),

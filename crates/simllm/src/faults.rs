@@ -158,7 +158,7 @@ impl FaultKind {
     }
 }
 
-/// Why [`crate::SimLlm::try_complete`] returned no completion.
+/// Why `SimLlm::try_complete` returned no completion.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LlmError {
     /// The attempt drew an injected fault.

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `simllm` — a deterministic behavioural simulator of large language
 //! models, calibrated to the failure modes the IOAgent paper engineers
 //! around.

@@ -1,0 +1,388 @@
+//! SQ8 scan tier: per-dimension int8 scalar quantization with exact
+//! f32 rerank.
+//!
+//! At a million chunks even a probed f32 scan is memory-bandwidth-bound:
+//! every scored row streams `dim × 4` bytes. This tier stores a second,
+//! 4×-smaller representation of every row — one `u8` code per dimension
+//! under a per-dimension affine codebook (`x ≈ min[d] + scale[d] · code`)
+//! — and scans *that* to select a small candidate pool, which is then
+//! re-scored with the exact f32 kernel ([`ioembed::dot`] over the arena
+//! row plus the cached norm). The returned top-k therefore stays
+//! byte-identical to what the f32 scan would keep **whenever the true
+//! top-k survives the pool cut**, and with `rerank_pool >= rows scanned`
+//! it is byte-identical unconditionally (pinned by
+//! `tests/sq8_equivalence.rs`).
+//!
+//! # Scoring
+//!
+//! For a query `q`, `dot(q, x_i) ≈ base + Σ_d t[d] · code_i[d]` with
+//! `t[d] = q[d] · scale[d]` and `base = Σ_d q[d] · min[d]` — both
+//! precomputed once per query ([`Sq8Tier::prepare`]). Codes are stored
+//! lane-interleaved in complete 8-row blocks over **internal**
+//! (cluster-major) positions, mirroring the arena's packed layout, so the
+//! scan kernel folds eight rows per dimension step.
+//!
+//! # Determinism, not bit-equality
+//!
+//! Approximate scores only pick the pool — they never appear in results —
+//! so this kernel is free to use **four accumulator chains per lane**
+//! (dimensions `d ≡ 0..3 (mod 4)`, combined in a fixed order). That
+//! breaks the f32-add latency chain that the bit-faithful kernels must
+//! respect and is what makes the SQ8 scan genuinely faster, while staying
+//! fully deterministic: the same query and codes produce the same
+//! approximate bits on every machine, regardless of cluster boundaries
+//! (blocks are global, so a row's approximate score does not depend on
+//! which cluster range a scan entered through).
+
+use crate::arena::VectorArena;
+use crate::topk::TopK;
+use std::ops::Range;
+
+/// Rows per interleaved code block (mirrors [`VectorArena::DOT_BLOCK`]).
+const B: usize = VectorArena::DOT_BLOCK;
+
+/// Independent f32 accumulator chains per lane in the SQ8 fold.
+const CHAINS: usize = 4;
+
+/// The quantized scan tier attached to a cluster-major index: per-dim
+/// affine codebook plus lane-interleaved `u8` codes for every internal
+/// row, and the rerank pool size searches use.
+#[derive(Debug, Clone)]
+pub struct Sq8Tier {
+    dim: usize,
+    rows: usize,
+    /// Per-dimension affine offset: `x ≈ min[d] + scale[d] · code`.
+    min: Vec<f32>,
+    /// Per-dimension affine step, `(max − min) / 255` (0 for constant
+    /// dimensions, whose codes are all 0).
+    scale: Vec<f32>,
+    /// `⌈rows/8⌉` complete blocks: block `b`, dim `d`, row-in-block `j`
+    /// at `((b · dim) + d) · 8 + j`; pad rows beyond `rows` hold code 0.
+    codes: Vec<u8>,
+    /// Candidate-pool size for the exact rerank (searches clamp it to at
+    /// least `k`).
+    rerank_pool: usize,
+}
+
+/// A query prepared for the SQ8 scan: `t[d] = q[d] · scale[d]` and
+/// `base = Σ_d q[d] · min[d]`, computed once per query.
+#[derive(Debug, Clone)]
+pub struct Sq8Query {
+    t: Vec<f32>,
+    base: f32,
+}
+
+impl Sq8Tier {
+    /// Quantize every row of `arena` (in the arena's own row order —
+    /// internal positions for a cluster-major arena) under a per-dim
+    /// min/max codebook derived from the data.
+    pub fn train(arena: &VectorArena, rerank_pool: usize) -> Self {
+        let dim = arena.dim();
+        let rows = arena.len();
+        let mut min = vec![f32::INFINITY; dim];
+        let mut max = vec![f32::NEG_INFINITY; dim];
+        for i in 0..rows {
+            for (d, &x) in arena.row(i).iter().enumerate() {
+                if x < min[d] {
+                    min[d] = x;
+                }
+                if x > max[d] {
+                    max[d] = x;
+                }
+            }
+        }
+        if rows == 0 {
+            min.fill(0.0);
+            max.fill(0.0);
+        }
+        let scale: Vec<f32> = min
+            .iter()
+            .zip(&max)
+            .map(|(&lo, &hi)| if hi > lo { (hi - lo) / 255.0 } else { 0.0 })
+            .collect();
+        Self::encode(arena, min, scale, rerank_pool)
+    }
+
+    /// Re-encode `arena` under an existing codebook (snapshot load:
+    /// codes are derived data — a pure function of vectors + codebook —
+    /// so only the codebook is persisted).
+    pub fn from_codebook(
+        arena: &VectorArena,
+        min: Vec<f32>,
+        scale: Vec<f32>,
+        rerank_pool: usize,
+    ) -> Result<Self, String> {
+        let dim = arena.dim();
+        if min.len() != dim || scale.len() != dim {
+            return Err(format!(
+                "codebook of {}+{} lanes for dim {dim}",
+                min.len(),
+                scale.len()
+            ));
+        }
+        if let Some(bad) = min
+            .iter()
+            .chain(&scale)
+            .find(|v| !v.is_finite())
+            .or_else(|| scale.iter().find(|&&s| s < 0.0))
+        {
+            return Err(format!("non-finite or negative codebook value {bad}"));
+        }
+        Ok(Self::encode(arena, min, scale, rerank_pool))
+    }
+
+    fn encode(arena: &VectorArena, min: Vec<f32>, scale: Vec<f32>, rerank_pool: usize) -> Self {
+        let dim = arena.dim();
+        let rows = arena.len();
+        let blocks = rows.div_ceil(B);
+        let mut codes = vec![0u8; blocks * dim * B];
+        for i in 0..rows {
+            let (b, j) = (i / B, i % B);
+            let row = arena.row(i);
+            for d in 0..dim {
+                let code = if scale[d] > 0.0 {
+                    ((row[d] - min[d]) / scale[d]).round().clamp(0.0, 255.0) as u8
+                } else {
+                    0
+                };
+                codes[((b * dim) + d) * B + j] = code;
+            }
+        }
+        Sq8Tier {
+            dim,
+            rows,
+            min,
+            scale,
+            codes,
+            rerank_pool,
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encoded row count (pad rows excluded).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Candidate-pool size the exact rerank draws from.
+    pub fn rerank_pool(&self) -> usize {
+        self.rerank_pool
+    }
+
+    /// Change the rerank pool size (a runtime knob: the codebook and codes
+    /// are untouched).
+    pub fn set_rerank_pool(&mut self, pool: usize) {
+        self.rerank_pool = pool;
+    }
+
+    /// Per-dimension affine offsets of the codebook.
+    pub fn min(&self) -> &[f32] {
+        &self.min
+    }
+
+    /// Per-dimension affine steps of the codebook.
+    pub fn scale(&self) -> &[f32] {
+        &self.scale
+    }
+
+    /// Bytes held by the `u8` code store (the compressed tier; the bench
+    /// accounts it separately from f32 vector memory).
+    pub fn code_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Precompute the per-query scan terms (`t`, `base`).
+    pub fn prepare(&self, qv: &[f32]) -> Sq8Query {
+        assert_eq!(qv.len(), self.dim, "query dimension mismatch");
+        let t: Vec<f32> = qv.iter().zip(&self.scale).map(|(&q, &s)| q * s).collect();
+        let mut base = -0.0f32;
+        for (q, &m) in qv.iter().zip(&self.min) {
+            base += q * m;
+        }
+        Sq8Query { t, base }
+    }
+
+    /// Offer every internal position of `range` to `pool` under its
+    /// approximate cosine (`(base + Σ t·code) / (qnorm · norm)`, the same
+    /// zero-guard as the exact kernel via [`ioembed::cosine_with_norms`]).
+    ///
+    /// Whole 8-row blocks overlapping the range are folded and only
+    /// in-range rows offered, so a row's approximate bits never depend on
+    /// the range a scan entered through; `norms` must be the cluster-major
+    /// arena (only its cached norms are read).
+    pub fn scan_range(
+        &self,
+        prep: &Sq8Query,
+        qnorm: f32,
+        norms: &VectorArena,
+        range: Range<usize>,
+        pool: &mut TopK,
+    ) {
+        if range.is_empty() {
+            return;
+        }
+        debug_assert!(range.end <= self.rows, "range beyond encoded rows");
+        let stride = self.dim * B;
+        let mut out = [0.0f32; B];
+        for b in range.start / B..range.end.div_ceil(B) {
+            fold_sq8_block(&self.codes[b * stride..(b + 1) * stride], &prep.t, &mut out);
+            let first = b * B;
+            for (j, &partial) in out.iter().enumerate() {
+                let p = first + j;
+                if p >= range.start && p < range.end {
+                    let approx = prep.base + partial;
+                    pool.push(ioembed::cosine_with_norms(approx, qnorm, norms.norm(p)), p);
+                }
+            }
+        }
+    }
+}
+
+/// Fold one interleaved code block against the prepared query terms:
+/// `out[j]` becomes `Σ_d t[d] · block[d·8 + j]`, accumulated in
+/// [`CHAINS`] independent chains per lane (dimension `d` feeds chain
+/// `d mod 4`), combined in a fixed order — deterministic everywhere, and
+/// free of the single-chain f32-add latency bound.
+fn fold_sq8_block(block: &[u8], t: &[f32], out: &mut [f32; B]) {
+    debug_assert_eq!(block.len(), t.len() * B, "one 8-lane column per dim");
+    let mut acc = [[-0.0f32; B]; CHAINS];
+    for (d, col) in block.chunks_exact(B).enumerate() {
+        let chain = &mut acc[d % CHAINS];
+        let td = t[d];
+        for j in 0..B {
+            chain[j] += td * col[j] as f32;
+        }
+    }
+    for j in 0..B {
+        out[j] = ((acc[0][j] + acc[1][j]) + acc[2][j]) + acc[3][j];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_of(rows: &[Vec<f32>], dim: usize) -> VectorArena {
+        let mut arena = VectorArena::new(dim);
+        for r in rows {
+            arena.push(r);
+        }
+        arena
+    }
+
+    fn synthetic_rows(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        let mut state = 0x518a_feed_c0de_1234_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        };
+        (0..n)
+            .map(|_| {
+                let mut v: Vec<f32> = (0..dim).map(|_| next()).collect();
+                ioembed::l2_normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    /// Quantization error is bounded by half a step per dimension.
+    #[test]
+    fn codes_dequantize_within_half_a_step() {
+        let dim = 11;
+        let rows = synthetic_rows(37, dim);
+        let arena = arena_of(&rows, dim);
+        let sq8 = Sq8Tier::train(&arena, 16);
+        for (i, row) in rows.iter().enumerate() {
+            let (b, j) = (i / B, i % B);
+            for (d, &x) in row.iter().enumerate() {
+                let code = sq8.codes[((b * dim) + d) * B + j] as f32;
+                let dequant = sq8.min[d] + sq8.scale[d] * code;
+                let tol = if sq8.scale[d] > 0.0 {
+                    sq8.scale[d] * 0.5 + sq8.scale[d] * 1e-3
+                } else {
+                    1e-6
+                };
+                assert!(
+                    (dequant - x).abs() <= tol,
+                    "row {i} dim {d}: {x} -> code {code} -> {dequant}"
+                );
+            }
+        }
+    }
+
+    /// A row's approximate score must not depend on the range a scan
+    /// entered through: scanning [0, n) in one call and as arbitrary
+    /// splits offers identical bits.
+    #[test]
+    fn approx_scores_are_range_invariant() {
+        let dim = 13;
+        let rows = synthetic_rows(29, dim); // ragged: 29 % 8 != 0
+        let arena = arena_of(&rows, dim);
+        let sq8 = Sq8Tier::train(&arena, 64);
+        let qv = rows[3].clone();
+        let qnorm = ioembed::norm(&qv);
+        let prep = sq8.prepare(&qv);
+        let full = {
+            let mut pool = TopK::new(100);
+            sq8.scan_range(&prep, qnorm, &arena, 0..29, &mut pool);
+            pool.into_sorted_hits()
+        };
+        let split = {
+            let mut pool = TopK::new(100);
+            for r in [0..5, 5..8, 8..21, 21..21, 21..29] {
+                sq8.scan_range(&prep, qnorm, &arena, r, &mut pool);
+            }
+            pool.into_sorted_hits()
+        };
+        let a: Vec<(u32, usize)> = full
+            .iter()
+            .map(|h| (h.score.to_bits(), h.entry_idx))
+            .collect();
+        let b: Vec<(u32, usize)> = split
+            .iter()
+            .map(|h| (h.score.to_bits(), h.entry_idx))
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 29, "every row offered exactly once");
+    }
+
+    /// Codes are a pure function of vectors + codebook: re-encoding under
+    /// the trained codebook reproduces the byte store exactly.
+    #[test]
+    fn from_codebook_reproduces_codes() {
+        let dim = 9;
+        let rows = synthetic_rows(23, dim);
+        let arena = arena_of(&rows, dim);
+        let trained = Sq8Tier::train(&arena, 8);
+        let reloaded =
+            Sq8Tier::from_codebook(&arena, trained.min().to_vec(), trained.scale().to_vec(), 8)
+                .unwrap();
+        assert_eq!(trained.codes, reloaded.codes);
+    }
+
+    #[test]
+    fn from_codebook_rejects_malformed_input() {
+        let arena = arena_of(&synthetic_rows(4, 6), 6);
+        assert!(Sq8Tier::from_codebook(&arena, vec![0.0; 5], vec![0.0; 6], 8).is_err());
+        assert!(Sq8Tier::from_codebook(&arena, vec![0.0; 6], vec![f32::NAN; 6], 8).is_err());
+        assert!(Sq8Tier::from_codebook(&arena, vec![0.0; 6], vec![-1.0; 6], 8).is_err());
+    }
+
+    #[test]
+    fn empty_arena_trains_an_empty_tier() {
+        let arena = VectorArena::new(6);
+        let sq8 = Sq8Tier::train(&arena, 8);
+        assert_eq!(sq8.rows(), 0);
+        assert_eq!(sq8.code_bytes(), 0);
+        let prep = sq8.prepare(&[0.0; 6]);
+        let mut pool = TopK::new(4);
+        sq8.scan_range(&prep, 0.0, &arena, 0..0, &mut pool);
+        assert!(pool.into_sorted_hits().is_empty());
+    }
+}
